@@ -1,0 +1,267 @@
+//! Simulated annealing over plan permutations.
+//!
+//! The stochastic comparator for large instances: random swap / relocate /
+//! reverse moves, Metropolis acceptance, geometric cooling from an
+//! auto-calibrated temperature down to a fixed fraction of it.
+
+use crate::sampling::random_plan;
+use dsq_core::{bottleneck_cost, Plan, QueryInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of [`simulated_annealing`]. Passive struct; fields are
+/// public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingConfig {
+    /// Number of proposed moves.
+    pub steps: u64,
+    /// Starting temperature; `None` auto-calibrates to the mean absolute
+    /// cost delta of a pilot sample of moves.
+    pub initial_temp: Option<f64>,
+    /// Final temperature as a fraction of the initial one (geometric
+    /// schedule across `steps`).
+    pub final_temp_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig { steps: 20_000, initial_temp: None, final_temp_ratio: 1e-3, seed: 0 }
+    }
+}
+
+/// Result of [`simulated_annealing`].
+#[derive(Debug, Clone)]
+pub struct AnnealingResult {
+    plan: Plan,
+    cost: f64,
+    accepted: u64,
+    steps: u64,
+}
+
+impl AnnealingResult {
+    /// The best plan seen during the walk.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Its bottleneck cost.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Accepted moves.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Proposed moves.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Runs simulated annealing, deterministic in the config's seed.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_baselines::{simulated_annealing, AnnealingConfig};
+/// use dsq_core::{CommMatrix, QueryInstance, Service};
+///
+/// let inst = QueryInstance::from_parts(
+///     (0..10).map(|i| Service::new(0.5 + (i % 4) as f64, 0.8)).collect(),
+///     CommMatrix::from_fn(10, |i, j| if i == j { 0.0 } else { ((7 * i + j) % 9) as f64 * 0.1 }),
+/// )?;
+/// let cfg = AnnealingConfig { steps: 2_000, ..AnnealingConfig::default() };
+/// let result = simulated_annealing(&inst, &cfg);
+/// assert_eq!(result.plan().len(), 10);
+/// # Ok::<(), dsq_core::ModelError>(())
+/// ```
+pub fn simulated_annealing(instance: &QueryInstance, config: &AnnealingConfig) -> AnnealingResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = instance.len();
+
+    let mut current = random_plan(instance, &mut rng).indices();
+    let mut current_cost = eval(instance, &current);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+
+    if n < 2 {
+        return AnnealingResult {
+            plan: Plan::new(best).expect("permutation"),
+            cost: best_cost,
+            accepted: 0,
+            steps: 0,
+        };
+    }
+
+    let t0 = config.initial_temp.unwrap_or_else(|| {
+        // Pilot: mean |Δ| over a handful of random feasible moves.
+        let mut total = 0.0;
+        let mut count = 0u32;
+        for _ in 0..30 {
+            if let Some(candidate) = propose(instance, &current, &mut rng) {
+                total += (eval(instance, &candidate) - current_cost).abs();
+                count += 1;
+            }
+        }
+        if count == 0 || total == 0.0 {
+            current_cost.max(1e-9) * 0.1
+        } else {
+            total / f64::from(count)
+        }
+    });
+    let t_end = t0 * config.final_temp_ratio.clamp(1e-12, 1.0);
+    let decay = if config.steps > 1 {
+        (t_end / t0).powf(1.0 / (config.steps - 1) as f64)
+    } else {
+        1.0
+    };
+
+    let mut temp = t0;
+    let mut accepted = 0u64;
+    for _ in 0..config.steps {
+        if let Some(candidate) = propose(instance, &current, &mut rng) {
+            let cost = eval(instance, &candidate);
+            let delta = cost - current_cost;
+            if delta < 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-300)).exp() {
+                current = candidate;
+                current_cost = cost;
+                accepted += 1;
+                if cost < best_cost {
+                    best = current.clone();
+                    best_cost = cost;
+                }
+            }
+        }
+        temp *= decay;
+    }
+
+    AnnealingResult {
+        plan: Plan::new(best).expect("moves preserve permutations"),
+        cost: best_cost,
+        accepted,
+        steps: config.steps,
+    }
+}
+
+fn eval(instance: &QueryInstance, order: &[usize]) -> f64 {
+    bottleneck_cost(instance, &Plan::new(order.to_vec()).expect("permutation"))
+}
+
+/// Proposes one random feasible neighbor, or `None` if the draw was
+/// precedence-infeasible (the caller just moves on — rejection keeps the
+/// proposal distribution simple).
+fn propose(instance: &QueryInstance, order: &[usize], rng: &mut StdRng) -> Option<Vec<usize>> {
+    let n = order.len();
+    let mut candidate = order.to_vec();
+    let i = rng.gen_range(0..n);
+    let mut j = rng.gen_range(0..n - 1);
+    if j >= i {
+        j += 1;
+    }
+    match rng.gen_range(0..3u8) {
+        0 => candidate.swap(i, j),
+        1 => {
+            let s = candidate.remove(i);
+            candidate.insert(j, s);
+        }
+        _ => {
+            let (lo, hi) = (i.min(j), i.max(j));
+            candidate[lo..=hi].reverse();
+        }
+    }
+    let ok = match instance.precedence() {
+        Some(dag) => dag.is_feasible_order(&candidate),
+        None => true,
+    };
+    ok.then_some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use dsq_core::{CommMatrix, PrecedenceDag, Service};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(rng: &mut StdRng, n: usize) -> QueryInstance {
+        QueryInstance::from_parts(
+            (0..n)
+                .map(|_| Service::new(rng.gen_range(0.01..4.0), rng.gen_range(0.05..1.5)))
+                .collect(),
+            CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..3.0) }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let inst = random_instance(&mut rng, 8);
+        let cfg = AnnealingConfig { steps: 500, ..Default::default() };
+        let a = simulated_annealing(&inst, &cfg);
+        let b = simulated_annealing(&inst, &cfg);
+        assert_eq!(a.plan().indices(), b.plan().indices());
+        assert_eq!(a.accepted(), b.accepted());
+    }
+
+    #[test]
+    fn close_to_optimal_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10 {
+            let inst = random_instance(&mut rng, 6);
+            let opt = exhaustive(&inst).unwrap().cost();
+            let sa = simulated_annealing(
+                &inst,
+                &AnnealingConfig { steps: 5_000, ..Default::default() },
+            );
+            assert!(sa.cost() >= opt - 1e-9);
+            assert!(
+                sa.cost() <= opt * 1.5 + 1e-9,
+                "annealing {} far above optimum {opt}",
+                sa.cost()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_precedence() {
+        let mut dag = PrecedenceDag::new(6).unwrap();
+        dag.add_edge(5, 0).unwrap();
+        dag.add_edge(4, 1).unwrap();
+        let inst = QueryInstance::builder()
+            .services((0..6).map(|i| Service::new(1.0 + i as f64, 0.5)))
+            .comm(CommMatrix::uniform(6, 0.2))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let sa =
+            simulated_annealing(&inst, &AnnealingConfig { steps: 1_000, ..Default::default() });
+        assert!(sa.plan().satisfies(inst.precedence().unwrap()));
+    }
+
+    #[test]
+    fn singleton_shortcut() {
+        let inst = QueryInstance::builder()
+            .service(Service::new(1.0, 1.0))
+            .comm(CommMatrix::zeros(1))
+            .build()
+            .unwrap();
+        let sa = simulated_annealing(&inst, &AnnealingConfig::default());
+        assert_eq!(sa.plan().indices(), vec![0]);
+        assert_eq!(sa.steps(), 0);
+    }
+
+    #[test]
+    fn reported_cost_matches_plan() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let inst = random_instance(&mut rng, 7);
+        let sa = simulated_annealing(&inst, &AnnealingConfig { steps: 800, ..Default::default() });
+        let actual = dsq_core::bottleneck_cost(&inst, sa.plan());
+        assert!((sa.cost() - actual).abs() < 1e-12);
+    }
+}

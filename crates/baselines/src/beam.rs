@@ -1,0 +1,242 @@
+//! Beam search over partial plans.
+//!
+//! Keeps the `width` most promising prefixes per depth, scored by the
+//! same monotone measure `ε` that guides the branch-and-bound (maximum
+//! finalized term plus the last service's transfer-free term). Width 1
+//! with a single start degenerates to a greedy chain; growing width
+//! trades time for quality and reaches the exact optimum in the limit.
+
+use dsq_core::{bottleneck_cost, BitSet, Plan, QueryInstance};
+
+/// Parameters of [`beam_search`]. Passive struct; fields are public.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BeamConfig {
+    /// Number of prefixes kept per depth.
+    pub width: usize,
+}
+
+impl Default for BeamConfig {
+    fn default() -> Self {
+        BeamConfig { width: 16 }
+    }
+}
+
+/// Result of [`beam_search`].
+#[derive(Debug, Clone)]
+pub struct BeamResult {
+    plan: Plan,
+    cost: f64,
+    expanded: u64,
+}
+
+impl BeamResult {
+    /// The best complete plan in the final beam.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Its bottleneck cost.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Partial plans expanded across all depths.
+    pub fn expanded(&self) -> u64 {
+        self.expanded
+    }
+}
+
+#[derive(Clone)]
+struct Node {
+    order: Vec<usize>,
+    placed: BitSet,
+    /// Π σ of all placed services.
+    product: f64,
+    /// Π σ of the services before the last one.
+    prefix_last: f64,
+    /// Max over finalized terms.
+    eps_fin: f64,
+}
+
+impl Node {
+    fn score(&self, inst: &QueryInstance) -> f64 {
+        let last = *self.order.last().expect("beam nodes are non-empty");
+        self.eps_fin.max(self.prefix_last * inst.cost(last))
+    }
+}
+
+/// Runs beam search and returns the best complete plan found.
+///
+/// # Panics
+///
+/// Panics if `config.width == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_baselines::{beam_search, exhaustive, BeamConfig};
+/// use dsq_core::{CommMatrix, QueryInstance, Service};
+///
+/// let inst = QueryInstance::from_parts(
+///     (0..7).map(|i| Service::new(0.5 + (i % 3) as f64, 0.8)).collect(),
+///     CommMatrix::from_fn(7, |i, j| ((2 * i + j) % 4) as f64 * 0.3),
+/// )?;
+/// let beam = beam_search(&inst, &BeamConfig { width: 64 });
+/// let exact = exhaustive(&inst)?;
+/// assert!(beam.cost() >= exact.cost() - 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn beam_search(instance: &QueryInstance, config: &BeamConfig) -> BeamResult {
+    assert!(config.width > 0, "beam width must be positive");
+    let n = instance.len();
+    let mut expanded = 0u64;
+
+    // Depth 1: every feasible first service.
+    let mut beam: Vec<Node> = (0..n)
+        .filter(|&s| match instance.precedence() {
+            Some(dag) => dag.predecessors(s).is_empty(),
+            None => true,
+        })
+        .map(|s| {
+            let mut placed = BitSet::new(n);
+            placed.insert(s);
+            Node {
+                order: vec![s],
+                placed,
+                product: instance.selectivity(s),
+                prefix_last: 1.0,
+                eps_fin: 0.0,
+            }
+        })
+        .collect();
+    truncate_beam(&mut beam, instance, config.width);
+
+    for _depth in 1..n {
+        let mut next: Vec<Node> = Vec::with_capacity(beam.len() * n);
+        for node in &beam {
+            let last = *node.order.last().expect("non-empty");
+            for j in 0..n {
+                if node.placed.contains(j) {
+                    continue;
+                }
+                if let Some(dag) = instance.precedence() {
+                    if !dag.is_ready(j, &node.placed) {
+                        continue;
+                    }
+                }
+                expanded += 1;
+                let term_last = node.prefix_last
+                    * (instance.cost(last)
+                        + instance.selectivity(last) * instance.transfer(last, j));
+                let mut order = node.order.clone();
+                order.push(j);
+                let mut placed = node.placed.clone();
+                placed.insert(j);
+                next.push(Node {
+                    order,
+                    placed,
+                    product: node.product * instance.selectivity(j),
+                    prefix_last: node.product,
+                    eps_fin: node.eps_fin.max(term_last),
+                });
+            }
+        }
+        truncate_beam(&mut next, instance, config.width);
+        beam = next;
+    }
+
+    let (order, cost) = beam
+        .into_iter()
+        .map(|node| {
+            let plan = Plan::new(node.order.clone()).expect("beam preserves permutations");
+            let cost = bottleneck_cost(instance, &plan);
+            (node.order, cost)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("acyclic precedence keeps the beam non-empty");
+    BeamResult { plan: Plan::new(order).expect("permutation"), cost, expanded }
+}
+
+fn truncate_beam(beam: &mut Vec<Node>, instance: &QueryInstance, width: usize) {
+    beam.sort_by(|a, b| a.score(instance).total_cmp(&b.score(instance)));
+    beam.truncate(width);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use dsq_core::{CommMatrix, PrecedenceDag, Service};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(rng: &mut StdRng, n: usize) -> QueryInstance {
+        QueryInstance::from_parts(
+            (0..n)
+                .map(|_| Service::new(rng.gen_range(0.01..4.0), rng.gen_range(0.05..1.5)))
+                .collect(),
+            CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..3.0) }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sound_and_improving_with_width() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..8);
+            let inst = random_instance(&mut rng, n);
+            let opt = exhaustive(&inst).unwrap().cost();
+            let narrow = beam_search(&inst, &BeamConfig { width: 1 });
+            let wide = beam_search(&inst, &BeamConfig { width: 256 });
+            assert!(narrow.cost() >= opt - 1e-9);
+            assert!(wide.cost() >= opt - 1e-9);
+            assert!(wide.cost() <= narrow.cost() + 1e-9, "wider beams never lose");
+        }
+    }
+
+    #[test]
+    fn huge_width_is_exact_on_small_instances() {
+        // Width ≥ number of prefixes per depth ⇒ exhaustive coverage.
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let inst = random_instance(&mut rng, 5);
+            let opt = exhaustive(&inst).unwrap().cost();
+            let beam = beam_search(&inst, &BeamConfig { width: 10_000 });
+            assert!((beam.cost() - opt).abs() <= 1e-9 * opt.max(1.0));
+        }
+    }
+
+    #[test]
+    fn respects_precedence() {
+        let mut dag = PrecedenceDag::new(5).unwrap();
+        dag.add_edge(4, 0).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        let inst = QueryInstance::builder()
+            .services((0..5).map(|i| Service::new(1.0 + i as f64, 0.5)))
+            .comm(CommMatrix::uniform(5, 0.3))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let beam = beam_search(&inst, &BeamConfig::default());
+        assert!(beam.plan().satisfies(inst.precedence().unwrap()));
+        assert!(beam.expanded() > 0);
+    }
+
+    #[test]
+    fn reported_cost_matches_plan() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let inst = random_instance(&mut rng, 7);
+        let beam = beam_search(&inst, &BeamConfig::default());
+        let actual = dsq_core::bottleneck_cost(&inst, beam.plan());
+        assert!((beam.cost() - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = random_instance(&mut rng, 3);
+        beam_search(&inst, &BeamConfig { width: 0 });
+    }
+}

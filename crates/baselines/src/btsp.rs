@@ -1,0 +1,289 @@
+//! The bottleneck traveling-salesman connection (§1 of the paper).
+//!
+//! Setting every selectivity to 1 and every processing cost to 0 turns
+//! Eq. 1 into `max` over the transfer edges a plan uses — the **bottleneck
+//! Hamiltonian path** problem, which is NP-hard. This module provides
+//!
+//! * [`btsp_query_instance`] — the reduction constructor,
+//! * [`btsp_path_exact`] — an independent exact solver (binary search over
+//!   edge thresholds + Hamiltonian-path reachability DP), used to
+//!   cross-validate the branch-and-bound on the hard core of the problem
+//!   (experiment E9),
+//! * [`btsp_lower_bound`] — a cheap degree-based bound.
+
+use crate::error::BaselineError;
+use dsq_core::{CommMatrix, QueryInstance, Service};
+
+/// Default size limit of [`btsp_path_exact`].
+pub const BTSP_MAX_N: usize = 16;
+
+/// Builds the service-ordering instance equivalent to the bottleneck
+/// Hamiltonian path problem on `comm`: unit selectivities, zero processing
+/// costs, zero sink costs.
+///
+/// # Panics
+///
+/// Panics if `comm` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_baselines::btsp_query_instance;
+/// use dsq_core::{bottleneck_cost, CommMatrix, Plan};
+///
+/// let comm = CommMatrix::from_rows(vec![
+///     vec![0.0, 3.0, 1.0],
+///     vec![3.0, 0.0, 2.0],
+///     vec![1.0, 2.0, 0.0],
+/// ])?;
+/// let inst = btsp_query_instance(&comm);
+/// // Plan 0 → 2 → 1 uses edges {1.0, 2.0}: bottleneck 2.0.
+/// let plan = Plan::new(vec![0, 2, 1])?;
+/// assert_eq!(bottleneck_cost(&inst, &plan), 2.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn btsp_query_instance(comm: &CommMatrix) -> QueryInstance {
+    let n = comm.len();
+    assert!(n > 0, "bottleneck TSP needs at least one node");
+    QueryInstance::builder()
+        .name("bottleneck-tsp")
+        .services((0..n).map(|_| Service::new(0.0, 1.0)))
+        .comm(comm.clone())
+        .build()
+        .expect("reduction instance is valid")
+}
+
+/// Result of the exact bottleneck-path solver.
+#[derive(Debug, Clone)]
+pub struct BtspResult {
+    path: Vec<usize>,
+    bottleneck: f64,
+    thresholds_tested: u32,
+}
+
+impl BtspResult {
+    /// A bottleneck-optimal Hamiltonian path (node order).
+    pub fn path(&self) -> &[usize] {
+        &self.path
+    }
+
+    /// The largest edge weight along it (the optimal bottleneck value).
+    pub fn bottleneck(&self) -> f64 {
+        self.bottleneck
+    }
+
+    /// Number of thresholds the binary search probed.
+    pub fn thresholds_tested(&self) -> u32 {
+        self.thresholds_tested
+    }
+}
+
+/// Solves the directed bottleneck Hamiltonian path problem exactly:
+/// binary search over the sorted distinct edge weights, testing each
+/// threshold with a subset-reachability DP restricted to edges within the
+/// threshold.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLarge`] above [`BTSP_MAX_N`] nodes.
+pub fn btsp_path_exact(comm: &CommMatrix) -> Result<BtspResult, BaselineError> {
+    let n = comm.len();
+    if n > BTSP_MAX_N {
+        return Err(BaselineError::TooLarge { n, max: BTSP_MAX_N, algorithm: "bottleneck TSP" });
+    }
+    if n == 1 {
+        return Ok(BtspResult { path: vec![0], bottleneck: 0.0, thresholds_tested: 0 });
+    }
+
+    let mut weights: Vec<f64> = (0..n)
+        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| comm.get(i, j)))
+        .collect();
+    weights.sort_by(f64::total_cmp);
+    weights.dedup();
+
+    // Binary search for the smallest threshold admitting a Hamiltonian
+    // path. The largest threshold always works (every edge allowed ⇒ any
+    // permutation is a path).
+    let mut lo = 0usize;
+    let mut hi = weights.len() - 1;
+    let mut tested = 0u32;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        tested += 1;
+        if hamiltonian_path(comm, weights[mid]).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let bottleneck = weights[lo];
+    let path = hamiltonian_path(comm, bottleneck).expect("threshold verified feasible");
+    Ok(BtspResult { path, bottleneck, thresholds_tested: tested })
+}
+
+/// Reachability DP: is there a Hamiltonian path using only edges of
+/// weight `≤ tau`? Returns one if so.
+fn hamiltonian_path(comm: &CommMatrix, tau: f64) -> Option<Vec<usize>> {
+    let n = comm.len();
+    let full: usize = (1 << n) - 1;
+    // reach[mask][last]: mask visitable ending at last.
+    let mut reach = vec![false; (1 << n) * n];
+    let mut parent = vec![u8::MAX; (1 << n) * n];
+    let idx = |mask: usize, last: usize| mask * n + last;
+    for s in 0..n {
+        reach[idx(1 << s, s)] = true;
+    }
+    for mask in 1..=full {
+        for last in 0..n {
+            if mask & (1 << last) == 0 || !reach[idx(mask, last)] {
+                continue;
+            }
+            for j in 0..n {
+                if mask & (1 << j) != 0 || comm.get(last, j) > tau {
+                    continue;
+                }
+                let slot = idx(mask | (1 << j), j);
+                if !reach[slot] {
+                    reach[slot] = true;
+                    parent[slot] = last as u8;
+                }
+            }
+        }
+    }
+    let last = (0..n).find(|&l| reach[idx(full, l)])?;
+    let mut path = vec![last];
+    let mut mask = full;
+    let mut cur = last;
+    while mask.count_ones() > 1 {
+        let p = parent[idx(mask, cur)] as usize;
+        mask &= !(1 << cur);
+        cur = p;
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// A cheap lower bound on the bottleneck of any Hamiltonian path: all but
+/// one node (the terminal) need an outgoing edge, and all but one (the
+/// start) an incoming edge, so the second-largest of the per-node minimum
+/// out-weights (resp. in-weights) must be paid.
+pub fn btsp_lower_bound(comm: &CommMatrix) -> f64 {
+    let n = comm.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let second_largest = |mins: Vec<f64>| -> f64 {
+        let mut mins = mins;
+        mins.sort_by(f64::total_cmp);
+        mins[n - 2]
+    };
+    let min_out: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| comm.get(i, j))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let min_in: Vec<f64> = (0..n)
+        .map(|j| {
+            (0..n)
+                .filter(|&i| i != j)
+                .map(|i| comm.get(i, j))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    second_largest(min_out).max(second_largest(min_in))
+}
+
+/// The bottleneck (largest edge) of a concrete node order.
+pub fn path_bottleneck(comm: &CommMatrix, path: &[usize]) -> f64 {
+    path.windows(2).map(|w| comm.get(w[0], w[1])).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_core::{bottleneck_cost, optimize, Plan};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_comm(rng: &mut StdRng, n: usize) -> CommMatrix {
+        CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(1.0..100.0) })
+    }
+
+    #[test]
+    fn exact_solver_agrees_with_bnb_via_the_reduction() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for _ in 0..30 {
+            let n = rng.gen_range(3..8);
+            let comm = random_comm(&mut rng, n);
+            let btsp = btsp_path_exact(&comm).unwrap();
+            let inst = btsp_query_instance(&comm);
+            let bnb = optimize(&inst);
+            assert!(
+                (btsp.bottleneck() - bnb.cost()).abs() <= 1e-9 * btsp.bottleneck().max(1.0),
+                "threshold solver {} vs B&B {}",
+                btsp.bottleneck(),
+                bnb.cost()
+            );
+            // Returned path must achieve the reported bottleneck.
+            assert!(
+                (path_bottleneck(&comm, btsp.path()) - btsp.bottleneck()).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_cost_is_max_edge() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let comm = random_comm(&mut rng, 5);
+        let inst = btsp_query_instance(&comm);
+        let plan = Plan::new(vec![4, 2, 0, 1, 3]).unwrap();
+        assert!(
+            (bottleneck_cost(&inst, &plan) - path_bottleneck(&comm, &plan.indices())).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_sound() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n = rng.gen_range(3..8);
+            let comm = random_comm(&mut rng, n);
+            let lb = btsp_lower_bound(&comm);
+            let opt = btsp_path_exact(&comm).unwrap().bottleneck();
+            assert!(lb <= opt + 1e-12, "lb {lb} exceeds optimum {opt}");
+        }
+    }
+
+    #[test]
+    fn hand_checked_triangle() {
+        let comm = CommMatrix::from_rows(vec![
+            vec![0.0, 5.0, 1.0],
+            vec![5.0, 0.0, 2.0],
+            vec![1.0, 2.0, 0.0],
+        ])
+        .unwrap();
+        let result = btsp_path_exact(&comm).unwrap();
+        // Best path avoids the 5.0 edge: 0-2-1 or 1-2-0, bottleneck 2.0.
+        assert_eq!(result.bottleneck(), 2.0);
+    }
+
+    #[test]
+    fn size_limit() {
+        let comm = CommMatrix::uniform(BTSP_MAX_N + 1, 1.0);
+        assert!(matches!(btsp_path_exact(&comm), Err(BaselineError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn singleton() {
+        let comm = CommMatrix::zeros(1);
+        let r = btsp_path_exact(&comm).unwrap();
+        assert_eq!(r.path(), &[0]);
+        assert_eq!(r.bottleneck(), 0.0);
+        assert_eq!(btsp_lower_bound(&comm), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Errors raised by the baseline algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by a baseline ordering algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The instance exceeds the algorithm's tractable size.
+    TooLarge {
+        /// Number of services in the instance.
+        n: usize,
+        /// The algorithm's limit.
+        max: usize,
+        /// Which algorithm refused.
+        algorithm: &'static str,
+    },
+    /// The uniform-communication algorithm requires selective services
+    /// (`σ ≤ 1`); use the subset DP on the uniformized instance instead.
+    Proliferative,
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::TooLarge { n, max, algorithm } => {
+                write!(f, "{algorithm} handles at most {max} services, instance has {n}")
+            }
+            BaselineError::Proliferative => {
+                write!(f, "uniform-communication ordering requires selectivities of at most one")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = BaselineError::TooLarge { n: 30, max: 12, algorithm: "exhaustive search" };
+        assert!(e.to_string().contains("30"));
+        assert!(e.to_string().contains("12"));
+        assert!(BaselineError::Proliferative.to_string().contains("selectivities"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Exhaustive enumeration of all feasible plans.
+//!
+//! The gold standard for correctness checks and the `n!` yardstick of the
+//! scaling experiment (E2). Tractable to roughly a dozen services.
+
+use crate::error::BaselineError;
+use dsq_core::{bottleneck_cost, BitSet, Plan, QueryInstance};
+
+/// Default size limit of [`exhaustive`].
+pub const EXHAUSTIVE_MAX_N: usize = 12;
+
+/// Result of an exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveResult {
+    plan: Plan,
+    cost: f64,
+    plans_evaluated: u64,
+}
+
+impl ExhaustiveResult {
+    /// The optimal plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Its bottleneck cost.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Number of complete feasible plans evaluated.
+    pub fn plans_evaluated(&self) -> u64 {
+        self.plans_evaluated
+    }
+}
+
+/// Finds the optimal plan by evaluating every feasible permutation.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLarge`] above [`EXHAUSTIVE_MAX_N`] services
+/// (use [`exhaustive_with_limit`] to override).
+///
+/// # Examples
+///
+/// ```
+/// use dsq_baselines::exhaustive;
+/// use dsq_core::{CommMatrix, QueryInstance, Service};
+///
+/// let inst = QueryInstance::from_parts(
+///     vec![Service::new(5.0, 1.0), Service::new(1.0, 0.1)],
+///     CommMatrix::uniform(2, 0.0),
+/// )?;
+/// let result = exhaustive(&inst)?;
+/// assert_eq!(result.plan().indices(), vec![1, 0]);
+/// assert_eq!(result.plans_evaluated(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn exhaustive(instance: &QueryInstance) -> Result<ExhaustiveResult, BaselineError> {
+    exhaustive_with_limit(instance, EXHAUSTIVE_MAX_N)
+}
+
+/// [`exhaustive`] with a caller-chosen size limit.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLarge`] when the instance exceeds `max_n`.
+pub fn exhaustive_with_limit(
+    instance: &QueryInstance,
+    max_n: usize,
+) -> Result<ExhaustiveResult, BaselineError> {
+    let n = instance.len();
+    if n > max_n {
+        return Err(BaselineError::TooLarge { n, max: max_n, algorithm: "exhaustive search" });
+    }
+    let mut state = State {
+        instance,
+        order: Vec::with_capacity(n),
+        placed: BitSet::new(n),
+        best: None,
+        evaluated: 0,
+    };
+    state.recurse();
+    let (order, cost) = state.best.expect("acyclic precedence admits at least one plan");
+    Ok(ExhaustiveResult {
+        plan: Plan::new(order).expect("enumeration yields permutations"),
+        cost,
+        plans_evaluated: state.evaluated,
+    })
+}
+
+struct State<'a> {
+    instance: &'a QueryInstance,
+    order: Vec<usize>,
+    placed: BitSet,
+    best: Option<(Vec<usize>, f64)>,
+    evaluated: u64,
+}
+
+impl State<'_> {
+    fn recurse(&mut self) {
+        let n = self.instance.len();
+        if self.order.len() == n {
+            let plan = Plan::new(self.order.clone()).expect("permutation");
+            let cost = bottleneck_cost(self.instance, &plan);
+            self.evaluated += 1;
+            if self.best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                self.best = Some((self.order.clone(), cost));
+            }
+            return;
+        }
+        for s in 0..n {
+            if self.placed.contains(s) {
+                continue;
+            }
+            if let Some(dag) = self.instance.precedence() {
+                if !dag.is_ready(s, &self.placed) {
+                    continue;
+                }
+            }
+            self.order.push(s);
+            self.placed.insert(s);
+            self.recurse();
+            self.order.pop();
+            self.placed.remove(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_core::{CommMatrix, PrecedenceDag, Service};
+
+    fn instance(n: usize) -> QueryInstance {
+        QueryInstance::from_parts(
+            (0..n).map(|i| Service::new(1.0 + i as f64, 0.5)).collect(),
+            CommMatrix::uniform(n, 0.25),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_all_permutations() {
+        let result = exhaustive(&instance(4)).unwrap();
+        assert_eq!(result.plans_evaluated(), 24);
+    }
+
+    #[test]
+    fn precedence_restricts_enumeration() {
+        let mut dag = PrecedenceDag::new(3).unwrap();
+        dag.add_edge(0, 1).unwrap();
+        let inst = QueryInstance::builder()
+            .services((0..3).map(|i| Service::new(1.0 + i as f64, 0.5)))
+            .comm(CommMatrix::uniform(3, 0.25))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let result = exhaustive(&inst).unwrap();
+        // 3! = 6 orders, half have 0 before 1.
+        assert_eq!(result.plans_evaluated(), 3);
+        assert!(result.plan().satisfies(inst.precedence().unwrap()));
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let err = exhaustive(&instance(13)).unwrap_err();
+        assert!(matches!(err, BaselineError::TooLarge { n: 13, max: 12, .. }));
+        assert!(exhaustive_with_limit(&instance(5), 5).is_ok());
+    }
+
+    #[test]
+    fn agrees_with_bnb() {
+        let inst = instance(6);
+        let bnb = dsq_core::optimize(&inst);
+        let brute = exhaustive(&inst).unwrap();
+        assert!((bnb.cost() - brute.cost()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,53 @@
+//! Exact and heuristic comparators for the decentralized service-ordering
+//! problem.
+//!
+//! Everything the evaluation of the paper's branch-and-bound needs to
+//! compare against:
+//!
+//! * **Exact**: [`exhaustive`] permutation search (`n!`, the correctness
+//!   oracle) and [`subset_dp`] (Held-Karp-style bottleneck DP,
+//!   `O(2^n n²)`).
+//! * **The prior art**: [`uniform_optimal`] — the polynomial algorithm of
+//!   Srivastava et al. (VLDB'06) for *uniform* communication costs, plus
+//!   [`uniform_reference_plan`], which applies it network-obliviously to
+//!   heterogeneous instances (the gap it leaves is the paper's raison
+//!   d'être, experiments E4/E6).
+//! * **Heuristics**: [`greedy`] construction ([`GreedyKind`] variants),
+//!   [`beam_search`] (width-bounded prefix search scored by the paper's
+//!   `ε` measure), [`local_search`] (swap/relocate/2-opt),
+//!   [`simulated_annealing`], and [`random_sampling`].
+//! * **The hard core**: [`btsp_query_instance`] realizes the paper's
+//!   NP-hardness reduction from the bottleneck TSP; [`btsp_path_exact`]
+//!   solves it independently for cross-validation (E9).
+//!
+//! All algorithms honour precedence constraints and report enough
+//! telemetry (plans evaluated, DP states, rounds, neighbors) to drive the
+//! experiment harness.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod annealing;
+mod beam;
+mod btsp;
+mod error;
+mod exhaustive;
+mod greedy;
+mod local_search;
+mod sampling;
+mod subset_dp;
+mod uniform;
+
+pub use annealing::{simulated_annealing, AnnealingConfig, AnnealingResult};
+pub use beam::{beam_search, BeamConfig, BeamResult};
+pub use btsp::{
+    btsp_lower_bound, btsp_path_exact, btsp_query_instance, path_bottleneck, BtspResult,
+    BTSP_MAX_N,
+};
+pub use error::BaselineError;
+pub use exhaustive::{exhaustive, exhaustive_with_limit, ExhaustiveResult, EXHAUSTIVE_MAX_N};
+pub use greedy::{best_greedy, greedy, GreedyKind, GreedyResult};
+pub use local_search::{local_search, LocalSearchConfig, LocalSearchResult};
+pub use sampling::{random_plan, random_sampling, SamplingResult};
+pub use subset_dp::{subset_dp, subset_dp_with_limit, DpResult, SUBSET_DP_MAX_N};
+pub use uniform::{uniform_optimal, uniform_reference_plan, uniformized, UniformResult};

@@ -1,0 +1,168 @@
+//! Random feasible plans and the best-of-`k` sampling baseline.
+
+use dsq_core::{bottleneck_cost, BitSet, Plan, QueryInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws one uniformly random *feasible* plan: at every position a service
+/// is picked uniformly among those whose predecessors are placed. Without
+/// precedence constraints this is a uniform random permutation.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_baselines::random_plan;
+/// use dsq_core::{CommMatrix, QueryInstance, Service};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let inst = QueryInstance::from_parts(
+///     vec![Service::new(1.0, 0.5), Service::new(2.0, 0.5)],
+///     CommMatrix::uniform(2, 0.1),
+/// )?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let plan = random_plan(&inst, &mut rng);
+/// assert_eq!(plan.len(), 2);
+/// # Ok::<(), dsq_core::ModelError>(())
+/// ```
+pub fn random_plan(instance: &QueryInstance, rng: &mut StdRng) -> Plan {
+    let n = instance.len();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = BitSet::new(n);
+    let mut ready: Vec<usize> = Vec::with_capacity(n);
+    for _ in 0..n {
+        ready.clear();
+        for s in 0..n {
+            if placed.contains(s) {
+                continue;
+            }
+            let ok = match instance.precedence() {
+                Some(dag) => dag.is_ready(s, &placed),
+                None => true,
+            };
+            if ok {
+                ready.push(s);
+            }
+        }
+        let pick = ready[rng.gen_range(0..ready.len())];
+        placed.insert(pick);
+        order.push(pick);
+    }
+    Plan::new(order).expect("random construction is a permutation")
+}
+
+/// Result of [`random_sampling`].
+#[derive(Debug, Clone)]
+pub struct SamplingResult {
+    plan: Plan,
+    cost: f64,
+    samples: u64,
+    mean_cost: f64,
+}
+
+impl SamplingResult {
+    /// The cheapest sampled plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Its bottleneck cost.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Number of plans sampled.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean cost over all samples — the "how bad is a random plan"
+    /// reference line of the quality experiments.
+    pub fn mean_cost(&self) -> f64 {
+        self.mean_cost
+    }
+}
+
+/// Best of `k` random feasible plans, deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn random_sampling(instance: &QueryInstance, k: u64, seed: u64) -> SamplingResult {
+    assert!(k > 0, "at least one sample is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(Plan, f64)> = None;
+    let mut total = 0.0;
+    for _ in 0..k {
+        let plan = random_plan(instance, &mut rng);
+        let cost = bottleneck_cost(instance, &plan);
+        total += cost;
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((plan, cost));
+        }
+    }
+    let (plan, cost) = best.expect("k > 0");
+    SamplingResult { plan, cost, samples: k, mean_cost: total / k as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use dsq_core::{CommMatrix, PrecedenceDag, Service};
+
+    fn instance(n: usize) -> QueryInstance {
+        QueryInstance::from_parts(
+            (0..n).map(|i| Service::new(1.0 + i as f64, 0.6)).collect(),
+            CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { (i + 2 * j) as f64 * 0.1 }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let inst = instance(6);
+        let a = random_sampling(&inst, 50, 42);
+        let b = random_sampling(&inst, 50, 42);
+        assert_eq!(a.plan().indices(), b.plan().indices());
+        assert_eq!(a.cost(), b.cost());
+        let c = random_sampling(&inst, 50, 43);
+        // Different seed may differ (not guaranteed, but mean almost surely does).
+        assert!(a.samples() == c.samples());
+    }
+
+    #[test]
+    fn sampling_brackets_the_optimum() {
+        let inst = instance(6);
+        let opt = exhaustive(&inst).unwrap().cost();
+        let s = random_sampling(&inst, 200, 7);
+        assert!(s.cost() >= opt - 1e-9);
+        assert!(s.mean_cost() >= s.cost() - 1e-12);
+        // 200 samples of 720 permutations should get close to optimal.
+        assert!(s.cost() <= opt * 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn random_plans_respect_precedence() {
+        let mut dag = PrecedenceDag::new(5).unwrap();
+        dag.add_edge(4, 0).unwrap();
+        dag.add_edge(4, 1).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        let inst = QueryInstance::builder()
+            .services((0..5).map(|i| Service::new(1.0 + i as f64, 0.5)))
+            .comm(CommMatrix::uniform(5, 0.1))
+            .precedence(dag)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let plan = random_plan(&inst, &mut rng);
+            assert!(plan.satisfies(inst.precedence().unwrap()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        random_sampling(&instance(3), 0, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Exact bottleneck dynamic programming over service subsets.
+//!
+//! A Held-Karp-style DP: the state is `(subset S, last service u)` and its
+//! value is the smallest achievable maximum over the *finalized* terms of
+//! any feasible ordering of `S` ending at `u`. The key observation making
+//! this exact for Eq. 1 is that the prefix product seen by `u` depends
+//! only on the **set** `S∖{u}`, not on its order. Appending `j` finalizes
+//! `u`'s term `Π_{k∈S∖{u}} σ_k · (c_u + σ_u t_{u,j})`; when `S` is the
+//! full set, `u`'s closing term uses the sink cost instead.
+//!
+//! Complexity `O(2^n · n²)` time, `O(2^n · n)` space — the polynomial-free
+//! yardstick for the scaling experiment (E2), tractable to ~18 services.
+
+use crate::error::BaselineError;
+use dsq_core::{Plan, QueryInstance};
+
+/// Default size limit of [`subset_dp`] (memory-bound: `2^n · n` floats and
+/// parent pointers).
+pub const SUBSET_DP_MAX_N: usize = 20;
+
+/// Result of the subset DP.
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    plan: Plan,
+    cost: f64,
+    states_expanded: u64,
+}
+
+impl DpResult {
+    /// The optimal plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Its bottleneck cost.
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Number of DP transitions evaluated.
+    pub fn states_expanded(&self) -> u64 {
+        self.states_expanded
+    }
+}
+
+/// Finds the optimal plan by dynamic programming over subsets.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLarge`] above [`SUBSET_DP_MAX_N`] services
+/// (use [`subset_dp_with_limit`] to override — memory grows as `2^n · n`).
+///
+/// # Examples
+///
+/// ```
+/// use dsq_baselines::{exhaustive, subset_dp};
+/// use dsq_core::{CommMatrix, QueryInstance, Service};
+///
+/// let inst = QueryInstance::from_parts(
+///     vec![
+///         Service::new(2.0, 0.4),
+///         Service::new(1.0, 0.9),
+///         Service::new(3.0, 0.2),
+///     ],
+///     CommMatrix::uniform(3, 0.5),
+/// )?;
+/// let dp = subset_dp(&inst)?;
+/// let brute = exhaustive(&inst)?;
+/// assert!((dp.cost() - brute.cost()).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn subset_dp(instance: &QueryInstance) -> Result<DpResult, BaselineError> {
+    subset_dp_with_limit(instance, SUBSET_DP_MAX_N)
+}
+
+/// [`subset_dp`] with a caller-chosen size limit.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLarge`] when the instance exceeds `max_n`.
+pub fn subset_dp_with_limit(
+    instance: &QueryInstance,
+    max_n: usize,
+) -> Result<DpResult, BaselineError> {
+    let n = instance.len();
+    if n > max_n || n >= usize::BITS as usize {
+        return Err(BaselineError::TooLarge { n, max: max_n, algorithm: "subset DP" });
+    }
+    if n == 1 {
+        return Ok(DpResult {
+            plan: Plan::new(vec![0]).expect("singleton plan"),
+            cost: instance.cost(0) + instance.selectivity(0) * instance.sink_cost(0),
+            states_expanded: 1,
+        });
+    }
+
+    let full: usize = (1 << n) - 1;
+    // Predecessor masks for precedence feasibility.
+    let preds: Vec<usize> = (0..n)
+        .map(|s| match instance.precedence() {
+            Some(dag) => dag.predecessors(s).iter().fold(0usize, |m, p| m | (1 << p)),
+            None => 0,
+        })
+        .collect();
+
+    // prod[mask] = Π σ over mask, built from the lowest set bit.
+    let mut prod = vec![1.0f64; 1 << n];
+    for mask in 1..=full {
+        let low = mask.trailing_zeros() as usize;
+        prod[mask] = prod[mask & (mask - 1)] * instance.selectivity(low);
+    }
+
+    const UNSET: u8 = u8::MAX;
+    let mut dp = vec![f64::INFINITY; (1 << n) * n];
+    let mut parent = vec![UNSET; (1 << n) * n];
+    let idx = |mask: usize, last: usize| mask * n + last;
+
+    for s in 0..n {
+        if preds[s] == 0 {
+            dp[idx(1 << s, s)] = 0.0;
+        }
+    }
+
+    let mut states_expanded = 0u64;
+    for mask in 1..=full {
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            let value = dp[idx(mask, last)];
+            if !value.is_finite() {
+                continue;
+            }
+            let prefix_last = prod[mask & !(1 << last)];
+            let base = instance.cost(last);
+            let sigma = instance.selectivity(last);
+            for (j, &preds_j) in preds.iter().enumerate() {
+                if mask & (1 << j) != 0 || preds_j & !mask != 0 {
+                    continue;
+                }
+                states_expanded += 1;
+                let term = prefix_last * (base + sigma * instance.transfer(last, j));
+                let candidate = value.max(term);
+                let slot = idx(mask | (1 << j), j);
+                if candidate < dp[slot] {
+                    dp[slot] = candidate;
+                    parent[slot] = last as u8;
+                }
+            }
+        }
+    }
+
+    // Close the plan: the final service's term uses the sink cost.
+    let (mut best_last, mut best_cost) = (usize::MAX, f64::INFINITY);
+    for last in 0..n {
+        let value = dp[idx(full, last)];
+        if !value.is_finite() {
+            continue;
+        }
+        let closing = prod[full & !(1 << last)]
+            * (instance.cost(last) + instance.selectivity(last) * instance.sink_cost(last));
+        let total = value.max(closing);
+        if total < best_cost {
+            best_cost = total;
+            best_last = last;
+        }
+    }
+    assert!(best_last != usize::MAX, "acyclic precedence admits at least one plan");
+
+    // Reconstruct by walking parents.
+    let mut order = vec![best_last];
+    let mut mask = full;
+    let mut last = best_last;
+    while mask.count_ones() > 1 {
+        let p = parent[idx(mask, last)];
+        assert!(p != UNSET, "every reachable state has a parent");
+        mask &= !(1 << last);
+        last = p as usize;
+        order.push(last);
+    }
+    order.reverse();
+
+    Ok(DpResult {
+        plan: Plan::new(order).expect("DP reconstruction is a permutation"),
+        cost: best_cost,
+        states_expanded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use dsq_core::{CommMatrix, PrecedenceDag, Service};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(rng: &mut StdRng, n: usize, precedence: bool) -> QueryInstance {
+        let services: Vec<Service> = (0..n)
+            .map(|_| Service::new(rng.gen_range(0.01..4.0), rng.gen_range(0.05..2.0)))
+            .collect();
+        let comm =
+            CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..3.0) });
+        let mut b = QueryInstance::builder()
+            .services(services)
+            .comm(comm)
+            .sink((0..n).map(|_| rng.gen_range(0.0..1.0)).collect());
+        if precedence {
+            let mut dag = PrecedenceDag::new(n).unwrap();
+            for a in 0..n {
+                for c in (a + 1)..n {
+                    if rng.gen_bool(0.25) {
+                        dag.add_edge(a, c).unwrap();
+                    }
+                }
+            }
+            b = b.precedence(dag);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..80 {
+            let n = rng.gen_range(2..8);
+            let inst = random_instance(&mut rng, n, trial % 3 == 0);
+            let dp = subset_dp(&inst).unwrap();
+            let brute = exhaustive(&inst).unwrap();
+            assert!(
+                (dp.cost() - brute.cost()).abs() <= 1e-9 * brute.cost().max(1.0),
+                "trial {trial}: dp {} vs brute {}",
+                dp.cost(),
+                brute.cost()
+            );
+            // Reconstructed plan must achieve the reported value.
+            let achieved = dsq_core::bottleneck_cost(&inst, dp.plan());
+            assert!((achieved - dp.cost()).abs() <= 1e-9 * achieved.max(1.0));
+            if let Some(dag) = inst.precedence() {
+                assert!(dp.plan().satisfies(dag));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_bnb_at_larger_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let inst = random_instance(&mut rng, 11, false);
+            let dp = subset_dp(&inst).unwrap();
+            let bnb = dsq_core::optimize(&inst);
+            assert!((dp.cost() - bnb.cost()).abs() <= 1e-9 * dp.cost().max(1.0));
+        }
+    }
+
+    #[test]
+    fn singleton_instance() {
+        let inst = QueryInstance::builder()
+            .service(Service::new(2.0, 0.5))
+            .comm(CommMatrix::zeros(1))
+            .sink(vec![4.0])
+            .build()
+            .unwrap();
+        let dp = subset_dp(&inst).unwrap();
+        assert_eq!(dp.plan().indices(), vec![0]);
+        assert!((dp.cost() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = random_instance(&mut rng, 6, false);
+        assert!(matches!(
+            subset_dp_with_limit(&inst, 5).unwrap_err(),
+            BaselineError::TooLarge { n: 6, max: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn counts_transitions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = random_instance(&mut rng, 4, false);
+        let dp = subset_dp(&inst).unwrap();
+        assert!(dp.states_expanded() > 0);
+        // Unconstrained 4-service DP evaluates Σ_{k=1..3} C(4,k)·k·(4-k)
+        // transitions = 4·1·3 + 6·2·2 + 4·3·1 = 48.
+        assert_eq!(dp.states_expanded(), 48);
+    }
+}

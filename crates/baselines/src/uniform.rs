@@ -1,0 +1,336 @@
+//! Optimal ordering under **uniform** communication costs — the
+//! centralized special case solved in polynomial time by Srivastava et
+//! al., *Query Optimization over Web Services*, VLDB 2006 (the paper's
+//! reference `[1]`).
+//!
+//! # Model
+//!
+//! With every transfer (including delivery of final results) costing the
+//! same `t`, service `i`'s effective weight is position-independent:
+//! `d_i = c_i + σ_i·t`, and a plan's bottleneck cost is
+//! `max_i (Π_{k before i} σ_k) · d_i`. [`uniformized`] builds the
+//! corresponding [`QueryInstance`] (uniform matrix **and** sink `t`), on
+//! which [`dsq_core::bottleneck_cost`] agrees with this formula — the
+//! tests cross-validate against the exact subset DP.
+//!
+//! # Algorithm
+//!
+//! Threshold feasibility + iterative tightening, exact for selective
+//! services (`σ ≤ 1`, the paper's §2 setting):
+//!
+//! * `feasible(τ)`: build the plan left to right; among the services that
+//!   are ready (precedence) and whose term `p·d_i` stays below `τ`, place
+//!   the one with the **smallest selectivity**. An exchange argument shows
+//!   this greedy finds a witness whenever one exists: take any feasible
+//!   schedule, move the greedy pick to the front — its predecessors are
+//!   already placed, services displaced later keep their prefix sets, and
+//!   services displaced earlier see their prefix shrink by `σ_pick ≤ 1`.
+//! * Start from the `τ = ∞` schedule and repeatedly demand a strictly
+//!   better one (`strict` threshold at the incumbent cost). Each round
+//!   strictly lowers the incumbent, which always equals an achievable
+//!   cost, so the iteration terminates; when `feasible` fails, the
+//!   incumbent is optimal.
+//!
+//! For proliferative services (`σ > 1`) the exchange argument breaks;
+//! [`uniform_optimal`] returns [`BaselineError::Proliferative`] and
+//! callers fall back to [`crate::subset_dp`] on the uniformized instance
+//! (this is what [`crate::uniform_reference_plan`] automates).
+
+use crate::error::BaselineError;
+use crate::subset_dp::subset_dp_with_limit;
+use dsq_core::{BitSet, Plan, QueryInstance};
+
+/// Result of the uniform-communication ordering.
+#[derive(Debug, Clone)]
+pub struct UniformResult {
+    plan: Plan,
+    cost: f64,
+    rounds: u64,
+}
+
+impl UniformResult {
+    /// The optimal plan **under the uniform model**.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Its cost under the uniform model (`max prefix · d_i`).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Tightening rounds performed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+/// A copy of `instance` with every transfer — including final delivery —
+/// costing `t`: the homogeneous network that reference `[1]` optimizes
+/// exactly.
+pub fn uniformized(instance: &QueryInstance, t: f64) -> QueryInstance {
+    let mut builder = QueryInstance::builder()
+        .name(format!("{}-uniformized", instance.name()))
+        .services(instance.services().to_vec())
+        .comm(dsq_core::CommMatrix::uniform(instance.len(), t))
+        .sink(vec![t; instance.len()]);
+    if let Some(p) = instance.precedence() {
+        builder = builder.precedence(p.clone());
+    }
+    builder.build().expect("uniformized copy of a valid instance is valid")
+}
+
+/// Optimal ordering for selective services under uniform communication
+/// cost `t` (see module docs for the algorithm and its proof sketch).
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Proliferative`] if any selectivity exceeds
+/// one.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_baselines::uniform_optimal;
+/// use dsq_core::{CommMatrix, QueryInstance, Service};
+///
+/// let inst = QueryInstance::from_parts(
+///     vec![Service::new(1.0, 0.9), Service::new(1.0, 0.1)],
+///     CommMatrix::uniform(2, 0.5),
+/// )?;
+/// let result = uniform_optimal(&inst, 0.5)?;
+/// // The strong filter goes first.
+/// assert_eq!(result.plan().indices(), vec![1, 0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn uniform_optimal(
+    instance: &QueryInstance,
+    t: f64,
+) -> Result<UniformResult, BaselineError> {
+    if instance.has_proliferative() {
+        return Err(BaselineError::Proliferative);
+    }
+    let n = instance.len();
+    let d: Vec<f64> = (0..n)
+        .map(|i| instance.cost(i) + instance.selectivity(i) * t)
+        .collect();
+
+    let mut current = feasible_schedule(instance, &d, f64::INFINITY, false)
+        .expect("infinite threshold always admits a schedule");
+    let mut cost = uniform_plan_cost(instance, &d, &current);
+    let mut rounds = 1;
+    while let Some(order) = feasible_schedule(instance, &d, cost, true) {
+        let improved = uniform_plan_cost(instance, &d, &order);
+        debug_assert!(improved < cost, "strict threshold must strictly improve");
+        current = order;
+        cost = improved;
+        rounds += 1;
+    }
+    Ok(UniformResult {
+        plan: Plan::new(current).expect("greedy schedule is a permutation"),
+        cost,
+        rounds,
+    })
+}
+
+/// The reference plan used by experiments E4/E6: the ordering a
+/// *network-oblivious* optimizer (reference `[1]`) would pick, assuming
+/// all transfers cost the instance's **mean** off-diagonal transfer cost.
+/// Falls back to the exact subset DP on the uniformized instance when
+/// services are proliferative.
+///
+/// Returns the plan together with the uniform-model cost it was chosen
+/// for; evaluate it on the *real* instance with
+/// [`dsq_core::bottleneck_cost`] to measure the price of ignoring network
+/// heterogeneity.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::TooLarge`] if the proliferative fallback
+/// exceeds the subset DP's size limit.
+pub fn uniform_reference_plan(instance: &QueryInstance) -> Result<(Plan, f64), BaselineError> {
+    let t = instance.comm().mean_off_diagonal();
+    match uniform_optimal(instance, t) {
+        Ok(result) => {
+            let cost = result.cost();
+            Ok((result.plan().clone(), cost))
+        }
+        Err(BaselineError::Proliferative) => {
+            let relaxed = uniformized(instance, t);
+            let dp = subset_dp_with_limit(&relaxed, crate::subset_dp::SUBSET_DP_MAX_N)?;
+            Ok((dp.plan().clone(), dp.cost()))
+        }
+        Err(other) => Err(other),
+    }
+}
+
+/// Cost of `order` under the uniform model: `max_i prefix_i · d_i`.
+pub(crate) fn uniform_plan_cost(instance: &QueryInstance, d: &[f64], order: &[usize]) -> f64 {
+    let mut prefix = 1.0;
+    let mut worst = 0.0_f64;
+    for &s in order {
+        worst = worst.max(prefix * d[s]);
+        prefix *= instance.selectivity(s);
+    }
+    worst
+}
+
+fn feasible_schedule(
+    instance: &QueryInstance,
+    d: &[f64],
+    tau: f64,
+    strict: bool,
+) -> Option<Vec<usize>> {
+    let n = instance.len();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = BitSet::new(n);
+    let mut prefix = 1.0;
+    for _ in 0..n {
+        let mut pick: Option<usize> = None;
+        for (i, &d_i) in d.iter().enumerate() {
+            if placed.contains(i) {
+                continue;
+            }
+            if let Some(dag) = instance.precedence() {
+                if !dag.is_ready(i, &placed) {
+                    continue;
+                }
+            }
+            let term = prefix * d_i;
+            let within = if strict { term < tau } else { term <= tau };
+            if !within {
+                continue;
+            }
+            if pick.is_none_or(|p| instance.selectivity(i) < instance.selectivity(p)) {
+                pick = Some(i);
+            }
+        }
+        let i = pick?;
+        prefix *= instance.selectivity(i);
+        placed.insert(i);
+        order.push(i);
+    }
+    Some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subset_dp::subset_dp;
+    use dsq_core::{bottleneck_cost, CommMatrix, PrecedenceDag, Service};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_selective(rng: &mut StdRng, n: usize, precedence: bool) -> QueryInstance {
+        let services: Vec<Service> = (0..n)
+            .map(|_| Service::new(rng.gen_range(0.01..4.0), rng.gen_range(0.01..1.0)))
+            .collect();
+        let comm =
+            CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..3.0) });
+        let mut b = QueryInstance::builder().services(services).comm(comm);
+        if precedence {
+            let mut dag = PrecedenceDag::new(n).unwrap();
+            for a in 0..n {
+                for c in (a + 1)..n {
+                    if rng.gen_bool(0.2) {
+                        dag.add_edge(a, c).unwrap();
+                    }
+                }
+            }
+            b = b.precedence(dag);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_exact_dp_on_uniformized_instances() {
+        let mut rng = StdRng::seed_from_u64(555);
+        for trial in 0..80 {
+            let n = rng.gen_range(2..8);
+            let inst = random_selective(&mut rng, n, trial % 3 == 0);
+            let t = rng.gen_range(0.0..2.0);
+            let uni = uniform_optimal(&inst, t).unwrap();
+            let relaxed = uniformized(&inst, t);
+            // The uniform model cost must agree with Eq. 1 on the
+            // uniformized instance...
+            let eq1 = bottleneck_cost(&relaxed, uni.plan());
+            assert!(
+                (uni.cost() - eq1).abs() <= 1e-9 * eq1.max(1.0),
+                "trial {trial}: model {} vs Eq.1 {}",
+                uni.cost(),
+                eq1
+            );
+            // ...and must equal the exact optimum.
+            let dp = subset_dp(&relaxed).unwrap();
+            assert!(
+                (uni.cost() - dp.cost()).abs() <= 1e-9 * dp.cost().max(1.0),
+                "trial {trial}: greedy {} vs dp {}",
+                uni.cost(),
+                dp.cost()
+            );
+            if let Some(dag) = inst.precedence() {
+                assert!(uni.plan().satisfies(dag));
+            }
+        }
+    }
+
+    #[test]
+    fn proliferative_rejected_then_fallback_used() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(1.0, 2.0), Service::new(1.0, 0.5)],
+            CommMatrix::uniform(2, 1.0),
+        )
+        .unwrap();
+        assert_eq!(uniform_optimal(&inst, 1.0).unwrap_err(), BaselineError::Proliferative);
+        let (plan, cost) = uniform_reference_plan(&inst).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert!(cost.is_finite());
+    }
+
+    #[test]
+    fn strong_filters_first_when_costs_tie() {
+        let inst = QueryInstance::from_parts(
+            vec![
+                Service::new(1.0, 0.8),
+                Service::new(1.0, 0.2),
+                Service::new(1.0, 0.5),
+            ],
+            CommMatrix::uniform(3, 0.0),
+        )
+        .unwrap();
+        let result = uniform_optimal(&inst, 0.0).unwrap();
+        // All orders cost 1.0 here (first term dominates); the greedy
+        // starts with the strongest filter by construction.
+        assert!((result.cost() - 1.0).abs() < 1e-12);
+        assert_eq!(result.plan().indices()[0], 1);
+    }
+
+    #[test]
+    fn reference_plan_is_network_oblivious() {
+        // Heavily asymmetric network: the reference plan only sees the
+        // mean, so evaluating it on the real instance can be much worse
+        // than the decentralized optimum.
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(1.0, 0.9), Service::new(1.0, 0.9), Service::new(1.0, 0.9)],
+            CommMatrix::from_rows(vec![
+                vec![0.0, 10.0, 0.1],
+                vec![0.1, 0.0, 10.0],
+                vec![10.0, 0.1, 0.0],
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let (plan, _) = uniform_reference_plan(&inst).unwrap();
+        let oblivious = bottleneck_cost(&inst, &plan);
+        let optimal = dsq_core::optimize(&inst).cost();
+        assert!(oblivious >= optimal - 1e-12);
+    }
+
+    #[test]
+    fn rounds_are_reported() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = random_selective(&mut rng, 6, false);
+        let result = uniform_optimal(&inst, 0.5).unwrap();
+        assert!(result.rounds() >= 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Micro-benchmarks of the Eq. 1 cost evaluation — the inner loop of
+//! every optimizer and heuristic in the workspace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsq_bench::bench_instance;
+use dsq_core::{bottleneck_cost, cost_terms, Plan};
+use dsq_workloads::Family;
+use std::hint::black_box;
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_eval");
+    for n in [10usize, 50, 200] {
+        let inst = bench_instance(Family::UniformRandom, n);
+        let plan = Plan::identity(n);
+        group.bench_with_input(BenchmarkId::new("bottleneck_cost", n), &n, |b, _| {
+            b.iter(|| black_box(bottleneck_cost(black_box(&inst), black_box(&plan))))
+        });
+        group.bench_with_input(BenchmarkId::new("cost_terms", n), &n, |b, _| {
+            b.iter(|| black_box(cost_terms(black_box(&inst), black_box(&plan))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_cost
+}
+criterion_main!(benches);

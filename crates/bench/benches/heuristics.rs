@@ -1,0 +1,41 @@
+//! Heuristic construction and improvement at sizes beyond exact reach
+//! (the timing companion of E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsq_baselines::{
+    best_greedy, local_search, random_sampling, simulated_annealing, AnnealingConfig,
+    LocalSearchConfig,
+};
+use dsq_bench::bench_instance;
+use dsq_workloads::Family;
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    for n in [20usize, 40] {
+        let inst = bench_instance(Family::Clustered, n);
+        let label = format!("n{n}");
+        group.bench_with_input(BenchmarkId::new("greedy_best", &label), &n, |b, _| {
+            b.iter(|| black_box(best_greedy(black_box(&inst))))
+        });
+        group.bench_with_input(BenchmarkId::new("local_search_1restart", &label), &n, |b, _| {
+            let cfg = LocalSearchConfig { restarts: 1, ..Default::default() };
+            b.iter(|| black_box(local_search(black_box(&inst), &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("annealing_5k", &label), &n, |b, _| {
+            let cfg = AnnealingConfig { steps: 5_000, ..Default::default() };
+            b.iter(|| black_box(simulated_annealing(black_box(&inst), &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("random_100", &label), &n, |b, _| {
+            b.iter(|| black_box(random_sampling(black_box(&inst), 100, 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_heuristics
+}
+criterion_main!(benches);

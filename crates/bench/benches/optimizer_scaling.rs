@@ -1,0 +1,43 @@
+//! E2's timing series: branch-and-bound vs subset DP vs exhaustive
+//! search as the instance grows, on an easy family (uniform-random) and
+//! on the bottleneck-TSP hard core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsq_baselines::{exhaustive_with_limit, subset_dp};
+use dsq_bench::bench_instance;
+use dsq_core::optimize;
+use dsq_workloads::Family;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_scaling");
+    for family in [Family::UniformRandom, Family::BtspHard] {
+        for n in [8usize, 10, 12, 14] {
+            let inst = bench_instance(family, n);
+            let label = format!("{}-n{}", family.name(), n);
+            group.bench_with_input(BenchmarkId::new("bnb", &label), &n, |b, _| {
+                b.iter(|| black_box(optimize(black_box(&inst))))
+            });
+            group.bench_with_input(BenchmarkId::new("subset_dp", &label), &n, |b, _| {
+                b.iter(|| black_box(subset_dp(black_box(&inst)).expect("within limit")))
+            });
+            if n <= 9 {
+                group.bench_with_input(BenchmarkId::new("exhaustive", &label), &n, |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            exhaustive_with_limit(black_box(&inst), 9).expect("within limit"),
+                        )
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_scaling
+}
+criterion_main!(benches);

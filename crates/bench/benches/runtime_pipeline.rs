@@ -1,0 +1,34 @@
+//! Threaded pipeline end-to-end timing (the benchmark companion of E8).
+//! Kept deliberately small: each iteration spawns the full thread
+//! topology and pushes real tuples through it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsq_bench::bench_instance;
+use dsq_core::optimize;
+use dsq_runtime::{run_pipeline, RuntimeConfig};
+use dsq_workloads::Family;
+use std::hint::black_box;
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_pipeline");
+    let tuples = 200u64;
+    group.throughput(Throughput::Elements(tuples));
+    for n in [2usize, 4, 6] {
+        let inst = bench_instance(Family::UniformRandom, n);
+        let plan = optimize(&inst).into_plan();
+        group.bench_with_input(BenchmarkId::new("threads", n), &n, |b, _| {
+            // Tiny time scale: the benchmark measures framework overhead
+            // (threads, channels, batching), not the injected busy-work.
+            let cfg = RuntimeConfig { tuples, time_scale_us: 0.1, ..RuntimeConfig::default() };
+            b.iter(|| black_box(run_pipeline(black_box(&inst), black_box(&plan), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Discrete-event engine throughput (events are the currency of E5/E10):
+//! how fast the simulator pushes tuples through pipelines of varying
+//! depth and block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsq_bench::bench_instance;
+use dsq_core::{optimize, Plan};
+use dsq_simulator::{simulate, SimConfig};
+use dsq_workloads::Family;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let tuples = 5_000u64;
+    group.throughput(Throughput::Elements(tuples));
+    for n in [4usize, 8, 12] {
+        let inst = bench_instance(Family::Clustered, n);
+        let plan = optimize(&inst).into_plan();
+        group.bench_with_input(BenchmarkId::new("pipeline_depth", n), &n, |b, _| {
+            let cfg = SimConfig { tuples, ..SimConfig::default() };
+            b.iter(|| black_box(simulate(black_box(&inst), black_box(&plan), &cfg)))
+        });
+    }
+    let inst = bench_instance(Family::Clustered, 6);
+    let plan = Plan::identity(6);
+    for block in [1u64, 32, 256] {
+        group.bench_with_input(BenchmarkId::new("block_size", block), &block, |b, _| {
+            let cfg = SimConfig { tuples, block_size: block, ..SimConfig::default() };
+            b.iter(|| black_box(simulate(black_box(&inst), black_box(&plan), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_simulator
+}
+criterion_main!(benches);

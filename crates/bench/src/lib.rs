@@ -1,0 +1,28 @@
+//! Shared helpers for the Criterion benchmarks (see `benches/`).
+//!
+//! Each benchmark file regenerates the timing series of one experiment
+//! family from DESIGN.md §5: `cost_eval` (micro-costs of Eq. 1),
+//! `optimizer_scaling` (E2), `pruning_ablation` (E3), `heuristics` (E4's
+//! timing side), `simulator` (E5/E10), and `runtime_pipeline` (E8).
+
+#![warn(missing_docs)]
+
+use dsq_workloads::{generate, Family};
+
+/// A deterministic instance of the given family and size (fixed seed so
+/// benchmark numbers are comparable across runs).
+pub fn bench_instance(family: Family, n: usize) -> dsq_core::QueryInstance {
+    generate(family, n, 0xBEEF)
+}
+
+/// Criterion settings shared by all benches: small sample counts so the
+/// full suite stays in the minutes range.
+#[macro_export]
+macro_rules! quick_criterion {
+    () => {
+        criterion::Criterion::default()
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .measurement_time(std::time::Duration::from_millis(1500))
+    };
+}

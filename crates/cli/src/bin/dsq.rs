@@ -1,0 +1,15 @@
+//! The `dsq` binary: see [`dsq_cli`] for the command surface.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    match dsq_cli::run(&args, &mut stdout.lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dsq: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Implementation of the `dsq` command-line tool.
+//!
+//! The binary (`src/bin/dsq.rs`) is a thin shim over [`run`], so the
+//! whole command surface is unit-testable without spawning processes.
+//!
+//! ```text
+//! dsq generate --family clustered -n 12 --seed 3       # instance → stdout
+//! dsq optimize pipeline.dsq [--parallel 4] [--config extended]
+//! dsq explain pipeline.dsq --plan 2,0,1                # per-term breakdown
+//! dsq baselines pipeline.dsq                           # comparison table
+//! dsq simulate pipeline.dsq --tuples 20000 [--plan …]  # discrete-event run
+//! ```
+
+#![warn(missing_docs)]
+
+use dsq_baselines::{
+    beam_search, best_greedy, local_search, random_sampling, simulated_annealing,
+    uniform_reference_plan, AnnealingConfig, BeamConfig, LocalSearchConfig,
+};
+use dsq_core::{
+    bottleneck_cost, explain, format_instance, optimize_parallel, optimize_with, parse_instance,
+    BnbConfig, Plan, QueryInstance,
+};
+use dsq_simulator::{simulate, SimConfig};
+use dsq_workloads::{generate, Family};
+use std::io::Read;
+use std::num::NonZeroUsize;
+
+/// Error produced by a CLI run: the message printed to stderr.
+pub type CliError = String;
+
+/// Executes the CLI with the given arguments (excluding the program
+/// name), writing to `out`. Returns `Err(message)` for usage and input
+/// errors.
+///
+/// # Examples
+///
+/// ```
+/// let mut out = Vec::new();
+/// dsq_cli::run(&["generate".into(), "--family".into(), "clustered".into(),
+///                "-n".into(), "4".into()], &mut out).unwrap();
+/// assert!(String::from_utf8(out).unwrap().starts_with("dsq-instance v1"));
+/// ```
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        Some("generate") => generate_cmd(&mut args, out),
+        Some("optimize") => optimize_cmd(&mut args, out),
+        Some("explain") => explain_cmd(&mut args, out),
+        Some("baselines") => baselines_cmd(&mut args, out),
+        Some("simulate") => simulate_cmd(&mut args, out),
+        Some("--help") | Some("-h") | None => {
+            writeln!(out, "{USAGE}").map_err(io_err)?;
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  dsq generate --family FAMILY -n N [--seed S]        write an instance to stdout
+  dsq optimize FILE [--config NAME] [--parallel T]    find the optimal ordering
+  dsq explain FILE --plan I,J,K,...                   break down a plan's cost
+  dsq baselines FILE                                  compare all ordering methods
+  dsq simulate FILE [--plan I,J,...] [--tuples N] [--block B]
+families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
+configs:  paper incumbent-only no-epsilon-bar no-backjump extended
+FILE may be `-` for stdin";
+
+fn io_err(e: std::io::Error) -> CliError {
+    format!("I/O error: {e}")
+}
+
+fn load_instance(path: &str) -> Result<QueryInstance, CliError> {
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin().read_to_string(&mut buffer).map_err(io_err)?;
+        buffer
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    parse_instance(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn parse_family(name: &str) -> Result<Family, CliError> {
+    Family::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown family `{name}`"))
+}
+
+fn parse_config(name: &str) -> Result<BnbConfig, CliError> {
+    match name {
+        "paper" => Ok(BnbConfig::paper()),
+        "incumbent-only" => Ok(BnbConfig::incumbent_only()),
+        "no-epsilon-bar" => Ok(BnbConfig::without_epsilon_bar()),
+        "no-backjump" => Ok(BnbConfig::without_backjump()),
+        "extended" => Ok(BnbConfig::extended()),
+        other => Err(format!("unknown config `{other}`")),
+    }
+}
+
+fn parse_plan_arg(spec: &str, n: usize) -> Result<Plan, CliError> {
+    let order: Vec<usize> = spec
+        .split(',')
+        .map(|f| f.trim().parse::<usize>().map_err(|_| format!("bad plan index `{f}`")))
+        .collect::<Result<_, _>>()?;
+    if order.len() != n {
+        return Err(format!("plan has {} services, instance has {n}", order.len()));
+    }
+    Plan::new(order).map_err(|e| format!("invalid plan: {e}"))
+}
+
+fn generate_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut family = None;
+    let mut n = None;
+    let mut seed = 0u64;
+    while let Some(arg) = args.next() {
+        match arg {
+            "--family" => family = Some(parse_family(args.next().ok_or("--family needs a value")?)?),
+            "-n" | "--services" => {
+                n = Some(
+                    args.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&v| v > 0)
+                        .ok_or("-n needs a positive integer")?,
+                )
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            other => return Err(format!("unknown generate flag `{other}`")),
+        }
+    }
+    let family = family.ok_or("generate requires --family")?;
+    let n = n.ok_or("generate requires -n")?;
+    write!(out, "{}", format_instance(&generate(family, n, seed))).map_err(io_err)
+}
+
+fn optimize_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut file = None;
+    let mut config = BnbConfig::paper();
+    let mut threads = 1usize;
+    while let Some(arg) = args.next() {
+        match arg {
+            "--config" => config = parse_config(args.next().ok_or("--config needs a value")?)?,
+            "--parallel" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--parallel needs a positive integer")?
+            }
+            other if file.is_none() => file = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let instance = load_instance(file.ok_or("optimize requires an instance file")?)?;
+    let result = if threads > 1 {
+        optimize_parallel(&instance, &config, NonZeroUsize::new(threads).expect("checked > 0"))
+    } else {
+        optimize_with(&instance, &config)
+    };
+    writeln!(out, "plan      {}", result.plan()).map_err(io_err)?;
+    writeln!(out, "cost      {:.6}", result.cost()).map_err(io_err)?;
+    writeln!(out, "optimal   {}", result.is_proven_optimal()).map_err(io_err)?;
+    writeln!(out, "{}", result.stats()).map_err(io_err)
+}
+
+fn explain_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut file = None;
+    let mut plan_spec = None;
+    while let Some(arg) = args.next() {
+        match arg {
+            "--plan" => plan_spec = Some(args.next().ok_or("--plan needs a value")?),
+            other if file.is_none() => file = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let instance = load_instance(file.ok_or("explain requires an instance file")?)?;
+    let plan = match plan_spec {
+        Some(spec) => parse_plan_arg(spec, instance.len())?,
+        None => dsq_core::optimize(&instance).into_plan(),
+    };
+    write!(out, "{}", explain(&instance, &plan)).map_err(io_err)
+}
+
+fn baselines_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let file = args.next().ok_or("baselines requires an instance file")?;
+    if let Some(extra) = args.next() {
+        return Err(format!("unexpected argument `{extra}`"));
+    }
+    let instance = load_instance(file)?;
+    let optimal = dsq_core::optimize(&instance);
+    writeln!(out, "{:<22} {:>12} {:>8}", "method", "cost", "ratio").map_err(io_err)?;
+    let mut emit = |name: &str, cost: f64| -> Result<(), CliError> {
+        writeln!(out, "{name:<22} {cost:>12.6} {:>7.3}×", cost / optimal.cost()).map_err(io_err)
+    };
+    emit("branch-and-bound", optimal.cost())?;
+    if let Ok((plan, _)) = uniform_reference_plan(&instance) {
+        emit("uniform-opt [VLDB'06]", bottleneck_cost(&instance, &plan))?;
+    }
+    emit("greedy (best rule)", best_greedy(&instance).cost())?;
+    emit("beam (width 16)", beam_search(&instance, &BeamConfig::default()).cost())?;
+    emit("local search", local_search(&instance, &LocalSearchConfig::default()).cost())?;
+    emit(
+        "annealing (10k steps)",
+        simulated_annealing(&instance, &AnnealingConfig { steps: 10_000, ..Default::default() })
+            .cost(),
+    )?;
+    let sample = random_sampling(&instance, 100, 0);
+    emit("random best-of-100", sample.cost())?;
+    emit("random mean", sample.mean_cost())
+}
+
+fn simulate_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut file = None;
+    let mut plan_spec = None;
+    let mut tuples = 10_000u64;
+    let mut block = 32u64;
+    while let Some(arg) = args.next() {
+        match arg {
+            "--plan" => plan_spec = Some(args.next().ok_or("--plan needs a value")?),
+            "--tuples" => {
+                tuples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--tuples needs a positive integer")?
+            }
+            "--block" => {
+                block = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--block needs a positive integer")?
+            }
+            other if file.is_none() => file = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let instance = load_instance(file.ok_or("simulate requires an instance file")?)?;
+    let plan = match plan_spec {
+        Some(spec) => parse_plan_arg(spec, instance.len())?,
+        None => dsq_core::optimize(&instance).into_plan(),
+    };
+    let report = simulate(
+        &instance,
+        &plan,
+        &SimConfig { tuples, block_size: block, ..SimConfig::default() },
+    );
+    let predicted = bottleneck_cost(&instance, &plan);
+    writeln!(out, "plan                {plan}").map_err(io_err)?;
+    writeln!(out, "predicted cost      {predicted:.6}").map_err(io_err)?;
+    writeln!(out, "predicted tput      {:.4}", 1.0 / predicted).map_err(io_err)?;
+    writeln!(out, "{report}").map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let mut out = Vec::new();
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, &mut out).expect("command succeeds");
+        String::from_utf8(out).expect("utf8 output")
+    }
+
+    fn run_err(args: &[&str]) -> String {
+        let mut out = Vec::new();
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&args, &mut out).expect_err("command fails")
+    }
+
+    fn temp_instance() -> (std::path::PathBuf, String) {
+        let text = run_ok(&["generate", "--family", "clustered", "-n", "5", "--seed", "7"]);
+        let path = std::env::temp_dir().join(format!("dsq-cli-test-{}.dsq", std::process::id()));
+        std::fs::write(&path, &text).expect("write temp instance");
+        (path, text)
+    }
+
+    #[test]
+    fn generate_produces_parseable_instances() {
+        let text = run_ok(&["generate", "--family", "euclidean", "-n", "6", "--seed", "2"]);
+        let inst = parse_instance(&text).expect("round-trips");
+        assert_eq!(inst.len(), 6);
+        // Deterministic in the seed.
+        assert_eq!(text, run_ok(&["generate", "--family", "euclidean", "-n", "6", "--seed", "2"]));
+    }
+
+    #[test]
+    fn optimize_reports_plan_and_stats() {
+        let (path, _) = temp_instance();
+        let text = run_ok(&["optimize", path.to_str().expect("utf8 path")]);
+        assert!(text.contains("plan"));
+        assert!(text.contains("cost"));
+        assert!(text.contains("optimal   true"));
+        assert!(text.contains("nodes visited"));
+        let parallel = run_ok(&[
+            "optimize",
+            path.to_str().expect("utf8 path"),
+            "--parallel",
+            "2",
+            "--config",
+            "extended",
+        ]);
+        assert!(parallel.contains("optimal   true"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn explain_breaks_down_given_plan() {
+        let (path, _) = temp_instance();
+        let text = run_ok(&["explain", path.to_str().expect("utf8"), "--plan", "4,3,2,1,0"]);
+        assert!(text.contains("bottleneck cost"));
+        assert!(text.contains("WS4"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn baselines_table_lists_methods() {
+        let (path, _) = temp_instance();
+        let text = run_ok(&["baselines", path.to_str().expect("utf8")]);
+        for needle in ["branch-and-bound", "greedy", "beam", "annealing", "random mean"] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+        // The B&B row is the 1.000× reference.
+        assert!(text.contains("1.000×"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn simulate_reports_throughput() {
+        let (path, _) = temp_instance();
+        let text = run_ok(&[
+            "simulate",
+            path.to_str().expect("utf8"),
+            "--tuples",
+            "2000",
+            "--block",
+            "8",
+        ]);
+        assert!(text.contains("predicted tput"));
+        assert!(text.contains("tuples in"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(run_err(&["bogus"]).contains("unknown command"));
+        assert!(run_err(&["generate", "-n", "4"]).contains("--family"));
+        assert!(run_err(&["generate", "--family", "nope", "-n", "4"]).contains("unknown family"));
+        assert!(run_err(&["optimize"]).contains("instance file"));
+        assert!(run_err(&["optimize", "/nonexistent/x.dsq"]).contains("cannot read"));
+        let (path, _) = temp_instance();
+        assert!(
+            run_err(&["explain", path.to_str().expect("utf8"), "--plan", "0,1"])
+                .contains("instance has 5")
+        );
+        assert!(
+            run_err(&["optimize", path.to_str().expect("utf8"), "--config", "zap"])
+                .contains("unknown config")
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["--help"]).contains("usage:"));
+        let mut out = Vec::new();
+        run(&[], &mut out).expect("no-arg run prints usage");
+        assert!(String::from_utf8(out).expect("utf8").contains("usage:"));
+    }
+}

@@ -1,0 +1,244 @@
+//! A small fixed-capacity bit set.
+//!
+//! The optimizer tracks which services are already placed in a partial plan
+//! and which predecessors a service waits on. Plans never exceed a few
+//! hundred services, so a `Vec<u64>`-backed set is both compact and fast,
+//! and avoids pulling in an external dependency.
+
+/// Fixed-capacity set of small indices backed by `u64` words.
+///
+/// The capacity is fixed at construction; inserting an index `>= capacity`
+/// panics. Operations used on the optimizer hot path (`contains`, `insert`,
+/// `remove`, `is_superset_of`) are branch-light word operations.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_core::BitSet;
+///
+/// let mut placed = BitSet::new(10);
+/// placed.insert(3);
+/// placed.insert(7);
+/// assert!(placed.contains(3));
+/// assert_eq!(placed.len(), 2);
+/// assert_eq!(placed.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64).max(1)],
+            capacity,
+        }
+    }
+
+    /// Number of indices the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of indices currently in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set holds no indices.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Inserts `index`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        let (w, b) = (index / 64, index % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `index`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        let (w, b) = (index / 64, index % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Whether `index` is in the set. Out-of-capacity indices are absent.
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.capacity {
+            return false;
+        }
+        self.words[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Removes all indices.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Whether every index of `other` is also in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn is_superset_of(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| b & !a == 0)
+    }
+
+    /// Iterates over the indices in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            next: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized to the largest index + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+/// Iterator over set indices, created by [`BitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    next: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.next < self.set.capacity {
+            let i = self.next;
+            self.next += 1;
+            if self.set.contains(i) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.capacity(), 100);
+        assert!(!s.contains(0));
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn insert_and_remove_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = BitSet::new(70);
+        for i in [5, 63, 64, 69, 2] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 5, 63, 64, 69]);
+    }
+
+    #[test]
+    fn superset_relation() {
+        let mut a = BitSet::new(8);
+        let mut b = BitSet::new(8);
+        a.insert(1);
+        a.insert(3);
+        b.insert(3);
+        assert!(a.is_superset_of(&b));
+        assert!(!b.is_superset_of(&a));
+        let empty = BitSet::new(8);
+        assert!(b.is_superset_of(&empty));
+        assert!(empty.is_superset_of(&empty.clone()));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(8);
+        s.insert(7);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [4usize, 9, 1].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn zero_capacity_is_usable() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn debug_shows_contents() {
+        let mut s = BitSet::new(8);
+        s.insert(2);
+        assert_eq!(format!("{s:?}"), "{2}");
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's contribution: branch-and-bound search for the optimal
+//! linear service ordering under the bottleneck cost metric.
+//!
+//! # Lemma-to-code map
+//!
+//! | Paper | Code |
+//! |-------|------|
+//! | Lemma 1 — `ε` never decreases along a prefix | `ε` is a running max over finalized terms (the searcher keeps it in the `eps_fin` stack); nodes with `ε ≥ ρ` are pruned, and root pairs are abandoned once their pair cost reaches `ρ` |
+//! | Lemma 2 — `ε ≥ ε̄` fixes the cost of all completions | [`BnbConfig::use_epsilon_bar`]; `ε̄` computed in `bounds::epsilon_bar`, including the proliferative-selectivity modification |
+//! | Lemma 3 — pruning up to the bottleneck service | [`BnbConfig::use_backjump`]; the search rewinds to the earliest position whose finalized term reaches `ρ`, which is sound because successors are expanded cheapest-transfer-first |
+//!
+//! The private `search` module's source documents the full search-tree
+//! layout, per-node checks, and the back-jumping mechanics.
+
+mod bounds;
+mod config;
+mod search;
+mod stats;
+
+pub use config::BnbConfig;
+pub use search::{optimize, optimize_parallel, optimize_with, BnbResult};
+pub use stats::SearchStats;

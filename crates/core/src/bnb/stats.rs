@@ -1,0 +1,114 @@
+//! Search statistics: the raw material of the pruning-effectiveness
+//! experiments (E3).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters collected during one branch-and-bound run.
+///
+/// `nodes_visited` counts partial plans whose node checks ran;
+/// `nodes_expanded` counts service appends. A plain exhaustive enumeration
+/// of `n!` orderings visits `Σ n!/k!` prefixes, so the ratio of
+/// `nodes_visited` to that quantity measures pruning effectiveness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Partial plans whose entry checks were evaluated.
+    pub nodes_visited: u64,
+    /// Services appended to partial plans.
+    pub nodes_expanded: u64,
+    /// Incumbent updates (improved plans found, incl. Lemma-2 closures).
+    pub candidates_recorded: u64,
+    /// Lemma-2 closures (`ε ≥ ε̄` nodes whose completions all cost `ε`).
+    pub lemma2_closures: u64,
+    /// Lemma-3 back-jumps executed.
+    pub backjumps: u64,
+    /// Levels skipped by back-jumps beyond a plain backtrack.
+    pub backjump_levels_saved: u64,
+    /// Nodes pruned because `ε ≥ ρ` (Lemma 1).
+    pub prunes_incumbent: u64,
+    /// Nodes pruned by the optimistic completion bound (extension).
+    pub prunes_lower_bound: u64,
+    /// Root pairs whose subtree was searched.
+    pub roots_explored: u64,
+    /// Root pairs skipped because their pair cost already reached `ρ`.
+    pub roots_pruned: u64,
+    /// Deepest partial plan reached.
+    pub max_depth: usize,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+    /// Whether the search ran to completion (no node/time budget hit), so
+    /// the returned plan is proven optimal.
+    pub proven_optimal: bool,
+}
+
+impl SearchStats {
+    /// Total prefixes a pruning-free depth-first enumeration of all
+    /// feasible plans would visit for `n` services, `Σ_{k=1..n} n!/(n-k)!`
+    /// (ignoring precedence, which only shrinks it). Saturates at
+    /// `u64::MAX`; useful as the denominator of pruning ratios for
+    /// `n ≲ 20`.
+    pub fn unpruned_prefix_count(n: usize) -> u64 {
+        let mut total: u64 = 0;
+        let mut falling: u64 = 1;
+        for k in 0..n {
+            falling = match falling.checked_mul((n - k) as u64) {
+                Some(v) => v,
+                None => return u64::MAX,
+            };
+            total = match total.checked_add(falling) {
+                Some(v) => v,
+                None => return u64::MAX,
+            };
+        }
+        total
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes visited      {:>12}", self.nodes_visited)?;
+        writeln!(f, "nodes expanded     {:>12}", self.nodes_expanded)?;
+        writeln!(f, "incumbent updates  {:>12}", self.candidates_recorded)?;
+        writeln!(f, "lemma-2 closures   {:>12}", self.lemma2_closures)?;
+        writeln!(
+            f,
+            "lemma-3 backjumps  {:>12} (saved {} levels)",
+            self.backjumps, self.backjump_levels_saved
+        )?;
+        writeln!(f, "incumbent prunes   {:>12}", self.prunes_incumbent)?;
+        writeln!(f, "lower-bound prunes {:>12}", self.prunes_lower_bound)?;
+        writeln!(f, "roots explored     {:>12} (pruned {})", self.roots_explored, self.roots_pruned)?;
+        writeln!(f, "max depth          {:>12}", self.max_depth)?;
+        writeln!(f, "elapsed            {:>12?}", self.elapsed)?;
+        write!(f, "proven optimal     {:>12}", self.proven_optimal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpruned_counts_small() {
+        // n=1: 1 prefix; n=2: 2 + 2 = 4; n=3: 3 + 6 + 6 = 15.
+        assert_eq!(SearchStats::unpruned_prefix_count(0), 0);
+        assert_eq!(SearchStats::unpruned_prefix_count(1), 1);
+        assert_eq!(SearchStats::unpruned_prefix_count(2), 4);
+        assert_eq!(SearchStats::unpruned_prefix_count(3), 15);
+        assert_eq!(SearchStats::unpruned_prefix_count(4), 4 + 12 + 24 + 24);
+    }
+
+    #[test]
+    fn unpruned_count_saturates() {
+        assert_eq!(SearchStats::unpruned_prefix_count(100), u64::MAX);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let stats = SearchStats { nodes_visited: 42, proven_optimal: true, ..SearchStats::default() };
+        let text = stats.to_string();
+        for needle in ["nodes visited", "lemma-2", "backjumps", "proven optimal", "42"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

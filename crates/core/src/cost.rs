@@ -1,0 +1,312 @@
+//! The bottleneck cost metric (Eq. 1 of the paper).
+//!
+//! Under pipelined decentralized execution each service is a single thread
+//! that both processes tuples and transmits its output to the next service.
+//! Per *query input tuple*, service `s_i` at position `i` of plan `S` is
+//! busy for
+//!
+//! ```text
+//! term(i) = (Π_{k<i} σ_{s_k}) · ( c_{s_i} + σ_{s_i} · t_{s_i, s_{i+1}} )
+//! ```
+//!
+//! where the prefix product is the mean number of tuples reaching `s_i`
+//! per input tuple. The pipeline's throughput is limited by its busiest
+//! stage, so the response time per input tuple is
+//!
+//! ```text
+//! cost(S) = max_i term(i)                                   (Eq. 1)
+//! ```
+//!
+//! For the final position the "next service" is the result consumer; its
+//! transfer cost is the instance's sink cost (zero by default).
+
+use crate::instance::QueryInstance;
+use crate::plan::Plan;
+use crate::service::ServiceId;
+use std::fmt;
+
+/// The fully-expanded cost term of one plan position (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostTerm {
+    /// Position in the plan (0-based).
+    pub position: usize,
+    /// The service at this position.
+    pub service: ServiceId,
+    /// Mean tuples reaching this service per input tuple
+    /// (`Π σ` of the predecessors).
+    pub input_fraction: f64,
+    /// Per-arriving-tuple processing time `c_i`.
+    pub processing: f64,
+    /// Per-arriving-tuple output transfer time `σ_i · t_{i,next}`.
+    pub transfer: f64,
+    /// The full term: `input_fraction · (processing + transfer)`.
+    pub term: f64,
+}
+
+impl fmt::Display for CostTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {}: {:.6} × ({:.6} + {:.6}) = {:.6}",
+            self.position, self.service, self.input_fraction, self.processing, self.transfer, self.term
+        )
+    }
+}
+
+/// Computes the bottleneck cost (Eq. 1) of a complete plan.
+///
+/// # Panics
+///
+/// Panics if the plan's length differs from the instance's service count.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_core::{bottleneck_cost, CommMatrix, Plan, QueryInstance, Service};
+///
+/// let inst = QueryInstance::from_parts(
+///     vec![Service::new(1.0, 0.5), Service::new(3.0, 1.0)],
+///     CommMatrix::uniform(2, 2.0),
+/// )?;
+/// // Plan WS0 → WS1: max(1 + 0.5·2, 0.5·(3 + 0)) = max(2, 1.5) = 2
+/// let plan = Plan::new(vec![0, 1])?;
+/// assert_eq!(bottleneck_cost(&inst, &plan), 2.0);
+/// # Ok::<(), dsq_core::ModelError>(())
+/// ```
+pub fn bottleneck_cost(instance: &QueryInstance, plan: &Plan) -> f64 {
+    fold_terms(instance, plan, 0.0, |acc, t| acc.max(t.term))
+}
+
+/// Computes every per-position cost term of a plan, in plan order.
+///
+/// The maximum of the returned terms equals [`bottleneck_cost`]; exposing
+/// the breakdown supports diagnostics, reporting, and the experiment
+/// harness (C-INTERMEDIATE).
+///
+/// # Panics
+///
+/// Panics if the plan's length differs from the instance's service count.
+pub fn cost_terms(instance: &QueryInstance, plan: &Plan) -> Vec<CostTerm> {
+    let mut out = Vec::with_capacity(plan.len());
+    fold_terms(instance, plan, (), |(), t| out.push(t));
+    out
+}
+
+/// The plan position whose term attains the bottleneck (earliest, if tied).
+///
+/// # Panics
+///
+/// Panics if the plan's length differs from the instance's service count.
+pub fn bottleneck_position(instance: &QueryInstance, plan: &Plan) -> usize {
+    let terms = cost_terms(instance, plan);
+    let mut best = 0;
+    for (i, t) in terms.iter().enumerate() {
+        if t.term > terms[best].term {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Predicted steady-state throughput of the pipeline, in input tuples per
+/// unit time: the reciprocal of the bottleneck cost (`∞` for zero-cost
+/// plans).
+///
+/// # Panics
+///
+/// Panics if the plan's length differs from the instance's service count.
+pub fn predicted_throughput(instance: &QueryInstance, plan: &Plan) -> f64 {
+    1.0 / bottleneck_cost(instance, plan)
+}
+
+/// The *sum* cost metric: total busy time across all services per input
+/// tuple. This is the objective of sequential (non-pipelined) execution and
+/// is reported alongside Eq. 1 for contrast in the harness; the paper
+/// optimizes only the bottleneck metric.
+///
+/// # Panics
+///
+/// Panics if the plan's length differs from the instance's service count.
+pub fn sum_cost(instance: &QueryInstance, plan: &Plan) -> f64 {
+    fold_terms(instance, plan, 0.0, |acc, t| acc + t.term)
+}
+
+fn fold_terms<A>(
+    instance: &QueryInstance,
+    plan: &Plan,
+    init: A,
+    mut f: impl FnMut(A, CostTerm) -> A,
+) -> A {
+    assert_eq!(
+        plan.len(),
+        instance.len(),
+        "plan has {} services, instance has {}",
+        plan.len(),
+        instance.len()
+    );
+    let mut acc = init;
+    let mut prefix = 1.0;
+    let order = plan.services();
+    for (position, &sid) in order.iter().enumerate() {
+        let i = sid.index();
+        let t_out = match order.get(position + 1) {
+            Some(next) => instance.transfer(i, next.index()),
+            None => instance.sink_cost(i),
+        };
+        let term = CostTerm {
+            position,
+            service: sid,
+            input_fraction: prefix,
+            processing: instance.cost(i),
+            transfer: instance.selectivity(i) * t_out,
+            term: prefix * (instance.cost(i) + instance.selectivity(i) * t_out),
+        };
+        acc = f(acc, term);
+        prefix *= instance.selectivity(i);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommMatrix;
+    use crate::service::Service;
+
+    /// The worked example used throughout the crate tests:
+    /// three services with distinct costs/selectivities and an asymmetric
+    /// transfer matrix, hand-evaluated below.
+    fn example() -> QueryInstance {
+        QueryInstance::from_parts(
+            vec![
+                Service::new(2.0, 0.5),  // WS0
+                Service::new(1.0, 2.0),  // WS1
+                Service::new(4.0, 0.25), // WS2
+            ],
+            CommMatrix::from_rows(vec![
+                vec![0.0, 1.0, 3.0],
+                vec![2.0, 0.0, 0.5],
+                vec![4.0, 6.0, 0.0],
+            ])
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hand_computed_plan_cost() {
+        let inst = example();
+        // Plan WS0 → WS1 → WS2:
+        //   term0 = 1 · (2 + 0.5·t01) = 2 + 0.5·1 = 2.5
+        //   term1 = 0.5 · (1 + 2·t12) = 0.5 · (1 + 1) = 1.0
+        //   term2 = 0.5·2 · (4 + 0.25·0) = 1·4 = 4.0
+        let plan = Plan::new(vec![0, 1, 2]).unwrap();
+        assert!((bottleneck_cost(&inst, &plan) - 4.0).abs() < 1e-12);
+        assert_eq!(bottleneck_position(&inst, &plan), 2);
+        let terms = cost_terms(&inst, &plan);
+        assert_eq!(terms.len(), 3);
+        assert!((terms[0].term - 2.5).abs() < 1e-12);
+        assert!((terms[1].term - 1.0).abs() < 1e-12);
+        assert!((terms[2].term - 4.0).abs() < 1e-12);
+        assert!((sum_cost(&inst, &plan) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn another_order_changes_cost() {
+        let inst = example();
+        // Plan WS2 → WS0 → WS1:
+        //   term0 = 4 + 0.25·t20 = 4 + 1 = 5
+        //   term1 = 0.25 · (2 + 0.5·t01) = 0.25 · 2.5 = 0.625
+        //   term2 = 0.25·0.5 · (1 + 2·0) = 0.125
+        let plan = Plan::new(vec![2, 0, 1]).unwrap();
+        assert!((bottleneck_cost(&inst, &plan) - 5.0).abs() < 1e-12);
+        assert_eq!(bottleneck_position(&inst, &plan), 0);
+    }
+
+    #[test]
+    fn sink_costs_charge_the_final_service() {
+        let inst = QueryInstance::builder()
+            .services(vec![Service::new(1.0, 1.0), Service::new(1.0, 1.0)])
+            .comm(CommMatrix::zeros(2))
+            .sink(vec![10.0, 0.0])
+            .build()
+            .unwrap();
+        // WS1 → WS0 ends at WS0 whose sink cost is 10.
+        let plan = Plan::new(vec![1, 0]).unwrap();
+        assert!((bottleneck_cost(&inst, &plan) - 11.0).abs() < 1e-12);
+        // WS0 → WS1 ends at WS1 with sink 0.
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        assert!((bottleneck_cost(&inst, &plan) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proliferative_prefix_amplifies() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(1.0, 3.0), Service::new(2.0, 1.0)],
+            CommMatrix::zeros(2),
+        )
+        .unwrap();
+        // WS0 (σ=3) first triples the load on WS1: term1 = 3·2 = 6.
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        assert!((bottleneck_cost(&inst, &plan) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_selectivity_silences_downstream() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(1.0, 0.0), Service::new(100.0, 1.0)],
+            CommMatrix::uniform(2, 5.0),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        // term0 = 1 + 0·5 = 1; term1 = 0·(…) = 0.
+        assert!((bottleneck_cost(&inst, &plan) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_service_plan() {
+        let inst = QueryInstance::builder()
+            .service(Service::new(2.5, 0.5))
+            .comm(CommMatrix::zeros(1))
+            .sink(vec![2.0])
+            .build()
+            .unwrap();
+        let plan = Plan::new(vec![0]).unwrap();
+        // 2.5 + 0.5·2 = 3.5
+        assert!((bottleneck_cost(&inst, &plan) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_is_reciprocal() {
+        let inst = example();
+        let plan = Plan::new(vec![0, 1, 2]).unwrap();
+        assert!((predicted_throughput(&inst, &plan) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_fractions_are_prefix_products() {
+        let inst = example();
+        let plan = Plan::new(vec![1, 0, 2]).unwrap();
+        let terms = cost_terms(&inst, &plan);
+        assert_eq!(terms[0].input_fraction, 1.0);
+        assert_eq!(terms[1].input_fraction, 2.0); // σ of WS1
+        assert_eq!(terms[2].input_fraction, 1.0); // 2.0 · 0.5
+    }
+
+    #[test]
+    fn term_display_is_readable() {
+        let inst = example();
+        let plan = Plan::new(vec![0, 1, 2]).unwrap();
+        let text = cost_terms(&inst, &plan)[0].to_string();
+        assert!(text.contains("WS0"));
+        assert!(text.contains('='));
+    }
+
+    #[test]
+    #[should_panic(expected = "plan has")]
+    fn mismatched_plan_panics() {
+        let inst = example();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        bottleneck_cost(&inst, &plan);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for model construction and plan validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while building or validating a query instance or plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Two components disagree on the number of services.
+    DimensionMismatch {
+        /// What was being checked (e.g. `"communication matrix"`).
+        what: &'static str,
+        /// The number of services the instance declares.
+        expected: usize,
+        /// The dimension actually found.
+        found: usize,
+    },
+    /// A numeric parameter is NaN, infinite, or negative.
+    InvalidValue {
+        /// What was being checked (e.g. `"service cost"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An instance must contain at least one service.
+    EmptyInstance,
+    /// The precedence constraints contain a cycle.
+    PrecedenceCycle,
+    /// A precedence edge references itself.
+    SelfPrecedence(usize),
+    /// A precedence edge references a service outside the instance.
+    PrecedenceOutOfRange {
+        /// The offending service index.
+        service: usize,
+        /// The number of services in the instance.
+        len: usize,
+    },
+    /// A plan is not a valid permutation of the instance's services.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DimensionMismatch { what, expected, found } => {
+                write!(f, "{what} has dimension {found}, expected {expected}")
+            }
+            ModelError::InvalidValue { what, value } => {
+                write!(f, "{what} must be finite and non-negative, got {value}")
+            }
+            ModelError::EmptyInstance => write!(f, "instance must contain at least one service"),
+            ModelError::PrecedenceCycle => write!(f, "precedence constraints contain a cycle"),
+            ModelError::SelfPrecedence(s) => {
+                write!(f, "service {s} cannot precede itself")
+            }
+            ModelError::PrecedenceOutOfRange { service, len } => {
+                write!(f, "precedence references service {service}, instance has {len}")
+            }
+            ModelError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::DimensionMismatch { what: "communication matrix", expected: 4, found: 3 };
+        assert_eq!(e.to_string(), "communication matrix has dimension 3, expected 4");
+        let e = ModelError::InvalidValue { what: "service cost", value: -1.0 };
+        assert!(e.to_string().contains("service cost"));
+        assert!(ModelError::EmptyInstance.to_string().contains("at least one"));
+        assert!(ModelError::PrecedenceCycle.to_string().contains("cycle"));
+        assert!(ModelError::SelfPrecedence(2).to_string().contains("service 2"));
+        let e = ModelError::PrecedenceOutOfRange { service: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(ModelError::InvalidPlan("dup".into()).to_string().contains("dup"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(ModelError::EmptyInstance);
+    }
+}

@@ -1,0 +1,272 @@
+//! Plan diagnostics: why a plan costs what it costs, and how fragile the
+//! ordering is.
+//!
+//! [`explain`] expands a plan into a [`PlanReport`] — per-position terms,
+//! utilizations relative to the bottleneck, the pipelining gain over
+//! sequential execution, and the cost impact of every adjacent swap. The
+//! report renders as an aligned text block for CLI and example output.
+
+use crate::cost::{bottleneck_cost, cost_terms, sum_cost, CostTerm};
+use crate::instance::QueryInstance;
+use crate::plan::Plan;
+use std::fmt;
+
+/// A full diagnostic breakdown of one plan (see module docs).
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    plan: Plan,
+    terms: Vec<CostTerm>,
+    cost: f64,
+    sum: f64,
+    adjacent_swaps: Vec<Option<f64>>,
+}
+
+impl PlanReport {
+    /// The analysed plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The bottleneck cost (Eq. 1).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Total busy time across all services per input tuple (the
+    /// sequential-execution cost).
+    pub fn sum_cost(&self) -> f64 {
+        self.sum
+    }
+
+    /// How much pipelining buys over sequential execution:
+    /// `sum_cost / bottleneck`. Also the number of hosts that are doing
+    /// useful work in steady state.
+    pub fn pipelining_gain(&self) -> f64 {
+        if self.cost == 0.0 {
+            1.0
+        } else {
+            self.sum / self.cost
+        }
+    }
+
+    /// Per-position cost terms, in plan order.
+    pub fn terms(&self) -> &[CostTerm] {
+        &self.terms
+    }
+
+    /// The position attaining the bottleneck (earliest on ties).
+    pub fn bottleneck_position(&self) -> usize {
+        let mut best = 0;
+        for (i, t) in self.terms.iter().enumerate() {
+            if t.term > self.terms[best].term {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Utilization of each position relative to the bottleneck
+    /// (`term / cost`, 1.0 at the bottleneck). Zero-cost plans report
+    /// all-zero utilizations.
+    pub fn utilizations(&self) -> Vec<f64> {
+        self.terms
+            .iter()
+            .map(|t| if self.cost == 0.0 { 0.0 } else { t.term / self.cost })
+            .collect()
+    }
+
+    /// For each adjacent pair `(k, k+1)`: the plan's cost after swapping
+    /// those two services, or `None` if the swap violates precedence.
+    /// Values below [`cost`](Self::cost) indicate the plan is not even
+    /// locally optimal.
+    pub fn adjacent_swap_costs(&self) -> &[Option<f64>] {
+        &self.adjacent_swaps
+    }
+
+    /// Whether no feasible adjacent swap improves the plan.
+    pub fn is_adjacent_swap_optimal(&self) -> bool {
+        self.adjacent_swaps
+            .iter()
+            .flatten()
+            .all(|&c| c >= self.cost - 1e-12 * self.cost.abs().max(1.0))
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "plan {}", self.plan)?;
+        writeln!(
+            f,
+            "bottleneck cost {:.6} (position {}), sequential cost {:.6}, pipelining gain {:.2}×",
+            self.cost,
+            self.bottleneck_position(),
+            self.sum,
+            self.pipelining_gain()
+        )?;
+        let utilizations = self.utilizations();
+        for (term, util) in self.terms.iter().zip(utilizations) {
+            let bar_len = (util * 30.0).round() as usize;
+            writeln!(
+                f,
+                "  #{:<3}{:<6} term {:>10.6}  {:>5.1}% |{:<30}|",
+                term.position,
+                term.service.to_string(),
+                term.term,
+                util * 100.0,
+                "█".repeat(bar_len)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`PlanReport`] for the plan on the instance.
+///
+/// # Panics
+///
+/// Panics if the plan's length differs from the instance's service count.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_core::{explain, CommMatrix, Plan, QueryInstance, Service};
+///
+/// let inst = QueryInstance::from_parts(
+///     vec![Service::new(1.0, 0.5), Service::new(4.0, 1.0)],
+///     CommMatrix::uniform(2, 0.0),
+/// )?;
+/// let report = explain(&inst, &Plan::new(vec![0, 1])?);
+/// assert_eq!(report.bottleneck_position(), 1); // 0.5 · 4.0 = 2.0 > 1.0
+/// assert!(report.is_adjacent_swap_optimal());  // swapping gives cost 4.0
+/// # Ok::<(), dsq_core::ModelError>(())
+/// ```
+pub fn explain(instance: &QueryInstance, plan: &Plan) -> PlanReport {
+    let terms = cost_terms(instance, plan);
+    let cost = bottleneck_cost(instance, plan);
+    let sum = sum_cost(instance, plan);
+    let order = plan.indices();
+    let adjacent_swaps = (0..order.len().saturating_sub(1))
+        .map(|k| {
+            let mut swapped = order.clone();
+            swapped.swap(k, k + 1);
+            let feasible = match instance.precedence() {
+                Some(dag) => dag.is_feasible_order(&swapped),
+                None => true,
+            };
+            feasible.then(|| {
+                let plan = Plan::new(swapped).expect("swap preserves permutations");
+                bottleneck_cost(instance, &plan)
+            })
+        })
+        .collect();
+    PlanReport { plan: plan.clone(), terms, cost, sum, adjacent_swaps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommMatrix;
+    use crate::precedence::PrecedenceDag;
+    use crate::service::Service;
+
+    fn instance() -> QueryInstance {
+        QueryInstance::from_parts(
+            vec![
+                Service::new(2.0, 0.5),
+                Service::new(1.0, 1.0),
+                Service::new(4.0, 0.25),
+            ],
+            CommMatrix::uniform(3, 0.5),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn report_matches_direct_computation() {
+        let inst = instance();
+        let plan = Plan::new(vec![0, 1, 2]).expect("permutation");
+        let report = explain(&inst, &plan);
+        assert_eq!(report.cost(), bottleneck_cost(&inst, &plan));
+        assert_eq!(report.sum_cost(), sum_cost(&inst, &plan));
+        assert_eq!(report.terms().len(), 3);
+        assert_eq!(report.plan(), &plan);
+        assert!(report.pipelining_gain() >= 1.0);
+    }
+
+    #[test]
+    fn utilizations_peak_at_the_bottleneck() {
+        let inst = instance();
+        let report = explain(&inst, &Plan::new(vec![0, 1, 2]).expect("permutation"));
+        let utils = report.utilizations();
+        let b = report.bottleneck_position();
+        assert!((utils[b] - 1.0).abs() < 1e-12);
+        for u in utils {
+            assert!(u <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn adjacent_swaps_are_evaluated() {
+        let inst = instance();
+        let plan = Plan::new(vec![2, 1, 0]).expect("permutation");
+        let report = explain(&inst, &plan);
+        assert_eq!(report.adjacent_swap_costs().len(), 2);
+        for (k, swap) in report.adjacent_swap_costs().iter().enumerate() {
+            let cost = swap.expect("no precedence, all swaps feasible");
+            let mut order = plan.indices();
+            order.swap(k, k + 1);
+            let expected = bottleneck_cost(&inst, &Plan::new(order).expect("permutation"));
+            assert_eq!(cost, expected);
+        }
+    }
+
+    #[test]
+    fn optimal_plan_is_swap_optimal() {
+        let inst = instance();
+        let best = crate::bnb::optimize(&inst);
+        let report = explain(&inst, best.plan());
+        assert!(report.is_adjacent_swap_optimal());
+    }
+
+    #[test]
+    fn precedence_blocks_infeasible_swaps() {
+        let mut dag = PrecedenceDag::new(3).expect("n > 0");
+        dag.add_edge(0, 1).expect("valid");
+        let inst = QueryInstance::builder()
+            .services(vec![
+                Service::new(1.0, 1.0),
+                Service::new(1.0, 1.0),
+                Service::new(1.0, 1.0),
+            ])
+            .comm(CommMatrix::zeros(3))
+            .precedence(dag)
+            .build()
+            .expect("valid");
+        let report = explain(&inst, &Plan::new(vec![0, 1, 2]).expect("permutation"));
+        assert_eq!(report.adjacent_swap_costs()[0], None, "0↔1 violates the edge");
+        assert!(report.adjacent_swap_costs()[1].is_some());
+    }
+
+    #[test]
+    fn display_contains_bars_and_positions() {
+        let inst = instance();
+        let report = explain(&inst, &Plan::new(vec![0, 1, 2]).expect("permutation"));
+        let text = report.to_string();
+        assert!(text.contains("bottleneck cost"));
+        assert!(text.contains("#0"));
+        assert!(text.contains('█'));
+    }
+
+    #[test]
+    fn zero_cost_plan_is_handled() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.0, 1.0), Service::new(0.0, 1.0)],
+            CommMatrix::zeros(2),
+        )
+        .expect("valid");
+        let report = explain(&inst, &Plan::new(vec![0, 1]).expect("permutation"));
+        assert_eq!(report.cost(), 0.0);
+        assert_eq!(report.pipelining_gain(), 1.0);
+        assert!(report.utilizations().iter().all(|&u| u == 0.0));
+    }
+}

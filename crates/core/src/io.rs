@@ -1,0 +1,384 @@
+//! A plain-text instance format, for saving experiment inputs and feeding
+//! the `dsq` command-line tool without pulling in a serialization
+//! dependency.
+//!
+//! # Format
+//!
+//! Line-oriented, whitespace-separated, `#` starts a comment:
+//!
+//! ```text
+//! dsq-instance v1
+//! name credit-screening
+//! n 3
+//! service 0 0.4 0.55 region-filter      # idx cost selectivity [name…]
+//! service 1 2.5 2.4 card-lookup
+//! service 2 1.8 0.35
+//! row 0 0.0 0.6 1.2                     # transfer costs t[0][j]
+//! row 1 0.6 0.0 0.5
+//! row 2 1.2 0.5 0.0
+//! sink 0.0 0.0 0.0                      # optional; defaults to zeros
+//! edge 0 2                              # optional precedence: 0 before 2
+//! ```
+
+use crate::comm::CommMatrix;
+use crate::error::ModelError;
+use crate::instance::QueryInstance;
+use crate::precedence::PrecedenceDag;
+use crate::service::Service;
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by [`parse_instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseInstanceError {
+    /// The header line is missing or names an unknown version.
+    BadHeader,
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A required section is missing.
+    MissingSection(&'static str),
+    /// The parsed pieces fail model validation.
+    Invalid(ModelError),
+}
+
+impl fmt::Display for ParseInstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseInstanceError::BadHeader => {
+                write!(f, "expected header line `dsq-instance v1`")
+            }
+            ParseInstanceError::Malformed { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseInstanceError::MissingSection(s) => write!(f, "missing section: {s}"),
+            ParseInstanceError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl Error for ParseInstanceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseInstanceError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ParseInstanceError {
+    fn from(e: ModelError) -> Self {
+        ParseInstanceError::Invalid(e)
+    }
+}
+
+/// Renders an instance in the text format (see module docs).
+///
+/// The output round-trips through [`parse_instance`]; names containing
+/// whitespace are preserved (the name is everything after the third
+/// field).
+pub fn format_instance(instance: &QueryInstance) -> String {
+    let n = instance.len();
+    let mut out = String::from("dsq-instance v1\n");
+    out.push_str(&format!("name {}\n", instance.name()));
+    out.push_str(&format!("n {n}\n"));
+    for (i, s) in instance.services().iter().enumerate() {
+        match s.name() {
+            Some(name) => {
+                out.push_str(&format!("service {i} {} {} {name}\n", s.cost(), s.selectivity()))
+            }
+            None => out.push_str(&format!("service {i} {} {}\n", s.cost(), s.selectivity())),
+        }
+    }
+    for i in 0..n {
+        out.push_str(&format!("row {i}"));
+        for j in 0..n {
+            out.push_str(&format!(" {}", instance.transfer(i, j)));
+        }
+        out.push('\n');
+    }
+    if (0..n).any(|i| instance.sink_cost(i) != 0.0) {
+        out.push_str("sink");
+        for i in 0..n {
+            out.push_str(&format!(" {}", instance.sink_cost(i)));
+        }
+        out.push('\n');
+    }
+    if let Some(dag) = instance.precedence() {
+        for &(a, b) in dag.edges() {
+            out.push_str(&format!("edge {a} {b}\n"));
+        }
+    }
+    out
+}
+
+/// Parses the text format (see module docs).
+///
+/// # Errors
+///
+/// Returns [`ParseInstanceError`] describing the offending line or the
+/// model-validation failure.
+pub fn parse_instance(text: &str) -> Result<QueryInstance, ParseInstanceError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    match lines.next() {
+        Some((_, "dsq-instance v1")) => {}
+        _ => return Err(ParseInstanceError::BadHeader),
+    }
+
+    let mut name: Option<String> = None;
+    let mut n: Option<usize> = None;
+    let mut services: Vec<Option<Service>> = Vec::new();
+    let mut rows: Vec<Option<Vec<f64>>> = Vec::new();
+    let mut sink: Option<Vec<f64>> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    let malformed = |line: usize, reason: &str| ParseInstanceError::Malformed {
+        line,
+        reason: reason.to_string(),
+    };
+
+    for (lineno, line) in lines {
+        let mut fields = line.split_whitespace();
+        let keyword = fields.next().expect("non-empty line has a first field");
+        match keyword {
+            "name" => {
+                let rest = line["name".len()..].trim();
+                if rest.is_empty() {
+                    return Err(malformed(lineno, "name requires a value"));
+                }
+                name = Some(rest.to_string());
+            }
+            "n" => {
+                let v: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "n requires a positive integer"))?;
+                n = Some(v);
+                services.resize(v, None);
+                rows.resize(v, None);
+            }
+            "service" => {
+                let count = n.ok_or_else(|| malformed(lineno, "`n` must come before `service`"))?;
+                let idx: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .filter(|&i| i < count)
+                    .ok_or_else(|| malformed(lineno, "service index out of range"))?;
+                let cost: f64 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .filter(|c: &f64| c.is_finite() && *c >= 0.0)
+                    .ok_or_else(|| malformed(lineno, "bad service cost"))?;
+                let sel: f64 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .ok_or_else(|| malformed(lineno, "bad service selectivity"))?;
+                let rest: Vec<&str> = fields.collect();
+                let mut service = Service::new(cost, sel);
+                if !rest.is_empty() {
+                    service = service.with_name(rest.join(" "));
+                }
+                services[idx] = Some(service);
+            }
+            "row" => {
+                let count = n.ok_or_else(|| malformed(lineno, "`n` must come before `row`"))?;
+                let idx: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .filter(|&i| i < count)
+                    .ok_or_else(|| malformed(lineno, "row index out of range"))?;
+                let values: Vec<f64> = fields
+                    .map(|f| f.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| malformed(lineno, "bad transfer cost"))?;
+                if values.len() != count {
+                    return Err(malformed(lineno, "row width must equal n"));
+                }
+                rows[idx] = Some(values);
+            }
+            "sink" => {
+                let count = n.ok_or_else(|| malformed(lineno, "`n` must come before `sink`"))?;
+                let values: Vec<f64> = fields
+                    .map(|f| f.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| malformed(lineno, "bad sink cost"))?;
+                if values.len() != count {
+                    return Err(malformed(lineno, "sink width must equal n"));
+                }
+                sink = Some(values);
+            }
+            "edge" => {
+                let a: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad edge endpoint"))?;
+                let b: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| malformed(lineno, "bad edge endpoint"))?;
+                edges.push((a, b));
+            }
+            other => {
+                return Err(malformed(lineno, &format!("unknown keyword `{other}`")));
+            }
+        }
+    }
+
+    let count = n.ok_or(ParseInstanceError::MissingSection("n"))?;
+    let services: Vec<Service> = services
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.ok_or(ParseInstanceError::MissingSection("service"))
+            .map_err(|_| ParseInstanceError::Malformed {
+                line: 0,
+                reason: format!("service {i} was never declared"),
+            }))
+        .collect::<Result<_, _>>()?;
+    let rows: Vec<Vec<f64>> = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.ok_or(ParseInstanceError::Malformed {
+            line: 0,
+            reason: format!("row {i} was never declared"),
+        }))
+        .collect::<Result<_, _>>()?;
+
+    let mut builder = QueryInstance::builder()
+        .name(name.unwrap_or_else(|| "query".into()))
+        .services(services)
+        .comm(CommMatrix::from_rows(rows).map_err(ParseInstanceError::Invalid)?);
+    if let Some(sink) = sink {
+        builder = builder.sink(sink);
+    }
+    if !edges.is_empty() {
+        let mut dag = PrecedenceDag::new(count)?;
+        for (a, b) in edges {
+            dag.add_edge(a, b)?;
+        }
+        builder = builder.precedence(dag);
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryInstance {
+        let mut dag = PrecedenceDag::new(3).expect("n > 0");
+        dag.add_edge(0, 2).expect("valid edge");
+        QueryInstance::builder()
+            .name("sample query")
+            .service(Service::new(0.5, 0.8).with_name("region filter"))
+            .service(Service::new(1.25, 2.0))
+            .service(Service::new(0.0, 1.0).with_name("sinkish"))
+            .comm(CommMatrix::from_fn(3, |i, j| (i * 3 + j) as f64 * 0.5))
+            .sink(vec![0.0, 0.25, 0.0])
+            .precedence(dag)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample();
+        let text = format_instance(&original);
+        let parsed = parse_instance(&text).expect("round trip parses");
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn round_trip_without_optional_sections() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(1.0, 0.5), Service::new(2.0, 1.5)],
+            CommMatrix::uniform(2, 0.25),
+        )
+        .expect("valid");
+        let text = format_instance(&inst);
+        assert!(!text.contains("sink"), "zero sinks are omitted");
+        assert!(!text.contains("edge"));
+        assert_eq!(parse_instance(&text).expect("parses"), inst);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "dsq-instance v1\n\n# a comment\nname t\nn 1\nservice 0 1.0 0.5 # trailing\nrow 0 0.0\n";
+        let inst = parse_instance(text).expect("parses");
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.cost(0), 1.0);
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert_eq!(parse_instance("name x\n"), Err(ParseInstanceError::BadHeader));
+        assert_eq!(parse_instance(""), Err(ParseInstanceError::BadHeader));
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let text = "dsq-instance v1\nn 2\nservice 0 1.0 0.5\nservice 1 -3 0.5\nrow 0 0 0\nrow 1 0 0\n";
+        match parse_instance(text) {
+            Err(ParseInstanceError::Malformed { line, reason }) => {
+                assert_eq!(line, 4);
+                assert!(reason.contains("cost"));
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_pieces_are_reported() {
+        let text = "dsq-instance v1\nn 2\nservice 0 1.0 0.5\nservice 1 1.0 0.5\nrow 0 0 0\n";
+        assert!(matches!(
+            parse_instance(text),
+            Err(ParseInstanceError::Malformed { reason, .. }) if reason.contains("row 1")
+        ));
+        let text = "dsq-instance v1\nname x\n";
+        assert_eq!(parse_instance(text), Err(ParseInstanceError::MissingSection("n")));
+    }
+
+    #[test]
+    fn unknown_keywords_are_rejected() {
+        let text = "dsq-instance v1\nn 1\nservice 0 1 1\nrow 0 0\nbogus 3\n";
+        assert!(matches!(
+            parse_instance(text),
+            Err(ParseInstanceError::Malformed { reason, .. }) if reason.contains("bogus")
+        ));
+    }
+
+    #[test]
+    fn cyclic_edges_fail_validation() {
+        let text = "dsq-instance v1\nn 2\nservice 0 1 1\nservice 1 1 1\nrow 0 0 1\nrow 1 1 0\nedge 0 1\nedge 1 0\n";
+        assert!(matches!(
+            parse_instance(text),
+            Err(ParseInstanceError::Invalid(ModelError::PrecedenceCycle))
+        ));
+    }
+
+    #[test]
+    fn row_width_is_checked() {
+        let text = "dsq-instance v1\nn 2\nservice 0 1 1\nservice 1 1 1\nrow 0 0 1 2\nrow 1 1 0\n";
+        assert!(matches!(
+            parse_instance(text),
+            Err(ParseInstanceError::Malformed { reason, .. }) if reason.contains("width")
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ParseInstanceError::Invalid(ModelError::EmptyInstance);
+        assert!(e.to_string().contains("invalid instance"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(ParseInstanceError::BadHeader.to_string().contains("dsq-instance"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Precedence constraints between services.
+
+use crate::bitset::BitSet;
+use crate::error::ModelError;
+
+/// A DAG of precedence constraints: an edge `a → b` requires service `a`
+/// to appear before service `b` in every plan.
+///
+/// The paper's restricted setting has no precedence constraints, but notes
+/// that the solution "can be applied with minor modifications when these
+/// restrictions are relaxed". The optimizer honours constraints by only
+/// appending services whose predecessors are already placed; all three
+/// pruning lemmas remain sound because the feasible-successor set of a
+/// prefix depends only on the prefix (see `bnb` module docs).
+///
+/// # Examples
+///
+/// ```
+/// use dsq_core::PrecedenceDag;
+///
+/// let mut dag = PrecedenceDag::new(3)?;
+/// dag.add_edge(0, 2)?; // WS0 must run before WS2
+/// assert!(dag.is_feasible_order(&[0, 1, 2]));
+/// assert!(!dag.is_feasible_order(&[2, 0, 1]));
+/// # Ok::<(), dsq_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecedenceDag {
+    n: usize,
+    preds: Vec<BitSet>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl PrecedenceDag {
+    /// Creates an empty constraint set over `n` services.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyInstance`] if `n == 0`.
+    pub fn new(n: usize) -> Result<Self, ModelError> {
+        if n == 0 {
+            return Err(ModelError::EmptyInstance);
+        }
+        Ok(PrecedenceDag {
+            n,
+            preds: (0..n).map(|_| BitSet::new(n)).collect(),
+            edges: Vec::new(),
+        })
+    }
+
+    /// Number of services the constraints range over.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether any constraint has been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Requires `before` to precede `after` in every plan.
+    ///
+    /// Duplicate edges are ignored. Cycle detection is deferred to
+    /// [`validate`](Self::validate) (or instance building) so DAGs can be
+    /// assembled in any edge order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SelfPrecedence`] if `before == after` and
+    /// [`ModelError::PrecedenceOutOfRange`] if either index is `>= n`.
+    pub fn add_edge(&mut self, before: usize, after: usize) -> Result<(), ModelError> {
+        if before == after {
+            return Err(ModelError::SelfPrecedence(before));
+        }
+        for s in [before, after] {
+            if s >= self.n {
+                return Err(ModelError::PrecedenceOutOfRange { service: s, len: self.n });
+            }
+        }
+        if self.preds[after].insert(before) {
+            self.edges.push((before, after));
+        }
+        Ok(())
+    }
+
+    /// The constraint edges in insertion order.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of constraint edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The set of direct predecessors of `service`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service >= n`.
+    pub fn predecessors(&self, service: usize) -> &BitSet {
+        &self.preds[service]
+    }
+
+    /// Whether `service` may be appended once the services in `placed` have
+    /// run — i.e. all its predecessors are placed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service >= n` or `placed` has a different capacity.
+    pub fn is_ready(&self, service: usize, placed: &BitSet) -> bool {
+        placed.is_superset_of(&self.preds[service])
+    }
+
+    /// Whether the given complete or partial order satisfies every
+    /// constraint among the services it mentions (a service may only appear
+    /// after all of its predecessors, and predecessors outside the order
+    /// make it infeasible).
+    pub fn is_feasible_order(&self, order: &[usize]) -> bool {
+        let mut placed = BitSet::new(self.n);
+        for &s in order {
+            if s >= self.n || !self.is_ready(s, &placed) {
+                return false;
+            }
+            placed.insert(s);
+        }
+        true
+    }
+
+    /// Checks acyclicity and returns a topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::PrecedenceCycle`] if the constraints cannot be
+    /// linearized.
+    pub fn validate(&self) -> Result<Vec<usize>, ModelError> {
+        let mut indegree: Vec<usize> = (0..self.n).map(|s| self.preds[s].len()).collect();
+        let mut ready: Vec<usize> = (0..self.n).filter(|&s| indegree[s] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            succs[a].push(b);
+        }
+        while let Some(s) = ready.pop() {
+            order.push(s);
+            for &t in &succs[s] {
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    ready.push(t);
+                }
+            }
+        }
+        if order.len() == self.n {
+            Ok(order)
+        } else {
+            Err(ModelError::PrecedenceCycle)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dag_allows_everything() {
+        let dag = PrecedenceDag::new(3).unwrap();
+        assert!(dag.is_empty());
+        assert_eq!(dag.edge_count(), 0);
+        assert!(dag.is_feasible_order(&[2, 1, 0]));
+        let placed = BitSet::new(3);
+        for s in 0..3 {
+            assert!(dag.is_ready(s, &placed));
+        }
+    }
+
+    #[test]
+    fn zero_services_rejected() {
+        assert_eq!(PrecedenceDag::new(0).unwrap_err(), ModelError::EmptyInstance);
+    }
+
+    #[test]
+    fn edge_gates_readiness() {
+        let mut dag = PrecedenceDag::new(3).unwrap();
+        dag.add_edge(0, 2).unwrap();
+        let mut placed = BitSet::new(3);
+        assert!(!dag.is_ready(2, &placed));
+        placed.insert(0);
+        assert!(dag.is_ready(2, &placed));
+        assert!(dag.predecessors(2).contains(0));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut dag = PrecedenceDag::new(2).unwrap();
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(0, 1).unwrap();
+        assert_eq!(dag.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_and_range_errors() {
+        let mut dag = PrecedenceDag::new(2).unwrap();
+        assert_eq!(dag.add_edge(1, 1).unwrap_err(), ModelError::SelfPrecedence(1));
+        assert!(matches!(
+            dag.add_edge(0, 5).unwrap_err(),
+            ModelError::PrecedenceOutOfRange { service: 5, len: 2 }
+        ));
+    }
+
+    #[test]
+    fn feasibility_of_orders() {
+        let mut dag = PrecedenceDag::new(4).unwrap();
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(1, 3).unwrap();
+        assert!(dag.is_feasible_order(&[0, 1, 2, 3]));
+        assert!(dag.is_feasible_order(&[2, 0, 1, 3]));
+        assert!(!dag.is_feasible_order(&[1, 0, 2, 3]));
+        assert!(!dag.is_feasible_order(&[0, 3, 1, 2]));
+        // Partial prefix feasibility.
+        assert!(dag.is_feasible_order(&[0, 1]));
+        assert!(!dag.is_feasible_order(&[3]));
+    }
+
+    #[test]
+    fn validate_returns_topological_order() {
+        let mut dag = PrecedenceDag::new(4).unwrap();
+        dag.add_edge(2, 0).unwrap();
+        dag.add_edge(0, 1).unwrap();
+        let order = dag.validate().unwrap();
+        assert_eq!(order.len(), 4);
+        assert!(dag.is_feasible_order(&order));
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        let mut dag = PrecedenceDag::new(3).unwrap();
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        dag.add_edge(2, 0).unwrap();
+        assert_eq!(dag.validate().unwrap_err(), ModelError::PrecedenceCycle);
+    }
+
+    #[test]
+    fn chain_has_unique_order() {
+        let mut dag = PrecedenceDag::new(3).unwrap();
+        dag.add_edge(0, 1).unwrap();
+        dag.add_edge(1, 2).unwrap();
+        assert_eq!(dag.validate().unwrap(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Command-line entry point of the experiment harness.
+//!
+//! ```text
+//! harness [IDS...] [--quick] [--out DIR] [--list]
+//!
+//!   IDS      experiment ids (e1 … e10); defaults to all
+//!   --quick  smaller sizes / fewer seeds (CI-scale run)
+//!   --out    artifact directory (default: results/)
+//!   --list   print the registry and exit
+//! ```
+
+use dsq_harness::{all_experiments, run_experiment, ExperimentContext};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_dir = Some(PathBuf::from("results"));
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--no-out" => out_dir = None,
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for e in all_experiments() {
+                    println!("{:4}  {}", e.id, e.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: harness [IDS...] [--quick] [--out DIR] [--no-out] [--list]");
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.clear(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let registry = all_experiments();
+    let selected: Vec<_> = if ids.is_empty() {
+        registry.iter().collect()
+    } else {
+        let mut selected = Vec::new();
+        for id in &ids {
+            match registry.iter().find(|e| e.id == id) {
+                Some(e) => selected.push(e),
+                None => {
+                    eprintln!("unknown experiment {id}; use --list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
+    };
+
+    let ctx = ExperimentContext { quick, out_dir };
+    for experiment in selected {
+        run_experiment(experiment, &ctx);
+    }
+    ExitCode::SUCCESS
+}

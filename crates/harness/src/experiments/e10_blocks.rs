@@ -1,0 +1,52 @@
+//! E10 — Block size: the per-tuple transfer amortization assumption
+//! behind `t_{i,j}` (§2: "tuples are transmitted in blocks; in that case,
+//! t is the cost to transmit a block divided by the number of tuples it
+//! contains").
+
+use crate::runner::{Experiment, ExperimentContext};
+use crate::table::{cell_f64, Table};
+use dsq_core::{bottleneck_cost, optimize};
+use dsq_simulator::{simulate, SimConfig};
+use dsq_workloads::{generate, Family};
+
+/// Registry entry.
+pub fn experiment() -> Experiment {
+    Experiment {
+        id: "e10",
+        title: "Block size vs throughput in the simulated pipeline",
+        claim: "per-tuple transfer cost as block cost / tuples-per-block (§2)",
+        run,
+    }
+}
+
+fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let tuples: u64 = ctx.size(20_000, 4_000);
+    let inst = generate(Family::Clustered, 6, 0);
+    let plan = optimize(&inst).into_plan();
+    let predicted = bottleneck_cost(&inst, &plan);
+
+    let mut table = Table::new(
+        format!("E10: block size sweep (clustered n=6, optimal plan, {tuples} tuples)"),
+        ["block size", "throughput", "throughput·cost", "makespan", "blocks sent (stage 0)"],
+    );
+    for block in [1u64, 4, 16, 64, 256] {
+        let report = simulate(
+            &inst,
+            &plan,
+            &SimConfig { tuples, block_size: block, ..SimConfig::default() },
+        );
+        table.push_row([
+            block.to_string(),
+            cell_f64(report.throughput, 2),
+            cell_f64(report.throughput * predicted, 3),
+            cell_f64(report.makespan, 2),
+            report.stages[0].blocks_sent.to_string(),
+        ]);
+    }
+    table.push_note(format!(
+        "Eq. 1 predicts steady throughput 1/cost = {:.3}; the sender pays per tuple regardless of batching, so the bottleneck rate is block-independent and throughput·cost → 1 as tuples/block grows — what decays at large blocks is only the pipeline-fill share of a finite run ({} tuples), confirming the amortized t_ij abstraction",
+        1.0 / predicted,
+        tuples
+    ));
+    vec![table]
+}

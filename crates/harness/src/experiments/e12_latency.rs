@@ -1,0 +1,84 @@
+//! E12 — Response time under load (extension): the bottleneck-optimal
+//! plan also dominates per-tuple latency when the pipeline is fed below
+//! saturation, because its slowest stage has the most headroom.
+
+use crate::runner::{Experiment, ExperimentContext};
+use crate::table::{cell_f64, Table};
+use dsq_baselines::uniform_reference_plan;
+use dsq_core::{bottleneck_cost, optimize};
+use dsq_simulator::{simulate, ArrivalProcess, SimConfig};
+use dsq_workloads::credit_pipeline;
+
+/// Registry entry.
+pub fn experiment() -> Experiment {
+    Experiment {
+        id: "e12",
+        title: "Tuple latency under load (extension)",
+        claim: "\"the optimality is defined in terms of query response time\" (abstract) — checked at sub-saturation loads, not just at the throughput limit",
+        run,
+    }
+}
+
+fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let tuples: u64 = ctx.size(20_000, 4_000);
+    let inst = credit_pipeline();
+    let optimal = optimize(&inst).into_plan();
+    let (oblivious, _) = uniform_reference_plan(&inst).expect("within DP limit");
+
+    // Both plans are fed at the same absolute rates: fractions of the
+    // *optimal* plan's capacity. The oblivious plan's own capacity is
+    // lower, so the same arrival rate loads it harder — and past its own
+    // saturation point its latency diverges with run length.
+    let optimal_capacity_interval = bottleneck_cost(&inst, &optimal);
+    let oblivious_cost = bottleneck_cost(&inst, &oblivious);
+
+    let mut table = Table::new(
+        format!(
+            "E12: credit-screening tuple latency at equal arrival rates ({tuples} tuples, blocks of 1, exponential service times)"
+        ),
+        ["plan", "arrival rate (× optimal capacity)", "own utilization", "mean", "p50", "p95", "p99"],
+    );
+    for (name, plan, cost) in [
+        ("optimal", &optimal, optimal_capacity_interval),
+        ("network-oblivious", &oblivious, oblivious_cost),
+    ] {
+        for load in [0.5, 0.7, 0.9] {
+            let interval = optimal_capacity_interval / load;
+            let utilization = cost / interval;
+            let report = simulate(
+                &inst,
+                plan,
+                &SimConfig {
+                    tuples,
+                    block_size: 1,
+                    arrivals: ArrivalProcess::Paced { interval },
+                    service_time: dsq_simulator::ServiceTimeModel::Exponential,
+                    track_latency: true,
+                    seed: 17,
+                    ..SimConfig::default()
+                },
+            );
+            let latency = report.latency.expect("latency tracking enabled");
+            table.push_row([
+                name.to_string(),
+                cell_f64(load, 2),
+                format!(
+                    "{}{}",
+                    cell_f64(utilization, 2),
+                    if utilization >= 1.0 { " (overloaded)" } else { "" }
+                ),
+                cell_f64(latency.mean, 3),
+                cell_f64(latency.p50, 3),
+                cell_f64(latency.p95, 3),
+                cell_f64(latency.p99, 3),
+            ]);
+        }
+    }
+    table.push_note(
+        "equal absolute arrival rates: what the optimal plan absorbs with bounded queues pushes the network-oblivious plan past its own (lower) capacity, where sojourn grows with run length rather than settling",
+    );
+    table.push_note(
+        "two companion observations from the engine tests: deterministic pipelines below saturation have load-independent latency (D/D/1 never queues), and block batching makes latency *fall* with load (blocks fill faster) — variance, not load alone, creates queueing delay",
+    );
+    vec![table]
+}

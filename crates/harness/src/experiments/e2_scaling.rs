@@ -1,0 +1,74 @@
+//! E2 — Optimizer scaling: wall-clock time and visited nodes vs N,
+//! against the exact exponential baselines.
+
+use crate::runner::{Experiment, ExperimentContext};
+use crate::table::{cell_ms, Table};
+use dsq_baselines::{exhaustive_with_limit, subset_dp};
+use dsq_core::{optimize, SearchStats};
+use dsq_workloads::{Family, Sweep};
+use std::time::{Duration, Instant};
+
+/// Registry entry.
+pub fn experiment() -> Experiment {
+    Experiment {
+        id: "e2",
+        title: "Optimizer scaling vs exhaustive search and subset DP",
+        claim: "\"according to the extensive simulation and real experiments' results [the algorithm] appears to be particularly efficient\" (§1)",
+        run,
+    }
+}
+
+fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let sizes: Vec<usize> = ctx.size(vec![8, 10, 12, 14, 16], vec![8, 10, 12]);
+    let seeds: u64 = ctx.size(5, 2);
+
+    let mut tables = Vec::new();
+    for family in [Family::UniformRandom, Family::Euclidean, Family::BtspHard] {
+        let mut table = Table::new(
+            format!("E2: optimization time vs N ({})", family.name()),
+            ["n", "B&B median", "B&B max", "B&B nodes", "DP", "exhaustive", "unpruned prefixes"],
+        );
+        for &n in &sizes {
+            let points =
+                Sweep::new().families([family]).sizes([n]).seeds(0..seeds).build();
+            let mut bnb_times = Vec::new();
+            let mut bnb_nodes = Vec::new();
+            let mut dp_time = Duration::ZERO;
+            let mut ex_time: Option<Duration> = None;
+            for point in &points {
+                let t0 = Instant::now();
+                let result = optimize(&point.instance);
+                bnb_times.push(t0.elapsed());
+                bnb_nodes.push(result.stats().nodes_visited);
+
+                let t0 = Instant::now();
+                subset_dp(&point.instance).expect("within DP limit");
+                dp_time += t0.elapsed();
+
+                if n <= 10 {
+                    let t0 = Instant::now();
+                    exhaustive_with_limit(&point.instance, 10).expect("within limit");
+                    *ex_time.get_or_insert(Duration::ZERO) += t0.elapsed();
+                }
+            }
+            bnb_times.sort();
+            let median = bnb_times[bnb_times.len() / 2];
+            let max = *bnb_times.last().expect("non-empty");
+            let mean_nodes = bnb_nodes.iter().sum::<u64>() / bnb_nodes.len() as u64;
+            table.push_row([
+                n.to_string(),
+                format!("{} ms", cell_ms(median)),
+                format!("{} ms", cell_ms(max)),
+                mean_nodes.to_string(),
+                format!("{} ms", cell_ms(dp_time / seeds as u32)),
+                ex_time
+                    .map(|t| format!("{} ms", cell_ms(t / seeds as u32)))
+                    .unwrap_or_else(|| "—".into()),
+                SearchStats::unpruned_prefix_count(n).to_string(),
+            ]);
+        }
+        table.push_note(format!("{seeds} seeds per size; exhaustive capped at n=10"));
+        tables.push(table);
+    }
+    tables
+}

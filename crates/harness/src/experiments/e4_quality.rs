@@ -1,0 +1,75 @@
+//! E4 — Plan quality: the decentralized optimum vs the
+//! network-oblivious optimum of reference `[1]` and vs heuristics.
+
+use crate::runner::{Experiment, ExperimentContext};
+use crate::table::{cell_f64, Table};
+use dsq_baselines::{
+    best_greedy, local_search, random_sampling, simulated_annealing, uniform_reference_plan,
+    AnnealingConfig, LocalSearchConfig,
+};
+use dsq_core::{bottleneck_cost, optimize};
+use dsq_workloads::{Family, Sweep};
+
+/// Registry entry.
+pub fn experiment() -> Experiment {
+    Experiment {
+        id: "e4",
+        title: "Plan quality: optimum vs uniform-cost prior art and heuristics",
+        claim: "\"different orderings may result in significantly different response times\" and the gap to the uniform-communication special case of [1] (§1)",
+        run,
+    }
+}
+
+fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let n: usize = ctx.size(12, 9);
+    let seeds: u64 = ctx.size(10, 3);
+
+    let mut table = Table::new(
+        format!("E4: cost ratio to the decentralized optimum (n={n}, {seeds} seeds, mean [max])"),
+        ["family", "uniform-opt [1]", "greedy", "local search", "annealing", "random best-of-100", "random mean"],
+    );
+    for family in [Family::Euclidean, Family::Clustered, Family::HubSpoke, Family::UniformRandom] {
+        let points = Sweep::new().families([family]).sizes([n]).seeds(0..seeds).build();
+        let mut ratios: [Vec<f64>; 6] = Default::default();
+        for point in &points {
+            let inst = &point.instance;
+            let opt = optimize(inst).cost();
+            let (uniform_plan, _) = uniform_reference_plan(inst).expect("within DP limit");
+            let sample = random_sampling(inst, 100, point.seed);
+            let entries = [
+                bottleneck_cost(inst, &uniform_plan),
+                best_greedy(inst).cost(),
+                local_search(inst, &LocalSearchConfig { seed: point.seed, ..Default::default() })
+                    .cost(),
+                simulated_annealing(
+                    inst,
+                    &AnnealingConfig { steps: 10_000, seed: point.seed, ..Default::default() },
+                )
+                .cost(),
+                sample.cost(),
+                sample.mean_cost(),
+            ];
+            for (bucket, value) in ratios.iter_mut().zip(entries) {
+                bucket.push(value / opt);
+            }
+        }
+        let fmt = |v: &Vec<f64>| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            let max = v.iter().copied().fold(0.0f64, f64::max);
+            format!("{} [{}]", cell_f64(mean, 3), cell_f64(max, 2))
+        };
+        table.push_row([
+            family.name().to_string(),
+            fmt(&ratios[0]),
+            fmt(&ratios[1]),
+            fmt(&ratios[2]),
+            fmt(&ratios[3]),
+            fmt(&ratios[4]),
+            fmt(&ratios[5]),
+        ]);
+    }
+    table.push_note(
+        "uniform-opt = the optimal plan under the instance's mean transfer cost (reference [1]), evaluated on the true heterogeneous network",
+    );
+    vec![table]
+}

@@ -1,0 +1,67 @@
+//! E5 — Cost-model validation: Eq. 1 against the discrete-event
+//! simulator.
+
+use crate::runner::{Experiment, ExperimentContext};
+use crate::table::{cell_f64, Table};
+use dsq_baselines::random_plan;
+use dsq_core::{bottleneck_cost, optimize};
+use dsq_simulator::{simulate, SimConfig};
+use dsq_workloads::{credit_pipeline, generate, Family};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Registry entry.
+pub fn experiment() -> Experiment {
+    Experiment {
+        id: "e5",
+        title: "Eq. 1 vs simulated pipelined execution",
+        claim: "\"the query response time is no longer the sum of the service costs, but is determined by the slowest node\" (§1)",
+        run,
+    }
+}
+
+fn run(ctx: &ExperimentContext) -> Vec<Table> {
+    let tuples: u64 = ctx.size(20_000, 4_000);
+    let mut table = Table::new(
+        format!("E5: predicted vs simulated ({tuples} tuples, blocks of 32)"),
+        ["instance", "plan", "predicted cost", "measured unit cost", "ratio", "throughput·cost"],
+    );
+
+    let mut instances = vec![("credit-screening".to_string(), credit_pipeline())];
+    for seed in 0..ctx.size(3, 1) {
+        instances.push((
+            format!("clustered-n6-s{seed}"),
+            generate(Family::Clustered, 6, seed),
+        ));
+        instances.push((
+            format!("euclidean-n10-s{seed}"),
+            generate(Family::Euclidean, 10, seed),
+        ));
+    }
+
+    for (name, inst) in &instances {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut plans = vec![("optimal".to_string(), optimize(inst).into_plan())];
+        for r in 0..2 {
+            plans.push((format!("random-{r}"), random_plan(inst, &mut rng)));
+        }
+        for (plan_name, plan) in plans {
+            let predicted = bottleneck_cost(inst, &plan);
+            let report =
+                simulate(inst, &plan, &SimConfig { tuples, ..SimConfig::default() });
+            let measured = report.measured_unit_cost();
+            table.push_row([
+                name.clone(),
+                plan_name,
+                cell_f64(predicted, 4),
+                cell_f64(measured, 4),
+                cell_f64(measured / predicted, 3),
+                cell_f64(report.throughput * predicted, 3),
+            ]);
+        }
+    }
+    table.push_note(
+        "ratio = simulated bottleneck-stage busy time per input tuple / Eq. 1; throughput·cost → 1 for a saturated pipeline",
+    );
+    vec![table]
+}

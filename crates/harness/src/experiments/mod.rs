@@ -1,0 +1,14 @@
+//! The reconstructed evaluation suite (see DESIGN.md §5 for the index).
+
+pub mod e11_anytime;
+pub mod e12_latency;
+pub mod e1_optimality;
+pub mod e2_scaling;
+pub mod e3_pruning;
+pub mod e4_quality;
+pub mod e5_cost_model;
+pub mod e6_heterogeneity;
+pub mod e7_generalizations;
+pub mod e8_runtime;
+pub mod e9_btsp;
+pub mod e10_blocks;

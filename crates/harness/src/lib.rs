@@ -1,0 +1,35 @@
+//! Experiment harness for the PODC'10 service-ordering reproduction.
+//!
+//! The brief announcement contains no tables or figures of its own — its
+//! evaluation lives in the authors' unavailable technical report — so
+//! this crate *reconstructs* the evaluation its claims require (see
+//! DESIGN.md §5 for the experiment index and EXPERIMENTS.md for measured
+//! results):
+//!
+//! | id | what it checks |
+//! |----|----------------|
+//! | e1 | the pruning lemmas preserve optimality (vs exhaustive/DP) |
+//! | e2 | optimizer scaling vs the exact exponential baselines |
+//! | e3 | per-lemma pruning ablation (nodes visited) |
+//! | e4 | plan quality vs the uniform-cost prior art `[1]` and heuristics |
+//! | e5 | Eq. 1 vs discrete-event simulation |
+//! | e6 | the price of network-obliviousness vs heterogeneity |
+//! | e7 | σ > 1 and precedence generalizations |
+//! | e8 | threaded (real) execution agreement |
+//! | e9 | bottleneck-TSP reduction instances |
+//! | e10 | block-size amortization of transfer costs |
+//! | e11 | anytime quality of the budgeted search (extension) |
+//! | e12 | tuple latency under sub-saturation load (extension) |
+//!
+//! Run everything with `cargo run --release -p dsq-harness -- all`, a
+//! subset with `… -- e3 e4`, and halve the sizes with `--quick`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+mod runner;
+mod table;
+
+pub use runner::{all_experiments, run_experiment, Experiment, ExperimentContext};
+pub use table::{cell_f64, cell_ms, Table};

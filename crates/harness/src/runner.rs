@@ -1,0 +1,126 @@
+//! Experiment registry and execution.
+
+use crate::table::Table;
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Shared knobs of an experiment run. Passive struct; fields are public.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentContext {
+    /// Shrinks sizes and seed counts for CI-speed runs.
+    pub quick: bool,
+    /// Where to write `<id>.md` / `<id>.csv` artifacts (skipped if
+    /// `None`).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl ExperimentContext {
+    /// Picks `full` or `quick` depending on the context.
+    pub fn size<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// One reproducible experiment: an id (used in file names and the CLI), a
+/// title, the claim of the paper it exercises, and a runner producing
+/// tables.
+pub struct Experiment {
+    /// Stable identifier (`e1` … `e10`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The sentence of the paper this experiment checks.
+    pub claim: &'static str,
+    /// Produces the experiment's tables.
+    pub run: fn(&ExperimentContext) -> Vec<Table>,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All experiments, in report order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        crate::experiments::e1_optimality::experiment(),
+        crate::experiments::e2_scaling::experiment(),
+        crate::experiments::e3_pruning::experiment(),
+        crate::experiments::e4_quality::experiment(),
+        crate::experiments::e5_cost_model::experiment(),
+        crate::experiments::e6_heterogeneity::experiment(),
+        crate::experiments::e7_generalizations::experiment(),
+        crate::experiments::e8_runtime::experiment(),
+        crate::experiments::e9_btsp::experiment(),
+        crate::experiments::e10_blocks::experiment(),
+        crate::experiments::e11_anytime::experiment(),
+        crate::experiments::e12_latency::experiment(),
+    ]
+}
+
+/// Runs one experiment, prints its tables, and writes artifacts if the
+/// context has an output directory. Returns the tables.
+///
+/// # Panics
+///
+/// Panics if artifact files cannot be written (experiments are developer
+/// tooling; failing loudly beats silently dropping results).
+pub fn run_experiment(experiment: &Experiment, ctx: &ExperimentContext) -> Vec<Table> {
+    println!("== {} — {}", experiment.id, experiment.title);
+    println!("   claim: {}", experiment.claim);
+    let started = Instant::now();
+    let tables = (experiment.run)(ctx);
+    let elapsed = started.elapsed();
+    for table in &tables {
+        println!("\n{table}");
+    }
+    println!("[{} finished in {:.2?}]\n", experiment.id, elapsed);
+
+    if let Some(dir) = &ctx.out_dir {
+        fs::create_dir_all(dir).expect("create results directory");
+        let mut md = String::new();
+        let mut csv = String::new();
+        for table in &tables {
+            md.push_str(&table.to_markdown());
+            md.push('\n');
+            csv.push_str(&table.to_csv());
+            csv.push('\n');
+        }
+        fs::write(dir.join(format!("{}.md", experiment.id)), md).expect("write markdown artifact");
+        fs::write(dir.join(format!("{}.csv", experiment.id)), csv).expect("write csv artifact");
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered() {
+        let experiments = all_experiments();
+        assert_eq!(experiments.len(), 12);
+        for (i, e) in experiments.iter().enumerate() {
+            assert_eq!(e.id, format!("e{}", i + 1), "registry order");
+            assert!(!e.title.is_empty());
+            assert!(!e.claim.is_empty());
+        }
+    }
+
+    #[test]
+    fn context_size_picks() {
+        let full = ExperimentContext::default();
+        assert_eq!(full.size(10, 2), 10);
+        let quick = ExperimentContext { quick: true, ..Default::default() };
+        assert_eq!(quick.size(10, 2), 2);
+    }
+}

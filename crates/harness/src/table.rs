@@ -1,0 +1,189 @@
+//! Result tables: aligned text for the terminal, Markdown and CSV for the
+//! `results/` artifacts referenced by EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A rectangular result table with a title and free-form notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are given.
+    pub fn new(title: impl Into<String>, headers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table { title: title.into(), headers, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = impl Into<String>>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Appends a free-form note rendered under the table.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n_{note}_\n"));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes fields containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let escape = |field: &str| -> String {
+            if field.contains(',') || field.contains('"') || field.contains('\n') {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|f| escape(f)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    /// Column-aligned plain text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, "{cell:<w$}  ")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-precision float formatting for table cells.
+pub fn cell_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Millisecond formatting for table cells.
+pub fn cell_ms(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", ["name", "value"]);
+        t.push_row(["a", "1"]);
+        t.push_row(["bb", "2.5"]);
+        t.push_note("a note");
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### demo"));
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| bb | 2.5 |"));
+        assert!(md.contains("_a note_"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("x", ["a", "b"]);
+        t.push_row(["plain", "with,comma"]);
+        t.push_row(["with\"quote", "z"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("plain,\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\",z"));
+    }
+
+    #[test]
+    fn display_aligns() {
+        let text = sample().to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("note: a note"));
+        // Header and first row align on the second column.
+        let lines: Vec<&str> = text.lines().collect();
+        let header_pos = lines[1].find("value").unwrap();
+        let row_pos = lines[3].find('1').unwrap();
+        assert_eq!(header_pos, row_pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", ["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn cell_formatters() {
+        assert_eq!(cell_f64(1.23456, 2), "1.23");
+        assert_eq!(cell_ms(Duration::from_micros(1500)), "1.500");
+    }
+
+    #[test]
+    fn counts() {
+        let t = sample();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.title(), "demo");
+    }
+}

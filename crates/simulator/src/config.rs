@@ -1,0 +1,134 @@
+//! Simulation configuration.
+
+/// How tuples enter the first service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// The whole input is queued at time zero — measures the pipeline's
+    /// maximum sustainable throughput (the regime Eq. 1 models).
+    AllAtStart,
+    /// One tuple every `interval` seconds — an open-loop feed for studying
+    /// under-saturated pipelines.
+    Paced {
+        /// Seconds between consecutive arrivals.
+        interval: f64,
+    },
+}
+
+/// Per-tuple service time randomness around the mean cost `c_i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceTimeModel {
+    /// Every tuple takes exactly `c_i`.
+    Deterministic,
+    /// Exponential with mean `c_i` (memoryless server).
+    Exponential,
+    /// Uniform on `[c_i(1-spread), c_i(1+spread)]`.
+    Uniform {
+        /// Half-width as a fraction of the mean, in `[0, 1]`.
+        spread: f64,
+    },
+}
+
+/// How a service's selectivity is realized tuple by tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectivityModel {
+    /// Deterministic accumulator: after `m` inputs a service has emitted
+    /// `⌊m·σ⌉`-accurate output counts. Matches the expectation exactly —
+    /// the right mode for validating the cost model.
+    Expected,
+    /// Per-tuple randomness: `⌊σ⌋` copies plus one more with probability
+    /// `frac(σ)` (Bernoulli filtering when `σ < 1`).
+    Stochastic,
+}
+
+/// Full configuration of a simulation run. Passive struct; fields are
+/// public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of input tuples fed to the first service.
+    pub tuples: u64,
+    /// Tuples per transfer block; the per-tuple transfer cost `t_{i,j}`
+    /// is charged per tuple, a block send occupying the sender for
+    /// `count · t` (§2: "tuples are transmitted in blocks … t is the cost
+    /// to transmit a block divided by the number of tuples it contains").
+    pub block_size: u64,
+    /// Arrival process at the first service.
+    pub arrivals: ArrivalProcess,
+    /// Service time randomness.
+    pub service_time: ServiceTimeModel,
+    /// Selectivity realization.
+    pub selectivity: SelectivityModel,
+    /// RNG seed (used by the stochastic models).
+    pub seed: u64,
+    /// Tag every tuple with its arrival time and report end-to-end
+    /// latency statistics at the sink (small extra memory per queued
+    /// tuple). Most useful with [`ArrivalProcess::Paced`], where sojourn
+    /// time reflects load rather than the initial backlog.
+    pub track_latency: bool,
+}
+
+impl Default for SimConfig {
+    /// Deterministic, expectation-exact run of 10 000 tuples in blocks of
+    /// 32 — the validation configuration.
+    fn default() -> Self {
+        SimConfig {
+            tuples: 10_000,
+            block_size: 32,
+            arrivals: ArrivalProcess::AllAtStart,
+            service_time: ServiceTimeModel::Deterministic,
+            selectivity: SelectivityModel::Expected,
+            seed: 0,
+            track_latency: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates ranges (positive tuple count and block size, sane
+    /// spread/interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid values; configurations are programmer inputs.
+    pub fn assert_valid(&self) {
+        assert!(self.tuples > 0, "simulate at least one tuple");
+        assert!(self.block_size > 0, "block size must be positive");
+        if let ArrivalProcess::Paced { interval } = self.arrivals {
+            assert!(interval.is_finite() && interval >= 0.0, "invalid arrival interval");
+        }
+        if let ServiceTimeModel::Uniform { spread } = self.service_time {
+            assert!((0.0..=1.0).contains(&spread), "spread must be in [0, 1]");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SimConfig::default().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        SimConfig { block_size: 0, ..SimConfig::default() }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tuple")]
+    fn zero_tuples_rejected() {
+        SimConfig { tuples: 0, ..SimConfig::default() }.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "spread")]
+    fn bad_spread_rejected() {
+        SimConfig {
+            service_time: ServiceTimeModel::Uniform { spread: 2.0 },
+            ..SimConfig::default()
+        }
+        .assert_valid();
+    }
+}

@@ -1,0 +1,743 @@
+//! The discrete-event engine.
+//!
+//! Each plan position is a *stage*: a single-threaded server that
+//! alternates between processing one input tuple (for a sampled service
+//! time) and transmitting output blocks downstream (occupying the thread
+//! for `count · t_{i,next}`, per the paper's sequential process-and-send
+//! model). Input queues are tuple *counts* — tuples are indistinguishable
+//! — so memory stays constant regardless of backlog.
+//!
+//! The event heap holds stage wake-ups and (for paced arrivals) source
+//! events; every event does O(1) work, and a run generates roughly
+//! `tuples × stages × 2` events.
+
+use crate::config::{ArrivalProcess, SelectivityModel, ServiceTimeModel, SimConfig};
+use crate::report::{LatencyStats, SimReport, StageStats};
+use dsq_core::{Plan, QueryInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulates the decentralized pipelined execution of `plan` and returns
+/// the run's telemetry.
+///
+/// # Panics
+///
+/// Panics if the plan does not match the instance or the configuration is
+/// invalid (see [`SimConfig::assert_valid`]).
+///
+/// # Examples
+///
+/// ```
+/// use dsq_core::{CommMatrix, Plan, QueryInstance, Service};
+/// use dsq_simulator::{simulate, SimConfig};
+///
+/// let inst = QueryInstance::from_parts(
+///     vec![Service::new(0.002, 0.5), Service::new(0.003, 1.0)],
+///     CommMatrix::uniform(2, 0.001),
+/// )?;
+/// let plan = Plan::new(vec![0, 1])?;
+/// let report = simulate(&inst, &plan, &SimConfig { tuples: 1_000, ..SimConfig::default() });
+/// assert_eq!(report.tuples_in, 1_000);
+/// assert_eq!(report.tuples_delivered, 500);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(instance: &QueryInstance, plan: &Plan, config: &SimConfig) -> SimReport {
+    assert_eq!(plan.len(), instance.len(), "plan must cover the instance");
+    config.assert_valid();
+    Engine::new(instance, plan, config).run()
+}
+
+const SOURCE: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    stage: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first, ties by
+    // insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StageState {
+    Idle,
+    Processing,
+    Sending(u64),
+    Finished,
+}
+
+struct Stage {
+    service: usize,
+    mean_cost: f64,
+    selectivity: f64,
+    /// Per-tuple transfer cost to the next stage (sink cost for the last).
+    transfer_out: f64,
+    queue: u64,
+    out_buffer: u64,
+    upstream_done: bool,
+    state: StageState,
+    /// Deterministic selectivity accumulator (Expected mode).
+    acc: f64,
+    busy: f64,
+    tuples_in: u64,
+    tuples_out: u64,
+    blocks_sent: u64,
+    peak_queue: u64,
+    // --- latency tracking (populated only when enabled): birth times of
+    // queued tuples, of buffered outputs, and of an in-flight block.
+    queue_tags: VecDeque<f64>,
+    buffer_tags: Vec<f64>,
+    inflight_tags: Vec<f64>,
+    processing_tag: f64,
+}
+
+struct Engine<'a> {
+    config: &'a SimConfig,
+    stages: Vec<Stage>,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    rng: StdRng,
+    now: f64,
+    deliveries: Vec<(f64, u64)>,
+    /// End-to-end sojourn samples (latency tracking only).
+    sojourns: Vec<f64>,
+    arrivals_remaining: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(instance: &QueryInstance, plan: &Plan, config: &'a SimConfig) -> Self {
+        let order = plan.indices();
+        let n = order.len();
+        let stages = order
+            .iter()
+            .enumerate()
+            .map(|(pos, &s)| Stage {
+                service: s,
+                mean_cost: instance.cost(s),
+                selectivity: instance.selectivity(s),
+                transfer_out: if pos + 1 < n {
+                    instance.transfer(s, order[pos + 1])
+                } else {
+                    instance.sink_cost(s)
+                },
+                queue: 0,
+                out_buffer: 0,
+                upstream_done: false,
+                state: StageState::Idle,
+                acc: 0.0,
+                busy: 0.0,
+                tuples_in: 0,
+                tuples_out: 0,
+                blocks_sent: 0,
+                peak_queue: 0,
+                queue_tags: VecDeque::new(),
+                buffer_tags: Vec::new(),
+                inflight_tags: Vec::new(),
+                processing_tag: 0.0,
+            })
+            .collect();
+        Engine {
+            config,
+            stages,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            now: 0.0,
+            deliveries: Vec::new(),
+            sojourns: Vec::new(),
+            arrivals_remaining: config.tuples,
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        match self.config.arrivals {
+            ArrivalProcess::AllAtStart => {
+                self.stages[0].queue = self.config.tuples;
+                self.stages[0].peak_queue = self.config.tuples;
+                if self.config.track_latency {
+                    self.stages[0].queue_tags =
+                        std::iter::repeat_n(0.0, self.config.tuples as usize).collect();
+                }
+                self.stages[0].upstream_done = true;
+                self.arrivals_remaining = 0;
+                self.start_if_idle(0);
+            }
+            ArrivalProcess::Paced { .. } => self.schedule(0.0, SOURCE),
+        }
+
+        while let Some(event) = self.heap.pop() {
+            debug_assert!(event.time >= self.now, "time must not run backwards");
+            self.now = event.time;
+            if event.stage == SOURCE {
+                self.source_arrival();
+            } else {
+                self.wake(event.stage);
+            }
+        }
+
+        let tuples_in = self.config.tuples;
+        let makespan = self.now;
+        let delivered: u64 = self.deliveries.iter().map(|&(_, c)| c).sum();
+        let realized_sel = delivered as f64 / tuples_in as f64;
+        let steady = steady_rate(&self.deliveries).map(|sink_rate| {
+            if realized_sel > 0.0 {
+                sink_rate / realized_sel
+            } else {
+                0.0
+            }
+        });
+        SimReport {
+            tuples_in,
+            tuples_delivered: delivered,
+            makespan,
+            throughput: if makespan > 0.0 { tuples_in as f64 / makespan } else { f64::INFINITY },
+            steady_throughput: steady,
+            stages: self
+                .stages
+                .iter()
+                .enumerate()
+                .map(|(position, s)| StageStats {
+                    position,
+                    service: s.service,
+                    tuples_in: s.tuples_in,
+                    tuples_out: s.tuples_out,
+                    blocks_sent: s.blocks_sent,
+                    busy_time: s.busy,
+                    peak_queue: s.peak_queue,
+                })
+                .collect(),
+            latency: LatencyStats::from_samples(self.sojourns),
+        }
+    }
+
+    fn schedule(&mut self, time: f64, stage: usize) {
+        self.seq += 1;
+        self.heap.push(Event { time, seq: self.seq, stage });
+    }
+
+    fn source_arrival(&mut self) {
+        self.arrivals_remaining -= 1;
+        self.stages[0].queue += 1;
+        if self.config.track_latency {
+            let now = self.now;
+            self.stages[0].queue_tags.push_back(now);
+        }
+        self.stages[0].peak_queue = self.stages[0].peak_queue.max(self.stages[0].queue);
+        if self.arrivals_remaining == 0 {
+            self.stages[0].upstream_done = true;
+        } else if let ArrivalProcess::Paced { interval } = self.config.arrivals {
+            self.schedule(self.now + interval, SOURCE);
+        }
+        self.start_if_idle(0);
+    }
+
+    /// The stage finished its current activity; account for it and start
+    /// the next one.
+    fn wake(&mut self, s: usize) {
+        match self.stages[s].state {
+            StageState::Processing => {
+                let k = self.realize_outputs(s);
+                let stage = &mut self.stages[s];
+                stage.tuples_out += k;
+                stage.out_buffer += k;
+                if self.config.track_latency {
+                    let tag = stage.processing_tag;
+                    stage.buffer_tags.extend(std::iter::repeat_n(tag, k as usize));
+                }
+                stage.state = StageState::Idle;
+            }
+            StageState::Sending(count) => {
+                let stage = &mut self.stages[s];
+                stage.blocks_sent += 1;
+                stage.state = StageState::Idle;
+                self.deliver(s, count);
+            }
+            StageState::Idle | StageState::Finished => {
+                // Spurious wake (e.g. raced with an upstream EOS); ignore.
+            }
+        }
+        self.start_if_idle(s);
+    }
+
+    fn deliver(&mut self, from: usize, count: u64) {
+        let tags = if self.config.track_latency {
+            std::mem::take(&mut self.stages[from].inflight_tags)
+        } else {
+            Vec::new()
+        };
+        if from + 1 < self.stages.len() {
+            let next = &mut self.stages[from + 1];
+            next.queue += count;
+            next.queue_tags.extend(tags);
+            next.peak_queue = next.peak_queue.max(next.queue);
+            self.start_if_idle(from + 1);
+        } else {
+            self.deliveries.push((self.now, count));
+            let now = self.now;
+            self.sojourns.extend(tags.into_iter().map(|birth| now - birth));
+        }
+    }
+
+    /// Decision procedure of the single service thread: send a full block
+    /// if one is ready, else process the next tuple, else flush / finish
+    /// once upstream is drained.
+    fn start_if_idle(&mut self, s: usize) {
+        if self.stages[s].state != StageState::Idle {
+            return;
+        }
+        let block = self.config.block_size;
+        let stage = &self.stages[s];
+        if stage.out_buffer >= block {
+            self.begin_send(s, block);
+        } else if stage.queue > 0 {
+            self.begin_processing(s);
+        } else if stage.upstream_done {
+            if stage.out_buffer > 0 {
+                let rest = stage.out_buffer;
+                self.begin_send(s, rest);
+            } else {
+                self.stages[s].state = StageState::Finished;
+                if s + 1 < self.stages.len() {
+                    self.stages[s + 1].upstream_done = true;
+                    self.start_if_idle(s + 1);
+                }
+            }
+        }
+        // else: idle, waiting for upstream deliveries.
+    }
+
+    fn begin_processing(&mut self, s: usize) {
+        let dt = self.sample_service_time(s);
+        let track = self.config.track_latency;
+        let stage = &mut self.stages[s];
+        stage.queue -= 1;
+        if track {
+            stage.processing_tag =
+                stage.queue_tags.pop_front().expect("tags mirror the queue count");
+        }
+        stage.tuples_in += 1;
+        stage.busy += dt;
+        stage.state = StageState::Processing;
+        self.schedule(self.now + dt, s);
+    }
+
+    fn begin_send(&mut self, s: usize, count: u64) {
+        let track = self.config.track_latency;
+        let stage = &mut self.stages[s];
+        let dt = count as f64 * stage.transfer_out;
+        stage.out_buffer -= count;
+        if track {
+            stage.inflight_tags = stage.buffer_tags.drain(..count as usize).collect();
+        }
+        stage.busy += dt;
+        stage.state = StageState::Sending(count);
+        self.schedule(self.now + dt, s);
+    }
+
+    fn sample_service_time(&mut self, s: usize) -> f64 {
+        let mean = self.stages[s].mean_cost;
+        match self.config.service_time {
+            ServiceTimeModel::Deterministic => mean,
+            ServiceTimeModel::Exponential => {
+                if mean == 0.0 {
+                    0.0
+                } else {
+                    let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    -mean * u.ln()
+                }
+            }
+            ServiceTimeModel::Uniform { spread } => {
+                if mean == 0.0 || spread == 0.0 {
+                    mean
+                } else {
+                    self.rng.gen_range(mean * (1.0 - spread)..=mean * (1.0 + spread))
+                }
+            }
+        }
+    }
+
+    fn realize_outputs(&mut self, s: usize) -> u64 {
+        let sigma = self.stages[s].selectivity;
+        match self.config.selectivity {
+            SelectivityModel::Expected => {
+                let stage = &mut self.stages[s];
+                stage.acc += sigma;
+                let k = stage.acc.floor();
+                stage.acc -= k;
+                k as u64
+            }
+            SelectivityModel::Stochastic => {
+                let whole = sigma.floor();
+                let frac = sigma - whole;
+                let extra = u64::from(frac > 0.0 && self.rng.gen_bool(frac));
+                whole as u64 + extra
+            }
+        }
+    }
+}
+
+/// Input-agnostic steady-state rate at the sink: deliveries per second
+/// over the middle half (by cumulative count) of the delivery log.
+fn steady_rate(deliveries: &[(f64, u64)]) -> Option<f64> {
+    if deliveries.len() < 4 {
+        return None;
+    }
+    let total: u64 = deliveries.iter().map(|&(_, c)| c).sum();
+    let (lo, hi) = (total / 4, total * 3 / 4);
+    let mut cumulative = 0u64;
+    let mut t_lo = None;
+    let mut t_hi = None;
+    let mut c_lo = 0u64;
+    let mut c_hi = 0u64;
+    for &(t, c) in deliveries {
+        cumulative += c;
+        if t_lo.is_none() && cumulative >= lo {
+            t_lo = Some(t);
+            c_lo = cumulative;
+        }
+        if cumulative >= hi {
+            t_hi = Some(t);
+            c_hi = cumulative;
+            break;
+        }
+    }
+    match (t_lo, t_hi) {
+        (Some(a), Some(b)) if b > a && c_hi > c_lo => Some((c_hi - c_lo) as f64 / (b - a)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_core::{bottleneck_cost, cost_terms, CommMatrix, Service};
+
+    fn two_stage() -> (QueryInstance, Plan) {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.01, 1.0), Service::new(0.02, 1.0)],
+            CommMatrix::uniform(2, 0.0),
+        )
+        .unwrap();
+        (inst, Plan::new(vec![0, 1]).unwrap())
+    }
+
+    #[test]
+    fn hand_computed_two_stage_makespan() {
+        // No transfers: stage 0 takes 0.01/tuple, stage 1 0.02/tuple.
+        // 100 tuples: stage 1 is the bottleneck. It can only start after
+        // the first block (32) is ready, then runs continuously:
+        // makespan = 0.01·32 + 100·0.02 = 2.32.
+        let (inst, plan) = two_stage();
+        let report =
+            simulate(&inst, &plan, &SimConfig { tuples: 100, ..SimConfig::default() });
+        assert_eq!(report.tuples_delivered, 100);
+        assert!((report.makespan - 2.32).abs() < 1e-9, "makespan {}", report.makespan);
+        assert_eq!(report.bottleneck_position(), 1);
+        assert!((report.stages[0].busy_time - 1.0).abs() < 1e-9);
+        assert!((report.stages[1].busy_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_selectivity_is_exact() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.001, 0.5), Service::new(0.001, 0.25)],
+            CommMatrix::uniform(2, 0.0),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        let report =
+            simulate(&inst, &plan, &SimConfig { tuples: 1_000, ..SimConfig::default() });
+        assert_eq!(report.stages[0].tuples_out, 500);
+        assert_eq!(report.stages[1].tuples_in, 500);
+        assert_eq!(report.tuples_delivered, 125);
+    }
+
+    #[test]
+    fn proliferative_services_multiply() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.001, 3.0), Service::new(0.001, 1.0)],
+            CommMatrix::uniform(2, 0.0),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        let report = simulate(&inst, &plan, &SimConfig { tuples: 200, ..SimConfig::default() });
+        assert_eq!(report.stages[0].tuples_out, 600);
+        assert_eq!(report.tuples_delivered, 600);
+    }
+
+    #[test]
+    fn throughput_matches_eq1_prediction() {
+        // A saturated heterogeneous pipeline: measured input throughput
+        // must approach 1 / bottleneck_cost.
+        let inst = QueryInstance::from_parts(
+            vec![
+                Service::new(0.004, 0.7),
+                Service::new(0.006, 0.5),
+                Service::new(0.012, 0.9),
+                Service::new(0.002, 1.0),
+            ],
+            CommMatrix::from_fn(4, |i, j| if i == j { 0.0 } else { 0.001 * (1 + (i + j) % 3) as f64 }),
+        )
+        .unwrap();
+        for order in [vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 0, 3, 2]] {
+            let plan = Plan::new(order).unwrap();
+            let predicted = bottleneck_cost(&inst, &plan);
+            let report = simulate(
+                &inst,
+                &plan,
+                &SimConfig { tuples: 20_000, block_size: 16, ..SimConfig::default() },
+            );
+            let measured = report.throughput;
+            let ratio = measured * predicted;
+            assert!(
+                (0.9..=1.02).contains(&ratio),
+                "throughput {measured} vs predicted {} (ratio {ratio})",
+                1.0 / predicted
+            );
+        }
+    }
+
+    #[test]
+    fn per_stage_busy_time_matches_cost_terms() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.003, 0.6), Service::new(0.005, 0.8), Service::new(0.002, 1.0)],
+            CommMatrix::uniform(3, 0.002),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![2, 0, 1]).unwrap();
+        let report = simulate(
+            &inst,
+            &plan,
+            &SimConfig { tuples: 10_000, block_size: 8, ..SimConfig::default() },
+        );
+        for (term, stage) in cost_terms(&inst, &plan).iter().zip(&report.stages) {
+            let measured = stage.unit_busy_time(report.tuples_in);
+            assert!(
+                (measured - term.term).abs() <= 0.05 * term.term.max(1e-9),
+                "position {}: measured {measured} vs term {}",
+                term.position,
+                term.term
+            );
+        }
+    }
+
+    #[test]
+    fn stochastic_mode_is_seeded_and_plausible() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.001, 0.5), Service::new(0.001, 1.0)],
+            CommMatrix::uniform(2, 0.0),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        let cfg = SimConfig {
+            tuples: 5_000,
+            selectivity: SelectivityModel::Stochastic,
+            service_time: ServiceTimeModel::Exponential,
+            seed: 9,
+            ..SimConfig::default()
+        };
+        let a = simulate(&inst, &plan, &cfg);
+        let b = simulate(&inst, &plan, &cfg);
+        assert_eq!(a, b, "same seed, same run");
+        let sel = a.stages[0].realized_selectivity();
+        assert!((0.45..0.55).contains(&sel), "Bernoulli(0.5) realized {sel}");
+        let c = simulate(&inst, &plan, &SimConfig { seed: 10, ..cfg });
+        assert_ne!(a.tuples_delivered, c.tuples_delivered);
+    }
+
+    #[test]
+    fn paced_arrivals_cap_throughput() {
+        let (inst, plan) = two_stage();
+        // Arrivals every 0.05s ≫ bottleneck 0.02s: the pipeline is idle
+        // most of the time and throughput tracks the arrival rate.
+        let report = simulate(
+            &inst,
+            &plan,
+            &SimConfig {
+                tuples: 500,
+                arrivals: ArrivalProcess::Paced { interval: 0.05 },
+                block_size: 1,
+                ..SimConfig::default()
+            },
+        );
+        assert!((report.throughput - 20.0).abs() / 20.0 < 0.05, "got {}", report.throughput);
+    }
+
+    #[test]
+    fn block_size_one_disables_batching() {
+        let (inst, plan) = two_stage();
+        let report = simulate(
+            &inst,
+            &plan,
+            &SimConfig { tuples: 50, block_size: 1, ..SimConfig::default() },
+        );
+        assert_eq!(report.stages[0].blocks_sent, 50);
+        assert_eq!(report.tuples_delivered, 50);
+    }
+
+    #[test]
+    fn zero_selectivity_starves_downstream() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.001, 0.0), Service::new(1.0, 1.0)],
+            CommMatrix::uniform(2, 0.0),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        let report = simulate(&inst, &plan, &SimConfig { tuples: 100, ..SimConfig::default() });
+        assert_eq!(report.tuples_delivered, 0);
+        assert_eq!(report.stages[1].tuples_in, 0);
+        assert!((report.makespan - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_costs_occupy_the_last_stage() {
+        let inst = QueryInstance::builder()
+            .services(vec![Service::new(0.001, 1.0)])
+            .comm(CommMatrix::zeros(1))
+            .sink(vec![0.01])
+            .build()
+            .unwrap();
+        let plan = Plan::new(vec![0]).unwrap();
+        let report = simulate(&inst, &plan, &SimConfig { tuples: 100, ..SimConfig::default() });
+        // busy = 100·0.001 processing + 100·0.01 sending.
+        assert!((report.stages[0].busy_time - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_of_an_unloaded_deterministic_pipeline_is_exact() {
+        // One tuple every 1s through two stages (c = 0.01 and 0.02,
+        // transfer 0.005/tuple, blocks of 1): the pipeline is idle when
+        // each tuple arrives, so every sojourn is exactly
+        // 0.01 + 0.005 + 0.02 + 0.005 = 0.04.
+        let inst = QueryInstance::builder()
+            .services(vec![Service::new(0.01, 1.0), Service::new(0.02, 1.0)])
+            .comm(CommMatrix::uniform(2, 0.005))
+            .sink(vec![0.0, 0.005])
+            .build()
+            .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        let report = simulate(
+            &inst,
+            &plan,
+            &SimConfig {
+                tuples: 50,
+                block_size: 1,
+                arrivals: ArrivalProcess::Paced { interval: 1.0 },
+                track_latency: true,
+                ..SimConfig::default()
+            },
+        );
+        let latency = report.latency.expect("tracking enabled, tuples delivered");
+        assert_eq!(latency.count, 50);
+        assert!((latency.mean - 0.04).abs() < 1e-9, "mean {}", latency.mean);
+        assert!((latency.max - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        // Queueing delay needs service-time variance: a deterministic
+        // pipeline fed below saturation never queues (D/D/1), so this
+        // test uses exponential service times (M-like servers).
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.01, 1.0), Service::new(0.02, 1.0)],
+            CommMatrix::uniform(2, 0.0),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        let run = |interval: f64| {
+            simulate(
+                &inst,
+                &plan,
+                &SimConfig {
+                    tuples: 4_000,
+                    block_size: 1,
+                    arrivals: ArrivalProcess::Paced { interval },
+                    service_time: ServiceTimeModel::Exponential,
+                    track_latency: true,
+                    seed: 42,
+                    ..SimConfig::default()
+                },
+            )
+            .latency
+            .expect("delivered")
+        };
+        // Bottleneck mean rate = 50/s; load 0.4 vs 0.95.
+        let light = run(0.05);
+        let heavy = run(0.021);
+        assert!(
+            heavy.p95 > 1.5 * light.p95,
+            "p95 should grow sharply with load: light {} vs heavy {}",
+            light.p95,
+            heavy.p95
+        );
+        assert!(heavy.mean > light.mean);
+        // Sojourn can never beat zero and rarely beats the mean service
+        // demand by much under exponential draws.
+        assert!(light.mean > 0.02);
+    }
+
+    #[test]
+    fn latency_tracking_does_not_change_dynamics() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.004, 0.7), Service::new(0.006, 0.5)],
+            CommMatrix::uniform(2, 0.001),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0, 1]).unwrap();
+        let base = SimConfig { tuples: 3_000, ..SimConfig::default() };
+        let plain = simulate(&inst, &plan, &base);
+        let tracked = simulate(&inst, &plan, &SimConfig { track_latency: true, ..base });
+        assert_eq!(plain.makespan, tracked.makespan);
+        assert_eq!(plain.tuples_delivered, tracked.tuples_delivered);
+        assert_eq!(plain.stages, tracked.stages);
+        assert!(plain.latency.is_none());
+        assert!(tracked.latency.is_some());
+    }
+
+    #[test]
+    fn filtered_out_tuples_leave_no_latency_samples() {
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(0.001, 0.0)],
+            CommMatrix::zeros(1),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![0]).unwrap();
+        let report = simulate(
+            &inst,
+            &plan,
+            &SimConfig { tuples: 100, track_latency: true, ..SimConfig::default() },
+        );
+        assert!(report.latency.is_none());
+    }
+
+    #[test]
+    fn steady_rate_needs_enough_deliveries() {
+        assert_eq!(steady_rate(&[(0.0, 1)]), None);
+        // 8 deliveries of 10 tuples every 0.5s ⇒ middle half ≈ 20/s.
+        let log: Vec<(f64, u64)> = (0..8).map(|i| (0.5 * (i + 1) as f64, 10)).collect();
+        let rate = steady_rate(&log).unwrap();
+        assert!((rate - 20.0).abs() < 1.0, "rate {rate}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Discrete-event simulation of decentralized pipelined query execution.
+//!
+//! This crate is the "simulation experiments" substrate of the
+//! reproduction (DESIGN.md, system inventory #9): it executes a concrete
+//! plan under the paper's execution model — every service a single thread
+//! on its own host, processing input tuples and transmitting output
+//! blocks to the next service, with the transmission occupying the
+//! sender's thread — and reports makespan, throughput, and per-stage busy
+//! times.
+//!
+//! Its purpose is to *validate the cost model*: under deterministic
+//! service times and expectation-exact selectivities, the measured input
+//! throughput of a saturated pipeline converges to
+//! `1 / bottleneck_cost(plan)` and each stage's busy time per input tuple
+//! converges to its Eq. 1 term (experiments E5 and E10; the engine tests
+//! assert both within a few percent).
+//!
+//! # Examples
+//!
+//! ```
+//! use dsq_core::{bottleneck_cost, optimize};
+//! use dsq_simulator::{simulate, SimConfig};
+//! use dsq_workloads::credit_pipeline;
+//!
+//! let inst = credit_pipeline();
+//! let best = optimize(&inst).into_plan();
+//! let report = simulate(&inst, &best, &SimConfig::default());
+//! // The simulated throughput is close to the model's prediction.
+//! let predicted = 1.0 / bottleneck_cost(&inst, &best);
+//! assert!((report.throughput - predicted).abs() / predicted < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod report;
+
+pub use config::{ArrivalProcess, SelectivityModel, ServiceTimeModel, SimConfig};
+pub use engine::simulate;
+pub use report::{LatencyStats, SimReport, StageStats};

@@ -1,0 +1,224 @@
+//! Simulation outputs.
+
+use std::fmt;
+
+/// Per-stage telemetry of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Plan position of the stage.
+    pub position: usize,
+    /// Service index occupying the position.
+    pub service: usize,
+    /// Tuples consumed from the input queue.
+    pub tuples_in: u64,
+    /// Tuples produced (before blocking).
+    pub tuples_out: u64,
+    /// Blocks transmitted downstream (including the final flush).
+    pub blocks_sent: u64,
+    /// Total busy time (processing + sending), in simulated seconds.
+    pub busy_time: f64,
+    /// Largest input-queue backlog observed.
+    pub peak_queue: u64,
+}
+
+impl StageStats {
+    /// Busy seconds per *pipeline input* tuple — the simulated counterpart
+    /// of this position's Eq. 1 term.
+    pub fn unit_busy_time(&self, pipeline_inputs: u64) -> f64 {
+        self.busy_time / pipeline_inputs as f64
+    }
+
+    /// Realized selectivity (output/input), `0` when starved.
+    pub fn realized_selectivity(&self) -> f64 {
+        if self.tuples_in == 0 {
+            0.0
+        } else {
+            self.tuples_out as f64 / self.tuples_in as f64
+        }
+    }
+}
+
+/// End-to-end tuple latency statistics (enabled by
+/// [`SimConfig::track_latency`](crate::SimConfig)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Tuples that reached the sink (the sample count).
+    pub count: u64,
+    /// Mean sojourn time from source arrival to sink delivery.
+    pub mean: f64,
+    /// Median sojourn time.
+    pub p50: f64,
+    /// 95th-percentile sojourn time.
+    pub p95: f64,
+    /// 99th-percentile sojourn time.
+    pub p99: f64,
+    /// Worst sojourn time.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Computes the statistics from raw sojourn samples; `None` when no
+    /// tuple reached the sink.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(f64::total_cmp);
+        let count = samples.len();
+        let at = |q: f64| samples[((count - 1) as f64 * q).round() as usize];
+        Some(LatencyStats {
+            count: count as u64,
+            mean: samples.iter().sum::<f64>() / count as f64,
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: *samples.last().expect("non-empty"),
+        })
+    }
+}
+
+/// Result of one pipeline simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Input tuples fed to the pipeline.
+    pub tuples_in: u64,
+    /// Tuples delivered to the sink.
+    pub tuples_delivered: u64,
+    /// Time of the last event (all stages drained).
+    pub makespan: f64,
+    /// `tuples_in / makespan`: end-to-end input consumption rate.
+    pub throughput: f64,
+    /// Input-rate estimate over the middle half of sink deliveries,
+    /// re-expressed in *input* tuples per second (deliveries divided by
+    /// the realized end-to-end selectivity). `None` when fewer than four
+    /// deliveries reached the sink.
+    pub steady_throughput: Option<f64>,
+    /// Per-stage telemetry, in plan order.
+    pub stages: Vec<StageStats>,
+    /// End-to-end latency statistics, when tracking was enabled and at
+    /// least one tuple reached the sink.
+    pub latency: Option<LatencyStats>,
+}
+
+impl SimReport {
+    /// The plan position with the largest busy time — the simulated
+    /// bottleneck.
+    pub fn bottleneck_position(&self) -> usize {
+        let mut best = 0;
+        for (i, s) in self.stages.iter().enumerate() {
+            if s.busy_time > self.stages[best].busy_time {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The bottleneck stage's busy seconds per input tuple — the measured
+    /// counterpart of the plan's bottleneck cost (Eq. 1).
+    pub fn measured_unit_cost(&self) -> f64 {
+        self.stages[self.bottleneck_position()].unit_busy_time(self.tuples_in)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} tuples in, {} delivered, makespan {:.4}s, throughput {:.4}/s",
+            self.tuples_in, self.tuples_delivered, self.makespan, self.throughput
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  #{} WS{}: in {:>8} out {:>8} busy {:>10.4}s ({} blocks, peak queue {})",
+                s.position, s.service, s.tuples_in, s.tuples_out, s.busy_time, s.blocks_sent,
+                s.peak_queue
+            )?;
+        }
+        if let Some(latency) = &self.latency {
+            writeln!(
+                f,
+                "latency: mean {:.4}s p50 {:.4}s p95 {:.4}s p99 {:.4}s max {:.4}s ({} samples)",
+                latency.mean, latency.p50, latency.p95, latency.p99, latency.max, latency.count
+            )?;
+        }
+        write!(f, "bottleneck at position {}", self.bottleneck_position())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(position: usize, busy: f64) -> StageStats {
+        StageStats {
+            position,
+            service: position,
+            tuples_in: 100,
+            tuples_out: 50,
+            blocks_sent: 4,
+            busy_time: busy,
+            peak_queue: 10,
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_busiest() {
+        let report = SimReport {
+            tuples_in: 100,
+            tuples_delivered: 25,
+            makespan: 10.0,
+            throughput: 10.0,
+            steady_throughput: None,
+            stages: vec![stage(0, 1.0), stage(1, 9.0), stage(2, 3.0)],
+            latency: None,
+        };
+        assert_eq!(report.bottleneck_position(), 1);
+        assert!((report.measured_unit_cost() - 0.09).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_derived_quantities() {
+        let s = stage(0, 5.0);
+        assert!((s.unit_busy_time(100) - 0.05).abs() < 1e-12);
+        assert!((s.realized_selectivity() - 0.5).abs() < 1e-12);
+        let starved = StageStats { tuples_in: 0, ..stage(1, 0.0) };
+        assert_eq!(starved.realized_selectivity(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let report = SimReport {
+            tuples_in: 10,
+            tuples_delivered: 5,
+            makespan: 2.0,
+            throughput: 5.0,
+            steady_throughput: Some(4.8),
+            stages: vec![stage(0, 1.0)],
+            latency: LatencyStats::from_samples(vec![0.5, 1.0, 1.5]),
+        };
+        let text = report.to_string();
+        assert!(text.contains("10 tuples in"));
+        assert!(text.contains("WS0"));
+        assert!(text.contains("bottleneck"));
+        assert!(text.contains("latency"));
+        assert!(text.contains("p95"));
+    }
+
+    #[test]
+    fn latency_stats_from_samples() {
+        assert_eq!(LatencyStats::from_samples(vec![]), None);
+        let stats = LatencyStats::from_samples(vec![3.0, 1.0, 2.0]).expect("non-empty");
+        assert_eq!(stats.count, 3);
+        assert!((stats.mean - 2.0).abs() < 1e-12);
+        assert_eq!(stats.p50, 2.0);
+        assert_eq!(stats.max, 3.0);
+        // Percentiles of a 100-sample 1..=100 ramp.
+        let ramp: Vec<f64> = (1..=100).map(f64::from).collect();
+        let stats = LatencyStats::from_samples(ramp).expect("non-empty");
+        assert_eq!(stats.p50, 51.0);
+        assert_eq!(stats.p95, 95.0);
+        assert_eq!(stats.p99, 99.0);
+        assert_eq!(stats.max, 100.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Seeded instance families.
+//!
+//! Each family fixes a qualitative regime of the problem; the free
+//! parameters (`n`, seed, knobs in [`FamilyParams`]) are swept by the
+//! experiment harness. All generation is deterministic in the seed.
+
+use dsq_core::{CommMatrix, QueryInstance, Service};
+use dsq_netsim as netsim;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The qualitative workload regimes used across the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// I.i.d. costs, selectivities and (asymmetric) transfer costs.
+    UniformRandom,
+    /// Hosts on a plane; transfer cost grows with distance.
+    Euclidean,
+    /// Three data centers; cheap intra-, expensive inter-cluster links.
+    Clustered,
+    /// Two hubs; spokes route through them.
+    HubSpoke,
+    /// Expensive services filter harder (anticorrelated cost/selectivity),
+    /// the regime where ordering decisions are most consequential.
+    Correlated,
+    /// Roughly a third of the services are proliferative (`σ ∈ (1, 3]`),
+    /// exercising the paper's σ > 1 generalization.
+    ProliferativeMix,
+    /// Unit selectivities, zero processing costs: the bottleneck-TSP core.
+    BtspHard,
+}
+
+impl Family {
+    /// All families, in report order.
+    pub const ALL: [Family; 7] = [
+        Family::UniformRandom,
+        Family::Euclidean,
+        Family::Clustered,
+        Family::HubSpoke,
+        Family::Correlated,
+        Family::ProliferativeMix,
+        Family::BtspHard,
+    ];
+
+    /// Stable lowercase name used in tables and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::UniformRandom => "uniform-random",
+            Family::Euclidean => "euclidean",
+            Family::Clustered => "clustered",
+            Family::HubSpoke => "hub-spoke",
+            Family::Correlated => "correlated",
+            Family::ProliferativeMix => "proliferative",
+            Family::BtspHard => "btsp-hard",
+        }
+    }
+}
+
+/// Numeric knobs shared by the families. Passive struct; fields are
+/// public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyParams {
+    /// Per-tuple processing cost range.
+    pub cost_range: (f64, f64),
+    /// Selectivity range for selective services.
+    pub selectivity_range: (f64, f64),
+    /// Transfer cost range (scale of the network).
+    pub transfer_range: (f64, f64),
+    /// Fraction of proliferative services in [`Family::ProliferativeMix`].
+    pub proliferative_fraction: f64,
+    /// Upper selectivity for proliferative services.
+    pub max_proliferative_selectivity: f64,
+}
+
+impl Default for FamilyParams {
+    fn default() -> Self {
+        FamilyParams {
+            cost_range: (0.05, 2.0),
+            selectivity_range: (0.1, 1.0),
+            transfer_range: (0.05, 1.5),
+            proliferative_fraction: 0.34,
+            max_proliferative_selectivity: 3.0,
+        }
+    }
+}
+
+/// Generates an instance of `family` with `n` services, deterministic in
+/// `seed`, using default [`FamilyParams`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_workloads::{generate, Family};
+///
+/// let inst = generate(Family::Clustered, 8, 42);
+/// assert_eq!(inst.len(), 8);
+/// assert_eq!(inst, generate(Family::Clustered, 8, 42));
+/// ```
+pub fn generate(family: Family, n: usize, seed: u64) -> QueryInstance {
+    generate_with(family, n, seed, &FamilyParams::default())
+}
+
+/// [`generate`] with explicit parameters.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the parameter ranges are invalid.
+pub fn generate_with(family: Family, n: usize, seed: u64, params: &FamilyParams) -> QueryInstance {
+    assert!(n > 0, "instances need at least one service");
+    let mut rng = StdRng::seed_from_u64(seed ^ stable_hash(family.name()));
+    let services = services_for(family, n, &mut rng, params);
+    let comm = comm_for(family, n, &mut rng, params);
+    QueryInstance::builder()
+        .name(format!("{}-n{}-s{}", family.name(), n, seed))
+        .services(services)
+        .comm(comm)
+        .build()
+        .expect("generated instances are valid")
+}
+
+fn services_for(
+    family: Family,
+    n: usize,
+    rng: &mut StdRng,
+    params: &FamilyParams,
+) -> Vec<Service> {
+    let (c_lo, c_hi) = params.cost_range;
+    let (s_lo, s_hi) = params.selectivity_range;
+    match family {
+        Family::BtspHard => (0..n).map(|_| Service::new(0.0, 1.0)).collect(),
+        Family::Correlated => (0..n)
+            .map(|_| {
+                // Anticorrelated: cost fraction u ⇒ selectivity tracks
+                // (1-u), so expensive services filter harder.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let cost = c_lo + u * (c_hi - c_lo);
+                let jittered = (1.0 - u) * 0.8 + rng.gen_range(0.0..0.2);
+                let sel = s_lo + jittered.clamp(0.0, 1.0) * (s_hi - s_lo);
+                Service::new(cost, sel)
+            })
+            .collect(),
+        Family::ProliferativeMix => (0..n)
+            .map(|_| {
+                let cost = rng.gen_range(c_lo..=c_hi);
+                let sel = if rng.gen_bool(params.proliferative_fraction) {
+                    rng.gen_range(1.0..=params.max_proliferative_selectivity)
+                } else {
+                    rng.gen_range(s_lo..=s_hi)
+                };
+                Service::new(cost, sel)
+            })
+            .collect(),
+        _ => (0..n)
+            .map(|_| Service::new(rng.gen_range(c_lo..=c_hi), rng.gen_range(s_lo..=s_hi)))
+            .collect(),
+    }
+}
+
+fn comm_for(family: Family, n: usize, rng: &mut StdRng, params: &FamilyParams) -> CommMatrix {
+    let (t_lo, t_hi) = params.transfer_range;
+    let seed = rng.gen::<u64>();
+    match family {
+        Family::Euclidean => {
+            let side = 100.0;
+            let rate = (t_hi - t_lo) / (side * std::f64::consts::SQRT_2);
+            netsim::euclidean(n, side, t_lo, rate, seed).into_comm()
+        }
+        Family::Clustered => netsim::clustered(n, 3, t_lo, t_hi.max(t_lo * 4.0), 0.2, seed).into_comm(),
+        Family::HubSpoke => netsim::hub_spoke(n, 2, t_lo, t_hi, seed).into_comm(),
+        Family::BtspHard => netsim::uniform_random(n, t_lo.max(0.1), t_hi.max(1.0), false, seed).into_comm(),
+        _ => netsim::uniform_random(n, t_lo, t_hi, false, seed).into_comm(),
+    }
+}
+
+/// Deterministic FNV-1a so the same (family, seed) pair always maps to the
+/// same RNG stream without the family streams colliding.
+fn stable_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_generate_valid_instances() {
+        for family in Family::ALL {
+            let inst = generate(family, 9, 1);
+            assert_eq!(inst.len(), 9, "{}", family.name());
+            assert!(!inst.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        for family in Family::ALL {
+            assert_eq!(generate(family, 6, 5), generate(family, 6, 5));
+            assert_ne!(
+                generate(family, 6, 5),
+                generate(family, 6, 6),
+                "{} ignores its seed",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn families_do_not_collide() {
+        // Same n/seed, different family ⇒ different instances.
+        let a = generate(Family::UniformRandom, 6, 9);
+        let b = generate(Family::Correlated, 6, 9);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn btsp_hard_matches_the_reduction_shape() {
+        let inst = generate(Family::BtspHard, 7, 3);
+        for s in inst.services() {
+            assert_eq!(s.cost(), 0.0);
+            assert_eq!(s.selectivity(), 1.0);
+        }
+        assert!(!inst.has_proliferative());
+    }
+
+    #[test]
+    fn proliferative_mix_contains_both_kinds() {
+        let inst = generate(Family::ProliferativeMix, 40, 8);
+        let prolif = inst.services().iter().filter(|s| s.is_proliferative()).count();
+        assert!(prolif > 0, "no proliferative services generated");
+        assert!(prolif < 40, "all services proliferative");
+    }
+
+    #[test]
+    fn correlated_costs_track_inverse_selectivity() {
+        let inst = generate(Family::Correlated, 200, 4);
+        // Crude check: among the 50 most expensive services the mean
+        // selectivity is lower than among the 50 cheapest.
+        let mut services: Vec<_> = inst.services().to_vec();
+        services.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
+        let cheap: f64 = services[..50].iter().map(|s| s.selectivity()).sum::<f64>() / 50.0;
+        let dear: f64 = services[150..].iter().map(|s| s.selectivity()).sum::<f64>() / 50.0;
+        assert!(
+            dear < cheap,
+            "expected anticorrelation, cheap mean σ {cheap} vs expensive mean σ {dear}"
+        );
+    }
+
+    #[test]
+    fn clustered_matrices_are_heterogeneous() {
+        let inst = generate(Family::Clustered, 12, 2);
+        assert!(dsq_netsim::heterogeneity(inst.comm()) > 0.2);
+    }
+
+    #[test]
+    fn params_are_respected() {
+        let params = FamilyParams {
+            cost_range: (5.0, 6.0),
+            selectivity_range: (0.5, 0.6),
+            ..FamilyParams::default()
+        };
+        let inst = generate_with(Family::UniformRandom, 10, 0, &params);
+        for s in inst.services() {
+            assert!((5.0..=6.0).contains(&s.cost()));
+            assert!((0.5..=0.6).contains(&s.selectivity()));
+        }
+    }
+}

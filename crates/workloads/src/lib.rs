@@ -1,0 +1,26 @@
+//! Workload generation for the decentralized service-ordering
+//! experiments.
+//!
+//! The paper's technical-report evaluation ran "extensive simulation and
+//! real experiments"; this crate supplies the inputs: seeded instance
+//! [families](Family) spanning the regimes that matter (heterogeneous
+//! networks, correlated cost/selectivity, proliferative services, the
+//! bottleneck-TSP hard core), the motivating [credit-screening
+//! scenario](credit_pipeline) from the paper's introduction, precedence
+//! DAG generators, and [sweeps](Sweep) over (family × size × seed) grids.
+//!
+//! Everything is deterministic in its seed, so experiments are exactly
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod families;
+mod precedence_gen;
+mod scenario;
+mod sweep;
+
+pub use families::{generate, generate_with, Family, FamilyParams};
+pub use precedence_gen::{chain_dag, diamond_dag, random_dag};
+pub use scenario::{credit_pipeline, federated_join, sensor_fusion};
+pub use sweep::{Sweep, SweepPoint};

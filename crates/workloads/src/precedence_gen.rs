@@ -1,0 +1,130 @@
+//! Random and structured precedence DAG generators.
+
+use dsq_core::PrecedenceDag;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A random DAG: a hidden random permutation orients candidate edges, each
+/// forward pair becoming a constraint with probability `density`. Always
+/// acyclic by construction; `density = 0` yields no constraints and
+/// `density = 1` a total order.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `density` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_workloads::random_dag;
+///
+/// let dag = random_dag(8, 0.3, 7);
+/// assert!(dag.validate().is_ok());
+/// ```
+pub fn random_dag(n: usize, density: f64, seed: u64) -> PrecedenceDag {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hidden: Vec<usize> = (0..n).collect();
+    hidden.shuffle(&mut rng);
+    let mut dag = PrecedenceDag::new(n).expect("n > 0");
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(density) {
+                dag.add_edge(hidden[a], hidden[b]).expect("indices in range, a != b");
+            }
+        }
+    }
+    dag
+}
+
+/// A total-order chain `order[0] → order[1] → …` (the tightest possible
+/// constraint set).
+///
+/// # Panics
+///
+/// Panics if `order` is empty or contains duplicates/out-of-range indices.
+pub fn chain_dag(order: &[usize]) -> PrecedenceDag {
+    let n = order.len();
+    let mut dag = PrecedenceDag::new(n).expect("non-empty order");
+    for w in order.windows(2) {
+        dag.add_edge(w[0], w[1]).expect("valid chain indices");
+    }
+    dag.validate().expect("chains are acyclic");
+    dag
+}
+
+/// A fan-out/fan-in diamond: `source` precedes every middle service, every
+/// middle service precedes `sink`. Models an extraction step feeding
+/// parallelizable filters feeding an aggregation.
+///
+/// # Panics
+///
+/// Panics if `n < 3`, or `source`/`sink` are out of range or equal.
+pub fn diamond_dag(n: usize, source: usize, sink: usize) -> PrecedenceDag {
+    assert!(n >= 3, "a diamond needs at least three services");
+    assert!(source < n && sink < n && source != sink, "invalid source/sink");
+    let mut dag = PrecedenceDag::new(n).expect("n > 0");
+    for m in 0..n {
+        if m != source && m != sink {
+            dag.add_edge(source, m).expect("valid edge");
+            dag.add_edge(m, sink).expect("valid edge");
+        }
+    }
+    dag.add_edge(source, sink).expect("valid edge");
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dag_is_acyclic_at_any_density() {
+        for density in [0.0, 0.3, 0.7, 1.0] {
+            for seed in 0..5 {
+                let dag = random_dag(10, density, seed);
+                assert!(dag.validate().is_ok(), "density {density} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn density_extremes() {
+        assert!(random_dag(6, 0.0, 1).is_empty());
+        let total = random_dag(6, 1.0, 1);
+        assert_eq!(total.edge_count(), 15); // C(6,2)
+        // A total order admits exactly one topological order.
+        let topo = total.validate().unwrap();
+        assert!(total.is_feasible_order(&topo));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_dag(8, 0.4, 9);
+        let b = random_dag(8, 0.4, 9);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn chain_forces_exact_order() {
+        let dag = chain_dag(&[2, 0, 1]);
+        assert!(dag.is_feasible_order(&[2, 0, 1]));
+        assert!(!dag.is_feasible_order(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let dag = diamond_dag(5, 0, 4);
+        assert!(dag.is_feasible_order(&[0, 1, 2, 3, 4]));
+        assert!(dag.is_feasible_order(&[0, 3, 1, 2, 4]));
+        assert!(!dag.is_feasible_order(&[1, 0, 2, 3, 4]));
+        assert!(!dag.is_feasible_order(&[0, 4, 1, 2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_diamond_panics() {
+        diamond_dag(2, 0, 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! The paper's motivating scenario, §1: screening potential customers.
+//!
+//! "…when looking for the credit card numbers of potential customers
+//! selecting only those who have a good payment history, the two
+//! aforementioned services can be called in any order" — a pipeline over
+//! person identifiers where a proliferative card-lookup service and
+//! several filtering services can be freely reordered, and the hosts are
+//! geo-distributed so transfer costs differ per pair.
+
+use dsq_core::{CommMatrix, QueryInstance, Service};
+
+/// The credit-screening pipeline: six freely reorderable services over
+/// person identifiers, on hosts spread across three regions.
+///
+/// | # | Service | `c` (ms/tuple) | `σ` |
+/// |---|---------|----------------|-----|
+/// | 0 | `region-filter` — keeps customers in the target market | 0.4 | 0.55 |
+/// | 1 | `card-lookup` — person → credit card numbers (proliferative) | 2.5 | 2.4 |
+/// | 2 | `payment-history` — keeps good payment histories | 1.8 | 0.35 |
+/// | 3 | `fraud-screen` — drops flagged identities | 0.9 | 0.92 |
+/// | 4 | `income-estimate` — enriches, keeps most tuples | 1.2 | 0.85 |
+/// | 5 | `consent-check` — regulatory opt-in filter | 0.3 | 0.6 |
+///
+/// Hosts 0–1 share region A (cheap mutual links), 2–3 region B, 4–5
+/// region C; cross-region transfers are 5–12× dearer, and region A↔C is
+/// the worst pair. Costs are in milliseconds per tuple.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_core::optimize;
+/// use dsq_workloads::credit_pipeline;
+///
+/// let inst = credit_pipeline();
+/// let best = optimize(&inst);
+/// assert!(best.is_proven_optimal());
+/// // Filtering early beats calling the proliferative lookup first.
+/// let lookup_first = dsq_core::Plan::new(vec![1, 0, 2, 3, 4, 5])?;
+/// assert!(best.cost() < dsq_core::bottleneck_cost(&inst, &lookup_first));
+/// # Ok::<(), dsq_core::ModelError>(())
+/// ```
+pub fn credit_pipeline() -> QueryInstance {
+    let services = vec![
+        Service::new(0.4, 0.55).with_name("region-filter"),
+        Service::new(2.5, 2.4).with_name("card-lookup"),
+        Service::new(1.8, 0.35).with_name("payment-history"),
+        Service::new(0.9, 0.92).with_name("fraud-screen"),
+        Service::new(1.2, 0.85).with_name("income-estimate"),
+        Service::new(0.3, 0.6).with_name("consent-check"),
+    ];
+    // Regions: {0,1} = A, {2,3} = B, {4,5} = C.
+    let region = [0usize, 0, 1, 1, 2, 2];
+    // Per-tuple transfer cost (ms) between regions; A↔C is the worst link.
+    let region_cost = [
+        [0.05, 0.6, 1.2],
+        [0.6, 0.08, 0.5],
+        [1.2, 0.5, 0.06],
+    ];
+    let comm = CommMatrix::from_fn(6, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            region_cost[region[i]][region[j]]
+        }
+    });
+    QueryInstance::builder()
+        .name("credit-screening")
+        .services(services)
+        .comm(comm)
+        .build()
+        .expect("scenario constants are valid")
+}
+
+/// A sensor-fusion workflow with structural constraints: ingestion must
+/// run first, archiving last, and two enrichment services depend on the
+/// decoder — the precedence-constrained counterpart of
+/// [`credit_pipeline`].
+///
+/// Seven services across two edge sites and one core site; the decoder is
+/// mildly proliferative (events unpack into multiple readings).
+pub fn sensor_fusion() -> QueryInstance {
+    let services = vec![
+        Service::new(0.2, 1.0).with_name("ingest"),
+        Service::new(0.9, 1.8).with_name("decode"),
+        Service::new(0.7, 0.6).with_name("calibrate"),
+        Service::new(1.1, 0.4).with_name("anomaly-filter"),
+        Service::new(0.8, 0.9).with_name("geo-enrich"),
+        Service::new(1.5, 0.5).with_name("cross-correlate"),
+        Service::new(0.3, 1.0).with_name("archive"),
+    ];
+    // Sites: {0,1,2} edge A, {3,4} edge B, {5,6} core.
+    let site = [0usize, 0, 0, 1, 1, 2, 2];
+    let site_cost = [
+        [0.04, 0.9, 0.45],
+        [0.9, 0.05, 0.4],
+        [0.45, 0.4, 0.03],
+    ];
+    let comm = CommMatrix::from_fn(7, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            site_cost[site[i]][site[j]]
+        }
+    });
+    let mut dag = dsq_core::PrecedenceDag::new(7).expect("n > 0");
+    for later in 1..7 {
+        dag.add_edge(0, later).expect("ingest precedes everything");
+    }
+    for earlier in 0..6 {
+        dag.add_edge(earlier, 6).expect("archive follows everything");
+    }
+    dag.add_edge(1, 2).expect("calibrate needs decoded readings");
+    dag.add_edge(1, 4).expect("geo-enrich needs decoded readings");
+    QueryInstance::builder()
+        .name("sensor-fusion")
+        .services(services)
+        .comm(comm)
+        .precedence(dag)
+        .build()
+        .expect("scenario constants are valid")
+}
+
+/// A federated-join flavoured pipeline: two proliferative lookups against
+/// remote sources interleaved with filters, over a last-mile-asymmetric
+/// network (cheap downloads, expensive uploads at the data sources).
+pub fn federated_join() -> QueryInstance {
+    let services = vec![
+        Service::new(0.3, 0.7).with_name("predicate-pushdown"),
+        Service::new(1.8, 2.2).with_name("orders-lookup"),
+        Service::new(0.5, 0.5).with_name("status-filter"),
+        Service::new(2.2, 1.6).with_name("lineitem-lookup"),
+        Service::new(0.9, 0.3).with_name("value-filter"),
+        Service::new(0.6, 0.8).with_name("dedupe"),
+    ];
+    // Uplink cost per host (data sources 1 and 3 upload expensively),
+    // downlink uniform and cheap.
+    let up = [0.05, 0.55, 0.08, 0.75, 0.06, 0.07];
+    let comm = CommMatrix::from_fn(6, |i, j| if i == j { 0.0 } else { up[i] + 0.05 });
+    QueryInstance::builder()
+        .name("federated-join")
+        .services(services)
+        .comm(comm)
+        .build()
+        .expect("scenario constants are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_core::{bottleneck_cost, optimize, Plan};
+
+    #[test]
+    fn shape_matches_the_paper_story() {
+        let inst = credit_pipeline();
+        assert_eq!(inst.len(), 6);
+        assert!(inst.has_proliferative(), "card-lookup must be proliferative");
+        assert_eq!(inst.service(1.into()).name(), Some("card-lookup"));
+        assert!(inst.service(2.into()).selectivity() < 1.0);
+        assert!(!inst.has_precedence(), "services are freely reorderable");
+    }
+
+    #[test]
+    fn optimal_defers_the_proliferative_lookup() {
+        let inst = credit_pipeline();
+        let best = optimize(&inst);
+        let order = best.plan().indices();
+        let lookup_pos = order.iter().position(|&s| s == 1).unwrap();
+        assert!(lookup_pos >= 2, "lookup should run after some filtering, got {order:?}");
+    }
+
+    #[test]
+    fn ordering_matters_materially() {
+        let inst = credit_pipeline();
+        let best = optimize(&inst).cost();
+        let naive = bottleneck_cost(&inst, &Plan::new(vec![1, 4, 3, 0, 2, 5]).unwrap());
+        assert!(
+            naive / best > 1.5,
+            "scenario should show a clear gap, got naive {naive} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn deterministic_constant() {
+        assert_eq!(credit_pipeline(), credit_pipeline());
+        assert_eq!(sensor_fusion(), sensor_fusion());
+        assert_eq!(federated_join(), federated_join());
+    }
+
+    #[test]
+    fn sensor_fusion_constraints_hold_in_the_optimum() {
+        let inst = sensor_fusion();
+        assert!(inst.has_precedence());
+        let best = optimize(&inst);
+        assert!(best.is_proven_optimal());
+        let order = best.plan().indices();
+        assert_eq!(order[0], 0, "ingest must run first");
+        assert_eq!(order[6], 6, "archive must run last");
+        let pos = |s: usize| order.iter().position(|&x| x == s).unwrap();
+        assert!(pos(1) < pos(2), "decode before calibrate");
+        assert!(pos(1) < pos(4), "decode before geo-enrich");
+    }
+
+    #[test]
+    fn federated_join_defers_expensive_uploaders() {
+        let inst = federated_join();
+        assert!(inst.has_proliferative());
+        // Asymmetric network: uploads from the data sources dominate.
+        assert!(!inst.comm().is_symmetric(1e-9));
+        let best = optimize(&inst);
+        // Optimal must beat calling both lookups first.
+        let naive = Plan::new(vec![1, 3, 0, 2, 4, 5]).unwrap();
+        assert!(bottleneck_cost(&inst, &naive) > best.cost() * 1.2);
+    }
+}

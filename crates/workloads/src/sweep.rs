@@ -1,0 +1,146 @@
+//! Parameter sweeps: the cartesian grids the experiment harness iterates.
+
+use crate::families::{generate_with, Family, FamilyParams};
+use dsq_core::QueryInstance;
+
+/// One generated point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The family that produced the instance.
+    pub family: Family,
+    /// Number of services.
+    pub n: usize,
+    /// The seed used.
+    pub seed: u64,
+    /// The instance itself.
+    pub instance: QueryInstance,
+}
+
+/// Builder for a (families × sizes × seeds) grid of instances.
+///
+/// # Examples
+///
+/// ```
+/// use dsq_workloads::{Family, Sweep};
+///
+/// let points = Sweep::new()
+///     .families([Family::UniformRandom, Family::Clustered])
+///     .sizes([4, 6])
+///     .seeds(0..3)
+///     .build();
+/// assert_eq!(points.len(), 2 * 2 * 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    families: Vec<Family>,
+    sizes: Vec<usize>,
+    seeds: Vec<u64>,
+    params: FamilyParams,
+}
+
+impl Sweep {
+    /// An empty sweep with default parameters, one seed (0), and no
+    /// families/sizes yet.
+    pub fn new() -> Self {
+        Sweep {
+            families: Vec::new(),
+            sizes: Vec::new(),
+            seeds: vec![0],
+            params: FamilyParams::default(),
+        }
+    }
+
+    /// Sets the families to iterate.
+    pub fn families(mut self, families: impl IntoIterator<Item = Family>) -> Self {
+        self.families = families.into_iter().collect();
+        self
+    }
+
+    /// Sets the instance sizes to iterate.
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the seeds to iterate.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Overrides the family parameters.
+    pub fn params(mut self, params: FamilyParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Generates the full grid, ordered family-major then size then seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no family or no size was configured (empty sweeps are
+    /// almost certainly bugs in experiment code).
+    pub fn build(&self) -> Vec<SweepPoint> {
+        assert!(
+            !self.families.is_empty() && !self.sizes.is_empty(),
+            "a sweep needs at least one family and one size"
+        );
+        let mut out =
+            Vec::with_capacity(self.families.len() * self.sizes.len() * self.seeds.len());
+        for &family in &self.families {
+            for &n in &self.sizes {
+                for &seed in &self.seeds {
+                    out.push(SweepPoint {
+                        family,
+                        n,
+                        seed,
+                        instance: generate_with(family, n, seed, &self.params),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_order() {
+        let points = Sweep::new()
+            .families([Family::UniformRandom])
+            .sizes([3, 5])
+            .seeds(0..2)
+            .build();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].n, 3);
+        assert_eq!(points[0].seed, 0);
+        assert_eq!(points[1].seed, 1);
+        assert_eq!(points[2].n, 5);
+        for p in &points {
+            assert_eq!(p.instance.len(), p.n);
+            assert_eq!(p.family, Family::UniformRandom);
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = Sweep::new().families([Family::Euclidean]).sizes([4]).seeds([7]).build();
+        let b = Sweep::new().families([Family::Euclidean]).sizes([4]).seeds([7]).build();
+        assert_eq!(a[0].instance, b[0].instance);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one family")]
+    fn empty_sweep_panics() {
+        Sweep::new().build();
+    }
+}

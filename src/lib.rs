@@ -1,0 +1,41 @@
+//! Optimal service ordering in decentralized pipelined queries — a full
+//! reproduction of Tsamoura, Gounaris & Manolopoulos, *Brief
+//! Announcement: On the Quest of Optimal Service Ordering in Decentralized
+//! Queries*, PODC 2010.
+//!
+//! This facade crate re-exports the whole workspace under one name for
+//! the repository's examples and integration tests; applications can
+//! equally depend on the individual crates:
+//!
+//! * [`core`] (`dsq-core`) — the model, the bottleneck cost metric
+//!   (Eq. 1) and the paper's branch-and-bound optimizer;
+//! * [`baselines`] (`dsq-baselines`) — exact and heuristic comparators,
+//!   including the uniform-communication optimum of Srivastava et al.;
+//! * [`netsim`] (`dsq-netsim`) — topology models producing heterogeneous
+//!   transfer matrices;
+//! * [`workloads`] (`dsq-workloads`) — seeded instance families, the
+//!   credit-screening scenario, precedence generators, sweeps;
+//! * [`simulator`] (`dsq-simulator`) — discrete-event pipelined
+//!   execution;
+//! * [`runtime`] (`dsq-runtime`) — threaded in-process execution.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use service_ordering::core::{optimize, bottleneck_cost};
+//! use service_ordering::workloads::credit_pipeline;
+//!
+//! let instance = credit_pipeline();
+//! let result = optimize(&instance);
+//! assert!(result.is_proven_optimal());
+//! assert_eq!(result.cost(), bottleneck_cost(&instance, result.plan()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dsq_baselines as baselines;
+pub use dsq_core as core;
+pub use dsq_netsim as netsim;
+pub use dsq_runtime as runtime;
+pub use dsq_simulator as simulator;
+pub use dsq_workloads as workloads;

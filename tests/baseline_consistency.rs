@@ -1,0 +1,116 @@
+//! Cross-crate consistency of the baseline algorithms: heuristics are
+//! sound (never below the optimum), the uniform-communication algorithm
+//! is exact in its special case, and the BTSP reduction closes the loop
+//! between the paper's NP-hardness argument and the optimizer.
+
+use service_ordering::baselines::{
+    best_greedy, btsp_lower_bound, btsp_path_exact, btsp_query_instance, local_search,
+    path_bottleneck, random_sampling, simulated_annealing, subset_dp, uniform_optimal,
+    uniform_reference_plan, uniformized, AnnealingConfig, LocalSearchConfig,
+};
+use service_ordering::core::{bottleneck_cost, optimize};
+use service_ordering::netsim::uniform_random;
+use service_ordering::workloads::{generate, Family, Sweep};
+
+#[test]
+fn heuristics_bracket_the_optimum() {
+    let points = Sweep::new()
+        .families([Family::UniformRandom, Family::Clustered, Family::HubSpoke])
+        .sizes([6, 8])
+        .seeds(0..3)
+        .build();
+    for point in &points {
+        let inst = &point.instance;
+        let opt = optimize(inst).cost();
+        let greedy = best_greedy(inst).cost();
+        let ls = local_search(inst, &LocalSearchConfig::default()).cost();
+        let sa = simulated_annealing(
+            inst,
+            &AnnealingConfig { steps: 5_000, ..Default::default() },
+        )
+        .cost();
+        let rnd = random_sampling(inst, 50, point.seed).cost();
+        for (name, value) in [("greedy", greedy), ("ls", ls), ("sa", sa), ("random", rnd)] {
+            assert!(
+                value >= opt - 1e-9,
+                "{name} beat the optimum on {} n={} seed={}: {value} < {opt}",
+                point.family.name(),
+                point.n,
+                point.seed
+            );
+        }
+        assert!(ls <= greedy + 1e-9, "local search must not be worse than its start");
+    }
+}
+
+#[test]
+fn uniform_algorithm_is_exact_in_its_special_case() {
+    for seed in 0..5 {
+        let base = generate(Family::Correlated, 7, seed);
+        let t = base.comm().mean_off_diagonal();
+        let relaxed = uniformized(&base, t);
+        let fast = uniform_optimal(&base, t).expect("selective services");
+        let exact = subset_dp(&relaxed).expect("within limit");
+        assert!(
+            (fast.cost() - exact.cost()).abs() <= 1e-9 * exact.cost().max(1.0),
+            "seed {seed}: greedy {} vs dp {}",
+            fast.cost(),
+            exact.cost()
+        );
+        // And the B&B agrees too (Eq. 1 on the uniformized instance).
+        let bnb = optimize(&relaxed);
+        assert!((bnb.cost() - exact.cost()).abs() <= 1e-9 * exact.cost().max(1.0));
+    }
+}
+
+#[test]
+fn network_oblivious_plans_never_beat_the_decentralized_optimum() {
+    for family in [Family::Euclidean, Family::Clustered] {
+        for seed in 0..4 {
+            let inst = generate(family, 9, seed);
+            let opt = optimize(&inst).cost();
+            let (plan, _) = uniform_reference_plan(&inst).expect("within limit");
+            let oblivious = bottleneck_cost(&inst, &plan);
+            assert!(
+                oblivious >= opt - 1e-9,
+                "{} seed {seed}: oblivious {oblivious} vs optimum {opt}",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn btsp_reduction_closes_the_loop() {
+    for seed in 0..5 {
+        let comm = uniform_random(7, 1.0, 50.0, false, seed).into_comm();
+        let inst = btsp_query_instance(&comm);
+        let bnb = optimize(&inst);
+        let exact = btsp_path_exact(&comm).expect("within limit");
+        assert!(
+            (bnb.cost() - exact.bottleneck()).abs() <= 1e-9 * exact.bottleneck().max(1.0),
+            "seed {seed}: bnb {} vs btsp {}",
+            bnb.cost(),
+            exact.bottleneck()
+        );
+        // The B&B's plan, read as a path, achieves the same bottleneck.
+        let path = bnb.plan().indices();
+        assert!(
+            (path_bottleneck(&comm, &path) - exact.bottleneck()).abs() <= 1e-9,
+            "seed {seed}: path bottleneck mismatch"
+        );
+        assert!(btsp_lower_bound(&comm) <= exact.bottleneck() + 1e-9);
+    }
+}
+
+#[test]
+fn proliferative_fallback_path_works_end_to_end() {
+    // uniform_reference_plan must transparently fall back to the DP when
+    // services are proliferative.
+    let inst = generate(Family::ProliferativeMix, 8, 1);
+    assert!(inst.has_proliferative(), "family should generate σ>1");
+    let (plan, model_cost) = uniform_reference_plan(&inst).expect("fallback within limit");
+    assert_eq!(plan.len(), 8);
+    assert!(model_cost.is_finite());
+    assert!(bottleneck_cost(&inst, &plan) >= optimize(&inst).cost() - 1e-9);
+}

@@ -1,0 +1,128 @@
+//! Cross-crate validation of the execution substrates against the cost
+//! model: the discrete-event simulator quantitatively, the threaded
+//! runtime semantically (timing is asserted only coarsely — CI hosts may
+//! have a single core, where pipelined overlap is impossible).
+
+use service_ordering::core::{bottleneck_cost, cost_terms, optimize, sum_cost};
+use service_ordering::runtime::{run_pipeline, RuntimeConfig};
+use service_ordering::simulator::{simulate, SelectivityModel, ServiceTimeModel, SimConfig};
+use service_ordering::workloads::{credit_pipeline, generate, Family};
+
+#[test]
+fn simulator_validates_eq1_on_generated_instances() {
+    for family in [Family::Clustered, Family::Euclidean, Family::UniformRandom] {
+        for seed in 0..2 {
+            let inst = generate(family, 6, seed);
+            let plan = optimize(&inst).into_plan();
+            let predicted = bottleneck_cost(&inst, &plan);
+            let report = simulate(
+                &inst,
+                &plan,
+                &SimConfig { tuples: 15_000, block_size: 16, ..SimConfig::default() },
+            );
+            let ratio = report.throughput * predicted;
+            assert!(
+                (0.85..=1.05).contains(&ratio),
+                "{} seed {seed}: throughput·cost = {ratio}",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn simulator_stage_busy_times_track_cost_terms() {
+    let inst = credit_pipeline();
+    let plan = optimize(&inst).into_plan();
+    let report = simulate(&inst, &plan, &SimConfig { tuples: 20_000, ..SimConfig::default() });
+    for (term, stage) in cost_terms(&inst, &plan).iter().zip(&report.stages) {
+        let measured = stage.unit_busy_time(report.tuples_in);
+        assert!(
+            (measured - term.term).abs() <= 0.08 * term.term.max(0.01),
+            "position {}: measured {measured} vs predicted {}",
+            term.position,
+            term.term
+        );
+    }
+}
+
+#[test]
+fn simulator_stochastic_modes_stay_near_the_model() {
+    let inst = generate(Family::UniformRandom, 5, 11);
+    let plan = optimize(&inst).into_plan();
+    let predicted = bottleneck_cost(&inst, &plan);
+    let report = simulate(
+        &inst,
+        &plan,
+        &SimConfig {
+            tuples: 30_000,
+            service_time: ServiceTimeModel::Exponential,
+            selectivity: SelectivityModel::Stochastic,
+            seed: 3,
+            ..SimConfig::default()
+        },
+    );
+    // Randomized service/selectivity adds queueing noise; stay within 15%.
+    let ratio = report.throughput * predicted;
+    assert!((0.8..=1.1).contains(&ratio), "stochastic ratio {ratio}");
+}
+
+#[test]
+fn plan_ranking_is_preserved_by_the_simulator() {
+    // The simulator must agree with the model about which plan is better
+    // when the predicted gap is large.
+    let inst = credit_pipeline();
+    let best = optimize(&inst).into_plan();
+    let worst = service_ordering::core::Plan::new(vec![1, 4, 3, 0, 2, 5]).expect("permutation");
+    assert!(bottleneck_cost(&inst, &worst) / bottleneck_cost(&inst, &best) > 2.0);
+    let cfg = SimConfig { tuples: 5_000, ..SimConfig::default() };
+    let best_run = simulate(&inst, &best, &cfg);
+    let worst_run = simulate(&inst, &worst, &cfg);
+    assert!(best_run.makespan < worst_run.makespan);
+    assert!(best_run.throughput > 2.0 * worst_run.throughput);
+}
+
+#[test]
+fn threaded_runtime_matches_simulator_semantics() {
+    // Same instance, same plan: the DES (Expected mode) and the threaded
+    // runtime must agree exactly on tuple accounting.
+    let inst = credit_pipeline();
+    let plan = optimize(&inst).into_plan();
+    let sim = simulate(&inst, &plan, &SimConfig { tuples: 1_000, ..SimConfig::default() });
+    let wall = run_pipeline(
+        &inst,
+        &plan,
+        &RuntimeConfig { tuples: 1_000, time_scale_us: 0.5, ..RuntimeConfig::default() },
+    );
+    assert_eq!(sim.tuples_delivered, wall.tuples_delivered);
+    for (s, w) in sim.stages.iter().zip(&wall.stages) {
+        assert_eq!(s.service, w.service);
+        assert_eq!(s.tuples_in, w.tuples_in);
+        assert_eq!(s.tuples_out, w.tuples_out);
+    }
+}
+
+#[test]
+fn threaded_runtime_wall_clock_is_bounded_by_the_model() {
+    // Coarse timing envelope valid on any host: the pipeline can never
+    // beat the bottleneck limit, and on P cores it can never beat the
+    // total-work/P limit either. Allow 20% measurement slack downward.
+    let inst = credit_pipeline();
+    let plan = optimize(&inst).into_plan();
+    let tuples = 500u64;
+    let scale = 100.0; // µs per cost unit
+    let report = run_pipeline(
+        &inst,
+        &plan,
+        &RuntimeConfig { tuples, time_scale_us: scale, ..RuntimeConfig::default() },
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get()) as f64;
+    let unit = bottleneck_cost(&inst, &plan).max(sum_cost(&inst, &plan) / cores);
+    let floor = std::time::Duration::from_secs_f64(0.8 * tuples as f64 * unit * scale * 1e-6);
+    assert!(
+        report.makespan >= floor,
+        "wall clock {:?} beat the physical floor {:?}",
+        report.makespan,
+        floor
+    );
+}

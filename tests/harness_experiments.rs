@@ -1,0 +1,109 @@
+//! The experiment harness runs end to end in quick mode and its headline
+//! numbers point the right way. These tests are the repository's "the
+//! evaluation still reproduces" guard.
+
+use dsq_harness::{all_experiments, run_experiment, ExperimentContext};
+
+fn quick_ctx() -> ExperimentContext {
+    ExperimentContext { quick: true, out_dir: None }
+}
+
+fn run_by_id(id: &str) -> Vec<dsq_harness::Table> {
+    let registry = all_experiments();
+    let experiment = registry.iter().find(|e| e.id == id).expect("known id");
+    run_experiment(experiment, &quick_ctx())
+}
+
+#[test]
+fn registry_is_complete() {
+    let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    assert_eq!(
+        ids,
+        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"]
+    );
+}
+
+#[test]
+fn e1_reports_full_optimality() {
+    let tables = run_by_id("e1");
+    assert_eq!(tables.len(), 2);
+    // Every row must report checks == matches.
+    let csv = tables[0].to_csv();
+    for line in csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[2], fields[3], "mismatch in row: {line}");
+    }
+}
+
+#[test]
+fn e3_shows_pruning_gains() {
+    let tables = run_by_id("e3");
+    assert!(!tables.is_empty());
+    for table in &tables {
+        let csv = table.to_csv();
+        let rows: Vec<Vec<String>> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_string).collect())
+            .collect();
+        let nodes: Vec<f64> = rows.iter().map(|r| r[1].parse().expect("numeric")).collect();
+        // Paper config (row 3) never visits more nodes than L1-only (row 0).
+        assert!(
+            nodes[3] <= nodes[0],
+            "paper config should not exceed incumbent-only: {nodes:?}"
+        );
+    }
+}
+
+#[test]
+fn e6_gap_grows_with_heterogeneity() {
+    let tables = run_by_id("e6");
+    let csv = tables[0].to_csv();
+    let gaps: Vec<f64> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(2).expect("gap column").parse().expect("numeric"))
+        .collect();
+    assert!((gaps[0] - 1.0).abs() < 1e-9, "factor 0 must have gap 1, got {}", gaps[0]);
+    assert!(
+        gaps.last().expect("rows") > &gaps[0],
+        "gap should grow with spread: {gaps:?}"
+    );
+}
+
+#[test]
+fn e5_simulator_agrees_with_the_model() {
+    let tables = run_by_id("e5");
+    let csv = tables[0].to_csv();
+    for line in csv.lines().skip(1) {
+        let ratio: f64 = line.split(',').nth(4).expect("ratio column").parse().expect("numeric");
+        assert!(
+            (0.85..=1.1).contains(&ratio),
+            "simulated/predicted ratio out of band: {line}"
+        );
+    }
+}
+
+#[test]
+fn e9_reduction_always_matches() {
+    let tables = run_by_id("e9");
+    let csv = tables[0].to_csv();
+    for line in csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields[1], fields[2], "B&B must match the BTSP solver: {line}");
+    }
+}
+
+#[test]
+fn artifacts_are_written_when_requested() {
+    let dir = std::env::temp_dir().join(format!("dsq-harness-test-{}", std::process::id()));
+    let ctx = ExperimentContext { quick: true, out_dir: Some(dir.clone()) };
+    let registry = all_experiments();
+    let e6 = registry.iter().find(|e| e.id == "e6").expect("registered");
+    run_experiment(e6, &ctx);
+    assert!(dir.join("e6.md").exists());
+    assert!(dir.join("e6.csv").exists());
+    let md = std::fs::read_to_string(dir.join("e6.md")).expect("readable");
+    assert!(md.contains("### E6"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,80 @@
+//! Property-based round-trip tests of the text instance format across
+//! generated workloads, including names, sinks and precedence edges.
+
+use proptest::prelude::*;
+use service_ordering::core::{format_instance, parse_instance, QueryInstance, Service};
+use service_ordering::workloads::{generate, random_dag, Family};
+
+#[test]
+fn all_families_round_trip() {
+    for family in Family::ALL {
+        for seed in 0..3 {
+            let inst = generate(family, 7, seed);
+            let text = format_instance(&inst);
+            let parsed = parse_instance(&text)
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", family.name()));
+            assert_eq!(parsed, inst, "{} seed {seed}", family.name());
+        }
+    }
+}
+
+#[test]
+fn precedence_and_names_survive() {
+    let base = generate(Family::Clustered, 6, 9);
+    let inst = QueryInstance::builder()
+        .name("with everything")
+        .services(
+            base.services()
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    Service::new(s.cost(), s.selectivity()).with_name(format!("svc number {i}"))
+                }),
+        )
+        .comm(base.comm().clone())
+        .sink(vec![0.5; 6])
+        .precedence(random_dag(6, 0.4, 3))
+        .build()
+        .expect("valid");
+    let parsed = parse_instance(&format_instance(&inst)).expect("round trip");
+    assert_eq!(parsed, inst);
+    assert_eq!(parsed.service(2.into()).name(), Some("svc number 2"));
+    assert_eq!(
+        parsed.precedence().map(|d| d.edge_count()),
+        inst.precedence().map(|d| d.edge_count())
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Arbitrary finite non-negative parameters survive the decimal
+    /// round-trip exactly (Rust's float formatting is shortest-exact).
+    #[test]
+    fn arbitrary_instances_round_trip(
+        n in 1usize..6,
+        seed in 0u64..1000,
+        scale in 0.001f64..1000.0,
+    ) {
+        let services: Vec<Service> = (0..n)
+            .map(|i| Service::new(scale * (i as f64 + 0.1), (i as f64 * 0.37 + 0.01) % 2.0))
+            .collect();
+        let comm = service_ordering::core::CommMatrix::from_fn(n, |i, j| {
+            if i == j { 0.0 } else { scale * ((seed as usize + i * 3 + j) % 17) as f64 / 7.0 }
+        });
+        let inst = QueryInstance::from_parts(services, comm).expect("valid");
+        let parsed = parse_instance(&format_instance(&inst)).expect("parses");
+        prop_assert_eq!(parsed, inst);
+    }
+
+    /// The optimizer produces the same result on a round-tripped instance
+    /// (no information relevant to optimization is lost).
+    #[test]
+    fn optimization_is_format_invariant(seed in 0u64..200) {
+        let inst = generate(Family::UniformRandom, 6, seed);
+        let parsed = parse_instance(&format_instance(&inst)).expect("parses");
+        let a = service_ordering::core::optimize(&inst);
+        let b = service_ordering::core::optimize(&parsed);
+        prop_assert!((a.cost() - b.cost()).abs() <= 1e-12 * a.cost().max(1.0));
+    }
+}
