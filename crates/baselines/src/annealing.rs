@@ -114,11 +114,8 @@ pub fn simulated_annealing(instance: &QueryInstance, config: &AnnealingConfig) -
         }
     });
     let t_end = t0 * config.final_temp_ratio.clamp(1e-12, 1.0);
-    let decay = if config.steps > 1 {
-        (t_end / t0).powf(1.0 / (config.steps - 1) as f64)
-    } else {
-        1.0
-    };
+    let decay =
+        if config.steps > 1 { (t_end / t0).powf(1.0 / (config.steps - 1) as f64) } else { 1.0 };
 
     let mut temp = t0;
     let mut accepted = 0u64;
@@ -215,10 +212,8 @@ mod tests {
         for _ in 0..10 {
             let inst = random_instance(&mut rng, 6);
             let opt = exhaustive(&inst).unwrap().cost();
-            let sa = simulated_annealing(
-                &inst,
-                &AnnealingConfig { steps: 5_000, ..Default::default() },
-            );
+            let sa =
+                simulated_annealing(&inst, &AnnealingConfig { steps: 5_000, ..Default::default() });
             assert!(sa.cost() >= opt - 1e-9);
             assert!(
                 sa.cost() <= opt * 1.5 + 1e-9,

@@ -95,9 +95,8 @@ pub fn btsp_path_exact(comm: &CommMatrix) -> Result<BtspResult, BaselineError> {
         return Ok(BtspResult { path: vec![0], bottleneck: 0.0, thresholds_tested: 0 });
     }
 
-    let mut weights: Vec<f64> = (0..n)
-        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| comm.get(i, j)))
-        .collect();
+    let mut weights: Vec<f64> =
+        (0..n).flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| comm.get(i, j))).collect();
     weights.sort_by(f64::total_cmp);
     weights.dedup();
 
@@ -179,20 +178,10 @@ pub fn btsp_lower_bound(comm: &CommMatrix) -> f64 {
         mins[n - 2]
     };
     let min_out: Vec<f64> = (0..n)
-        .map(|i| {
-            (0..n)
-                .filter(|&j| j != i)
-                .map(|j| comm.get(i, j))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|i| (0..n).filter(|&j| j != i).map(|j| comm.get(i, j)).fold(f64::INFINITY, f64::min))
         .collect();
     let min_in: Vec<f64> = (0..n)
-        .map(|j| {
-            (0..n)
-                .filter(|&i| i != j)
-                .map(|i| comm.get(i, j))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|j| (0..n).filter(|&i| i != j).map(|i| comm.get(i, j)).fold(f64::INFINITY, f64::min))
         .collect();
     second_largest(min_out).max(second_largest(min_in))
 }
@@ -229,9 +218,7 @@ mod tests {
                 bnb.cost()
             );
             // Returned path must achieve the reported bottleneck.
-            assert!(
-                (path_bottleneck(&comm, btsp.path()) - btsp.bottleneck()).abs() < 1e-12
-            );
+            assert!((path_bottleneck(&comm, btsp.path()) - btsp.bottleneck()).abs() < 1e-12);
         }
     }
 
@@ -242,8 +229,7 @@ mod tests {
         let inst = btsp_query_instance(&comm);
         let plan = Plan::new(vec![4, 2, 0, 1, 3]).unwrap();
         assert!(
-            (bottleneck_cost(&inst, &plan) - path_bottleneck(&comm, &plan.indices())).abs()
-                < 1e-12
+            (bottleneck_cost(&inst, &plan) - path_bottleneck(&comm, &plan.indices())).abs() < 1e-12
         );
     }
 

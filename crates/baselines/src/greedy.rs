@@ -175,11 +175,7 @@ mod tests {
             let opt = exhaustive(&inst).unwrap().cost();
             for kind in GreedyKind::ALL {
                 let g = greedy(&inst, kind);
-                assert!(
-                    g.cost() >= opt - 1e-9,
-                    "{kind:?} cost {} below optimum {opt}",
-                    g.cost()
-                );
+                assert!(g.cost() >= opt - 1e-9, "{kind:?} cost {} below optimum {opt}", g.cost());
                 assert_eq!(g.kind(), kind);
             }
             let best = best_greedy(&inst);

@@ -41,8 +41,7 @@ mod uniform;
 pub use annealing::{simulated_annealing, AnnealingConfig, AnnealingResult};
 pub use beam::{beam_search, BeamConfig, BeamResult};
 pub use btsp::{
-    btsp_lower_bound, btsp_path_exact, btsp_query_instance, path_bottleneck, BtspResult,
-    BTSP_MAX_N,
+    btsp_lower_bound, btsp_path_exact, btsp_query_instance, path_bottleneck, BtspResult, BTSP_MAX_N,
 };
 pub use error::BaselineError;
 pub use exhaustive::{exhaustive, exhaustive_with_limit, ExhaustiveResult, EXHAUSTIVE_MAX_N};

@@ -237,10 +237,8 @@ mod tests {
     fn improvement_cap_is_respected() {
         let mut rng = StdRng::seed_from_u64(31);
         let inst = random_instance(&mut rng, 8);
-        let ls = local_search(
-            &inst,
-            &LocalSearchConfig { max_improvements: 1, restarts: 5, seed: 0 },
-        );
+        let ls =
+            local_search(&inst, &LocalSearchConfig { max_improvements: 1, restarts: 5, seed: 0 });
         assert!(ls.improvements() <= 1);
         assert!(ls.neighbors_evaluated() > 0);
     }

@@ -103,17 +103,12 @@ pub fn uniformized(instance: &QueryInstance, t: f64) -> QueryInstance {
 /// assert_eq!(result.plan().indices(), vec![1, 0]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn uniform_optimal(
-    instance: &QueryInstance,
-    t: f64,
-) -> Result<UniformResult, BaselineError> {
+pub fn uniform_optimal(instance: &QueryInstance, t: f64) -> Result<UniformResult, BaselineError> {
     if instance.has_proliferative() {
         return Err(BaselineError::Proliferative);
     }
     let n = instance.len();
-    let d: Vec<f64> = (0..n)
-        .map(|i| instance.cost(i) + instance.selectivity(i) * t)
-        .collect();
+    let d: Vec<f64> = (0..n).map(|i| instance.cost(i) + instance.selectivity(i) * t).collect();
 
     let mut current = feasible_schedule(instance, &d, f64::INFINITY, false)
         .expect("infinite threshold always admits a schedule");
@@ -290,11 +285,7 @@ mod tests {
     #[test]
     fn strong_filters_first_when_costs_tie() {
         let inst = QueryInstance::from_parts(
-            vec![
-                Service::new(1.0, 0.8),
-                Service::new(1.0, 0.2),
-                Service::new(1.0, 0.5),
-            ],
+            vec![Service::new(1.0, 0.8), Service::new(1.0, 0.2), Service::new(1.0, 0.5)],
             CommMatrix::uniform(3, 0.0),
         )
         .unwrap();

@@ -24,9 +24,7 @@ fn bench_scaling(c: &mut Criterion) {
             if n <= 9 {
                 group.bench_with_input(BenchmarkId::new("exhaustive", &label), &n, |b, _| {
                     b.iter(|| {
-                        black_box(
-                            exhaustive_with_limit(black_box(&inst), 9).expect("within limit"),
-                        )
+                        black_box(exhaustive_with_limit(black_box(&inst), 9).expect("within limit"))
                     })
                 });
             }

@@ -20,11 +20,9 @@ fn bench_ablation(c: &mut Criterion) {
     for n in [10usize, 12] {
         let inst = bench_instance(Family::BtspHard, n);
         for (name, cfg) in &configs {
-            group.bench_with_input(
-                BenchmarkId::new(*name, format!("btsp-n{n}")),
-                &n,
-                |b, _| b.iter(|| black_box(optimize_with(black_box(&inst), cfg))),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, format!("btsp-n{n}")), &n, |b, _| {
+                b.iter(|| black_box(optimize_with(black_box(&inst), cfg)))
+            });
         }
     }
     group.finish();

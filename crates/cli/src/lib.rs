@@ -120,7 +120,9 @@ fn generate_cmd<'a>(
     let mut seed = 0u64;
     while let Some(arg) = args.next() {
         match arg {
-            "--family" => family = Some(parse_family(args.next().ok_or("--family needs a value")?)?),
+            "--family" => {
+                family = Some(parse_family(args.next().ok_or("--family needs a value")?)?)
+            }
             "-n" | "--services" => {
                 n = Some(
                     args.next()
@@ -130,10 +132,7 @@ fn generate_cmd<'a>(
                 )
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--seed needs an integer")?
+                seed = args.next().and_then(|v| v.parse().ok()).ok_or("--seed needs an integer")?
             }
             other => return Err(format!("unknown generate flag `{other}`")),
         }
@@ -351,14 +350,8 @@ mod tests {
     #[test]
     fn simulate_reports_throughput() {
         let (path, _) = temp_instance();
-        let text = run_ok(&[
-            "simulate",
-            path.to_str().expect("utf8"),
-            "--tuples",
-            "2000",
-            "--block",
-            "8",
-        ]);
+        let text =
+            run_ok(&["simulate", path.to_str().expect("utf8"), "--tuples", "2000", "--block", "8"]);
         assert!(text.contains("predicted tput"));
         assert!(text.contains("tuples in"));
         std::fs::remove_file(path).ok();
@@ -372,14 +365,10 @@ mod tests {
         assert!(run_err(&["optimize"]).contains("instance file"));
         assert!(run_err(&["optimize", "/nonexistent/x.dsq"]).contains("cannot read"));
         let (path, _) = temp_instance();
-        assert!(
-            run_err(&["explain", path.to_str().expect("utf8"), "--plan", "0,1"])
-                .contains("instance has 5")
-        );
-        assert!(
-            run_err(&["optimize", path.to_str().expect("utf8"), "--config", "zap"])
-                .contains("unknown config")
-        );
+        assert!(run_err(&["explain", path.to_str().expect("utf8"), "--plan", "0,1"])
+            .contains("instance has 5"));
+        assert!(run_err(&["optimize", path.to_str().expect("utf8"), "--config", "zap"])
+            .contains("unknown config"));
         std::fs::remove_file(path).ok();
     }
 

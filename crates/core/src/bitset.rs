@@ -32,10 +32,7 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet {
-            words: vec![0; capacity.div_ceil(64).max(1)],
-            capacity,
-        }
+        BitSet { words: vec![0; capacity.div_ceil(64).max(1)], capacity }
     }
 
     /// Number of indices the set can hold.
@@ -99,18 +96,12 @@ impl BitSet {
     /// Panics if the capacities differ.
     pub fn is_superset_of(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| b & !a == 0)
+        self.words.iter().zip(&other.words).all(|(a, b)| b & !a == 0)
     }
 
     /// Iterates over the indices in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            next: 0,
-        }
+        Iter { set: self, next: 0 }
     }
 }
 

@@ -174,7 +174,8 @@ mod tests {
                 Service::new(rng.gen_range(0.01..5.0), rng.gen_range(0.05..sigma_max))
             })
             .collect();
-        let comm = CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..4.0) });
+        let comm =
+            CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..4.0) });
         let sink: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
         QueryInstance::builder().services(services).comm(comm).sink(sink).build().unwrap()
     }
@@ -217,10 +218,7 @@ mod tests {
             let terms = cost_terms(&inst, &plan);
             // Terms introduced at or after the prefix boundary (the last
             // placed service's term is finalized by the completion too).
-            let new_term_max = terms[split - 1..]
-                .iter()
-                .map(|t| t.term)
-                .fold(0.0_f64, f64::max);
+            let new_term_max = terms[split - 1..].iter().map(|t| t.term).fold(0.0_f64, f64::max);
             assert!(
                 ebar_tight >= new_term_max - 1e-9,
                 "ε̄ {ebar_tight} must dominate completion terms {new_term_max} (trial {trial})"

@@ -71,11 +71,7 @@ impl BnbConfig {
     /// Lemma-1 incumbent pruning only (both Lemma-2 and Lemma-3 disabled).
     /// The weakest sound configuration; the E3 ablation baseline.
     pub fn incumbent_only() -> Self {
-        BnbConfig {
-            use_epsilon_bar: false,
-            use_backjump: false,
-            ..BnbConfig::paper()
-        }
+        BnbConfig { use_epsilon_bar: false, use_backjump: false, ..BnbConfig::paper() }
     }
 
     /// The paper's algorithm without the Lemma-2 closure.
@@ -91,11 +87,7 @@ impl BnbConfig {
     /// The paper's algorithm plus every extension (greedy seed, optimistic
     /// completion bound).
     pub fn extended() -> Self {
-        BnbConfig {
-            use_lower_bound: true,
-            seed_with_greedy: true,
-            ..BnbConfig::paper()
-        }
+        BnbConfig { use_lower_bound: true, seed_with_greedy: true, ..BnbConfig::paper() }
     }
 
     /// Returns this configuration with a node budget.
@@ -145,9 +137,8 @@ mod tests {
 
     #[test]
     fn budget_builders() {
-        let cfg = BnbConfig::paper()
-            .with_node_limit(1000)
-            .with_time_limit(Duration::from_millis(5));
+        let cfg =
+            BnbConfig::paper().with_node_limit(1000).with_time_limit(Duration::from_millis(5));
         assert_eq!(cfg.node_limit, Some(1000));
         assert_eq!(cfg.time_limit, Some(Duration::from_millis(5)));
     }

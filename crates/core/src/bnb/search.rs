@@ -157,56 +157,52 @@ pub fn optimize_parallel(
 
     // (best order + cost, per-worker stats, whether a budget interrupted).
     type WorkerOutcome = (Option<(Vec<usize>, f64)>, SearchStats, bool);
-    let worker_results: Vec<WorkerOutcome> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let roots = &roots;
-                    let shared_rho = &shared_rho;
-                    let next_root = &next_root;
-                    let cfg = config.clone();
-                    scope.spawn(move || {
-                        let mut searcher = Searcher::new(instance, cfg);
-                        searcher.shared_rho = Some(shared_rho);
-                        if searcher.cfg.seed_with_greedy {
-                            if let Some((order, cost)) = searcher.greedy_plan() {
-                                searcher.publish_incumbent(cost);
-                                searcher.rho = cost;
-                                searcher.best = Some(order);
-                            }
+    let worker_results: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let roots = &roots;
+                let shared_rho = &shared_rho;
+                let next_root = &next_root;
+                let cfg = config.clone();
+                scope.spawn(move || {
+                    let mut searcher = Searcher::new(instance, cfg);
+                    searcher.shared_rho = Some(shared_rho);
+                    if searcher.cfg.seed_with_greedy {
+                        if let Some((order, cost)) = searcher.greedy_plan() {
+                            searcher.publish_incumbent(cost);
+                            searcher.rho = cost;
+                            searcher.best = Some(order);
                         }
-                        loop {
-                            let idx = next_root.fetch_add(1, Ordering::Relaxed);
-                            if idx >= roots.len() {
-                                break;
-                            }
-                            let (a, b, w) = roots[idx];
-                            searcher.sync_rho();
-                            if w >= searcher.rho {
-                                // Roots are sorted: nothing later can help.
-                                searcher.stats.roots_pruned += 1;
-                                break;
-                            }
-                            searcher.stats.roots_explored += 1;
-                            searcher.explore_root(a, b, w);
-                            if searcher.interrupted {
-                                break;
-                            }
+                    }
+                    loop {
+                        let idx = next_root.fetch_add(1, Ordering::Relaxed);
+                        if idx >= roots.len() {
+                            break;
                         }
-                        let best = searcher
-                            .best
-                            .take()
-                            .map(|order| {
-                                let plan = Plan::new(order.clone()).expect("valid permutation");
-                                let cost = bottleneck_cost(instance, &plan);
-                                (order, cost)
-                            });
-                        (best, searcher.stats.clone(), searcher.interrupted)
-                    })
+                        let (a, b, w) = roots[idx];
+                        searcher.sync_rho();
+                        if w >= searcher.rho {
+                            // Roots are sorted: nothing later can help.
+                            searcher.stats.roots_pruned += 1;
+                            break;
+                        }
+                        searcher.stats.roots_explored += 1;
+                        searcher.explore_root(a, b, w);
+                        if searcher.interrupted {
+                            break;
+                        }
+                    }
+                    let best = searcher.best.take().map(|order| {
+                        let plan = Plan::new(order.clone()).expect("valid permutation");
+                        let cost = bottleneck_cost(instance, &plan);
+                        (order, cost)
+                    });
+                    (best, searcher.stats.clone(), searcher.interrupted)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
-        });
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
+    });
 
     let mut stats = SearchStats { proven_optimal: true, ..SearchStats::default() };
     let mut best: Option<(Vec<usize>, f64)> = None;
@@ -236,11 +232,7 @@ pub fn optimize_parallel(
         (order, cost)
     });
     stats.elapsed = started.elapsed();
-    BnbResult {
-        plan: Plan::new(order).expect("search produces valid permutations"),
-        cost,
-        stats,
-    }
+    BnbResult { plan: Plan::new(order).expect("search produces valid permutations"), cost, stats }
 }
 
 struct Searcher<'a> {
@@ -279,8 +271,7 @@ impl<'a> Searcher<'a> {
             .map(|u| {
                 let mut succ: Vec<u32> = (0..n as u32).filter(|&j| j as usize != u).collect();
                 succ.sort_by(|&a, &b| {
-                    inst.transfer(u, a as usize)
-                        .total_cmp(&inst.transfer(u, b as usize))
+                    inst.transfer(u, a as usize).total_cmp(&inst.transfer(u, b as usize))
                 });
                 succ
             })
@@ -487,7 +478,8 @@ impl<'a> Searcher<'a> {
                     let full = self.greedy_completion();
                     debug_assert!(
                         {
-                            let plan = Plan::new(full.clone()).expect("completion is a permutation");
+                            let plan =
+                                Plan::new(full.clone()).expect("completion is a permutation");
                             let actual = bottleneck_cost(self.inst, &plan);
                             (actual - eps).abs() <= 1e-9 * eps.max(1.0)
                         },
@@ -638,10 +630,7 @@ impl<'a> Searcher<'a> {
                 .map(|&j| j as usize)
                 .find(|&j| {
                     !placed.contains(j)
-                        && self
-                            .inst
-                            .precedence()
-                            .is_none_or(|dag| dag.is_ready(j, &placed))
+                        && self.inst.precedence().is_none_or(|dag| dag.is_ready(j, &placed))
                 })
                 .expect("acyclic precedence always leaves a ready service");
             order.push(next);
@@ -666,10 +655,7 @@ impl<'a> Searcher<'a> {
                 let u = *order.last().expect("non-empty");
                 let next = self.sorted_succ[u].iter().map(|&j| j as usize).find(|&j| {
                     !placed.contains(j)
-                        && self
-                            .inst
-                            .precedence()
-                            .is_none_or(|dag| dag.is_ready(j, &placed))
+                        && self.inst.precedence().is_none_or(|dag| dag.is_ready(j, &placed))
                 });
                 match next {
                     Some(j) => {
@@ -773,7 +759,8 @@ mod tests {
                 Service::new(rng.gen_range(0.01..4.0), rng.gen_range(0.05..hi))
             })
             .collect();
-        let comm = CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..3.0) });
+        let comm =
+            CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.0..3.0) });
         let mut builder = QueryInstance::builder().services(services).comm(comm);
         if sinks {
             builder = builder.sink((0..n).map(|_| rng.gen_range(0.0..1.0)).collect());
@@ -793,10 +780,7 @@ mod tests {
     }
 
     fn assert_close(a: f64, b: f64, what: &str) {
-        assert!(
-            (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
-            "{what}: {a} vs {b}"
-        );
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0), "{what}: {a} vs {b}");
     }
 
     #[test]
@@ -895,7 +879,11 @@ mod tests {
 
     #[test]
     fn node_budget_interrupts_but_returns_a_plan() {
-        let mut rng = StdRng::seed_from_u64(5);
+        // Seed chosen (for the vendored xoshiro-based StdRng stream) so the
+        // unbudgeted search visits tens of nodes; a tiny node budget must
+        // then interrupt it. Degenerate draws where the greedy incumbent is
+        // proven optimal from the root bounds would never hit the budget.
+        let mut rng = StdRng::seed_from_u64(31);
         let inst = random_instance(&mut rng, 9, (false, false, false));
         let cfg = BnbConfig::paper().with_node_limit(3);
         let result = optimize_with(&inst, &cfg);
@@ -934,11 +922,7 @@ mod tests {
         // check B&B still matches brute force on a crafted instance where
         // the inflation matters.
         let inst = QueryInstance::from_parts(
-            vec![
-                Service::new(0.1, 4.0),
-                Service::new(2.0, 0.5),
-                Service::new(0.5, 1.0),
-            ],
+            vec![Service::new(0.1, 4.0), Service::new(2.0, 0.5), Service::new(0.5, 1.0)],
             CommMatrix::from_rows(vec![
                 vec![0.0, 0.2, 2.0],
                 vec![0.1, 0.0, 0.3],
@@ -1033,11 +1017,7 @@ mod tests {
         // sanity-check a known-optimal structure: cheap strong filters go
         // first when costs are equal.
         let inst = QueryInstance::from_parts(
-            vec![
-                Service::new(1.0, 0.9),
-                Service::new(1.0, 0.1),
-                Service::new(1.0, 0.5),
-            ],
+            vec![Service::new(1.0, 0.9), Service::new(1.0, 0.1), Service::new(1.0, 0.5)],
             CommMatrix::zeros(3),
         )
         .unwrap();

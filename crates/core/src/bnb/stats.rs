@@ -77,7 +77,11 @@ impl fmt::Display for SearchStats {
         )?;
         writeln!(f, "incumbent prunes   {:>12}", self.prunes_incumbent)?;
         writeln!(f, "lower-bound prunes {:>12}", self.prunes_lower_bound)?;
-        writeln!(f, "roots explored     {:>12} (pruned {})", self.roots_explored, self.roots_pruned)?;
+        writeln!(
+            f,
+            "roots explored     {:>12} (pruned {})",
+            self.roots_explored, self.roots_pruned
+        )?;
         writeln!(f, "max depth          {:>12}", self.max_depth)?;
         writeln!(f, "elapsed            {:>12?}", self.elapsed)?;
         write!(f, "proven optimal     {:>12}", self.proven_optimal)
@@ -105,7 +109,8 @@ mod tests {
 
     #[test]
     fn display_mentions_all_counters() {
-        let stats = SearchStats { nodes_visited: 42, proven_optimal: true, ..SearchStats::default() };
+        let stats =
+            SearchStats { nodes_visited: 42, proven_optimal: true, ..SearchStats::default() };
         let text = stats.to_string();
         for needle in ["nodes visited", "lemma-2", "backjumps", "proven optimal", "42"] {
             assert!(text.contains(needle), "missing {needle} in {text}");

@@ -175,11 +175,8 @@ impl CommMatrix {
     }
 
     fn off_diagonal(&self) -> impl Iterator<Item = f64> + '_ {
-        (0..self.n).flat_map(move |i| {
-            (0..self.n)
-                .filter(move |&j| j != i)
-                .map(move |j| self.get(i, j))
-        })
+        (0..self.n)
+            .flat_map(move |i| (0..self.n).filter(move |&j| j != i).map(move |j| self.get(i, j)))
     }
 }
 

@@ -48,7 +48,12 @@ impl fmt::Display for CostTerm {
         write!(
             f,
             "#{} {}: {:.6} × ({:.6} + {:.6}) = {:.6}",
-            self.position, self.service, self.input_fraction, self.processing, self.transfer, self.term
+            self.position,
+            self.service,
+            self.input_fraction,
+            self.processing,
+            self.transfer,
+            self.term
         )
     }
 }

@@ -69,7 +69,8 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = ModelError::DimensionMismatch { what: "communication matrix", expected: 4, found: 3 };
+        let e =
+            ModelError::DimensionMismatch { what: "communication matrix", expected: 4, found: 3 };
         assert_eq!(e.to_string(), "communication matrix has dimension 3, expected 4");
         let e = ModelError::InvalidValue { what: "service cost", value: -1.0 };
         assert!(e.to_string().contains("service cost"));

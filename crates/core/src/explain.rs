@@ -69,10 +69,7 @@ impl PlanReport {
     /// (`term / cost`, 1.0 at the bottleneck). Zero-cost plans report
     /// all-zero utilizations.
     pub fn utilizations(&self) -> Vec<f64> {
-        self.terms
-            .iter()
-            .map(|t| if self.cost == 0.0 { 0.0 } else { t.term / self.cost })
-            .collect()
+        self.terms.iter().map(|t| if self.cost == 0.0 { 0.0 } else { t.term / self.cost }).collect()
     }
 
     /// For each adjacent pair `(k, k+1)`: the plan's cost after swapping
@@ -171,11 +168,7 @@ mod tests {
 
     fn instance() -> QueryInstance {
         QueryInstance::from_parts(
-            vec![
-                Service::new(2.0, 0.5),
-                Service::new(1.0, 1.0),
-                Service::new(4.0, 0.25),
-            ],
+            vec![Service::new(2.0, 0.5), Service::new(1.0, 1.0), Service::new(4.0, 0.25)],
             CommMatrix::uniform(3, 0.5),
         )
         .expect("valid")
@@ -233,11 +226,7 @@ mod tests {
         let mut dag = PrecedenceDag::new(3).expect("n > 0");
         dag.add_edge(0, 1).expect("valid");
         let inst = QueryInstance::builder()
-            .services(vec![
-                Service::new(1.0, 1.0),
-                Service::new(1.0, 1.0),
-                Service::new(1.0, 1.0),
-            ])
+            .services(vec![Service::new(1.0, 1.0), Service::new(1.0, 1.0), Service::new(1.0, 1.0)])
             .comm(CommMatrix::zeros(3))
             .precedence(dag)
             .build()

@@ -238,19 +238,24 @@ pub fn parse_instance(text: &str) -> Result<QueryInstance, ParseInstanceError> {
     let services: Vec<Service> = services
         .into_iter()
         .enumerate()
-        .map(|(i, s)| s.ok_or(ParseInstanceError::MissingSection("service"))
-            .map_err(|_| ParseInstanceError::Malformed {
-                line: 0,
-                reason: format!("service {i} was never declared"),
-            }))
+        .map(|(i, s)| {
+            s.ok_or(ParseInstanceError::MissingSection("service")).map_err(|_| {
+                ParseInstanceError::Malformed {
+                    line: 0,
+                    reason: format!("service {i} was never declared"),
+                }
+            })
+        })
         .collect::<Result<_, _>>()?;
     let rows: Vec<Vec<f64>> = rows
         .into_iter()
         .enumerate()
-        .map(|(i, r)| r.ok_or(ParseInstanceError::Malformed {
-            line: 0,
-            reason: format!("row {i} was never declared"),
-        }))
+        .map(|(i, r)| {
+            r.ok_or(ParseInstanceError::Malformed {
+                line: 0,
+                reason: format!("row {i} was never declared"),
+            })
+        })
         .collect::<Result<_, _>>()?;
 
     let mut builder = QueryInstance::builder()
@@ -326,7 +331,8 @@ mod tests {
 
     #[test]
     fn malformed_lines_carry_line_numbers() {
-        let text = "dsq-instance v1\nn 2\nservice 0 1.0 0.5\nservice 1 -3 0.5\nrow 0 0 0\nrow 1 0 0\n";
+        let text =
+            "dsq-instance v1\nn 2\nservice 0 1.0 0.5\nservice 1 -3 0.5\nrow 0 0 0\nrow 1 0 0\n";
         match parse_instance(text) {
             Err(ParseInstanceError::Malformed { line, reason }) => {
                 assert_eq!(line, 4);

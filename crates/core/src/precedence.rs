@@ -41,11 +41,7 @@ impl PrecedenceDag {
         if n == 0 {
             return Err(ModelError::EmptyInstance);
         }
-        Ok(PrecedenceDag {
-            n,
-            preds: (0..n).map(|_| BitSet::new(n)).collect(),
-            edges: Vec::new(),
-        })
+        Ok(PrecedenceDag { n, preds: (0..n).map(|_| BitSet::new(n)).collect(), edges: Vec::new() })
     }
 
     /// Number of services the constraints range over.

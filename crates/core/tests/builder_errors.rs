@@ -1,0 +1,178 @@
+//! Black-box coverage of the model-construction error paths: every
+//! rejected input maps to the *specific* `ModelError` variant the docs
+//! promise, exercised through the public API only.
+
+use dsq_core::{CommMatrix, ModelError, PrecedenceDag, QueryInstance, Service};
+
+fn services(n: usize) -> Vec<Service> {
+    (0..n).map(|i| Service::new(1.0 + i as f64, 0.5)).collect()
+}
+
+// ---------------------------------------------------------------- CommMatrix
+
+#[test]
+fn comm_from_rows_rejects_ragged_rows() {
+    let err = CommMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0]]).unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::DimensionMismatch { what: "communication matrix row", expected: 2, found: 1 }
+    );
+}
+
+#[test]
+fn comm_from_rows_rejects_negative_transfer() {
+    let err = CommMatrix::from_rows(vec![vec![0.0, -3.0], vec![1.0, 0.0]]).unwrap_err();
+    assert_eq!(err, ModelError::InvalidValue { what: "transfer cost", value: -3.0 });
+}
+
+#[test]
+fn comm_from_rows_rejects_nan_and_infinity() {
+    let err = CommMatrix::from_rows(vec![vec![0.0, f64::NAN], vec![1.0, 0.0]]).unwrap_err();
+    assert!(matches!(err, ModelError::InvalidValue { what: "transfer cost", .. }));
+    let err = CommMatrix::from_rows(vec![vec![0.0, f64::INFINITY], vec![1.0, 0.0]]).unwrap_err();
+    assert!(
+        matches!(err, ModelError::InvalidValue { what: "transfer cost", value } if value.is_infinite())
+    );
+}
+
+// ------------------------------------------------------------- QueryInstance
+
+#[test]
+fn builder_rejects_empty_instance() {
+    let err = QueryInstance::builder().comm(CommMatrix::zeros(1)).build().unwrap_err();
+    assert_eq!(err, ModelError::EmptyInstance);
+}
+
+#[test]
+fn builder_requires_a_comm_matrix() {
+    let err = QueryInstance::builder().services(services(2)).build().unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::DimensionMismatch { what: "communication matrix", expected: 2, found: 0 }
+    );
+}
+
+#[test]
+fn builder_rejects_comm_dimension_mismatch() {
+    let err = QueryInstance::builder()
+        .services(services(3))
+        .comm(CommMatrix::uniform(2, 1.0))
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::DimensionMismatch { what: "communication matrix", expected: 3, found: 2 }
+    );
+}
+
+#[test]
+fn from_parts_rejects_comm_dimension_mismatch() {
+    let err = QueryInstance::from_parts(services(4), CommMatrix::uniform(2, 0.5)).unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::DimensionMismatch { what: "communication matrix", expected: 4, found: 2 }
+    );
+}
+
+#[test]
+fn builder_rejects_sink_dimension_mismatch() {
+    let err = QueryInstance::builder()
+        .services(services(2))
+        .comm(CommMatrix::uniform(2, 1.0))
+        .sink(vec![0.1, 0.2, 0.3])
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::DimensionMismatch { what: "sink cost vector", expected: 2, found: 3 }
+    );
+}
+
+#[test]
+fn builder_rejects_negative_sink_cost() {
+    let err = QueryInstance::builder()
+        .services(services(2))
+        .comm(CommMatrix::uniform(2, 1.0))
+        .sink(vec![0.1, -0.2])
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ModelError::InvalidValue { what: "sink cost", value: -0.2 });
+}
+
+#[test]
+fn builder_rejects_precedence_dimension_mismatch() {
+    let dag = PrecedenceDag::new(3).unwrap();
+    let err = QueryInstance::builder()
+        .services(services(2))
+        .comm(CommMatrix::uniform(2, 1.0))
+        .precedence(dag)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ModelError::DimensionMismatch { what: "precedence DAG", expected: 2, found: 3 }
+    );
+}
+
+#[test]
+fn builder_rejects_cyclic_precedence() {
+    let mut dag = PrecedenceDag::new(2).unwrap();
+    dag.add_edge(0, 1).unwrap();
+    dag.add_edge(1, 0).unwrap();
+    let err = QueryInstance::builder()
+        .services(services(2))
+        .comm(CommMatrix::uniform(2, 1.0))
+        .precedence(dag)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ModelError::PrecedenceCycle);
+}
+
+// ------------------------------------------------------------- PrecedenceDag
+
+#[test]
+fn dag_rejects_empty_self_loops_and_out_of_range() {
+    assert_eq!(PrecedenceDag::new(0).unwrap_err(), ModelError::EmptyInstance);
+    let mut dag = PrecedenceDag::new(3).unwrap();
+    assert_eq!(dag.add_edge(2, 2).unwrap_err(), ModelError::SelfPrecedence(2));
+    assert_eq!(
+        dag.add_edge(1, 7).unwrap_err(),
+        ModelError::PrecedenceOutOfRange { service: 7, len: 3 }
+    );
+}
+
+// ------------------------------------------- Service parameter validation
+
+#[test]
+#[should_panic(expected = "cost must be finite and non-negative")]
+fn negative_service_cost_panics() {
+    let _ = Service::new(-1.0, 0.5);
+}
+
+#[test]
+#[should_panic(expected = "selectivity must be finite and non-negative")]
+fn negative_selectivity_panics() {
+    let _ = Service::new(1.0, -0.5);
+}
+
+#[test]
+#[should_panic(expected = "cost must be finite and non-negative")]
+fn nan_service_cost_panics() {
+    let _ = Service::new(f64::NAN, 0.5);
+}
+
+// ------------------------------------------------- errors are usable errors
+
+#[test]
+fn model_error_implements_std_error_with_messages() {
+    let errors: Vec<ModelError> = vec![
+        ModelError::EmptyInstance,
+        ModelError::DimensionMismatch { what: "communication matrix", expected: 2, found: 1 },
+        ModelError::InvalidValue { what: "sink cost", value: -1.0 },
+        ModelError::PrecedenceCycle,
+    ];
+    for e in errors {
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(!boxed.to_string().is_empty());
+    }
+}

@@ -22,8 +22,7 @@ pub fn experiment() -> Experiment {
 fn run(ctx: &ExperimentContext) -> Vec<Table> {
     let n: usize = ctx.size(13, 10);
     let seeds: u64 = ctx.size(5, 2);
-    let budgets: [Option<u64>; 6] =
-        [Some(16), Some(64), Some(256), Some(1024), Some(4096), None];
+    let budgets: [Option<u64>; 6] = [Some(16), Some(64), Some(256), Some(1024), Some(4096), None];
 
     let mut table = Table::new(
         format!("E11: incumbent quality vs node budget (btsp-hard, n={n}, {seeds} seeds)"),

@@ -32,11 +32,8 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
         ["family", "instances", "checks", "matches", "max rel gap"],
     );
     for family in Family::ALL {
-        let points = Sweep::new()
-            .families([family])
-            .sizes(sizes.iter().copied())
-            .seeds(0..seeds)
-            .build();
+        let points =
+            Sweep::new().families([family]).sizes(sizes.iter().copied()).seeds(0..seeds).build();
         let mut checks = 0u64;
         let mut matches = 0u64;
         let mut worst_gap = 0.0f64;
@@ -93,12 +90,7 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
             worst = worst.max(gap);
             matches += u64::from(gap <= 1e-9);
         }
-        prec.push_row([
-            n.to_string(),
-            seeds.to_string(),
-            matches.to_string(),
-            cell_f64(worst, 12),
-        ]);
+        prec.push_row([n.to_string(), seeds.to_string(), matches.to_string(), cell_f64(worst, 12)]);
     }
     vec![table, prec]
 }

@@ -29,8 +29,7 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
             ["n", "B&B median", "B&B max", "B&B nodes", "DP", "exhaustive", "unpruned prefixes"],
         );
         for &n in &sizes {
-            let points =
-                Sweep::new().families([family]).sizes([n]).seeds(0..seeds).build();
+            let points = Sweep::new().families([family]).sizes([n]).seeds(0..seeds).build();
             let mut bnb_times = Vec::new();
             let mut bnb_nodes = Vec::new();
             let mut dp_time = Duration::ZERO;

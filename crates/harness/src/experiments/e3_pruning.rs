@@ -35,7 +35,14 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
             let points = Sweep::new().families([family]).sizes([n]).seeds(0..seeds).build();
             let mut table = Table::new(
                 format!("E3: nodes visited by configuration ({}, n={n})", family.name()),
-                ["configuration", "nodes (mean)", "vs L1-only", "closures", "backjumps", "time (mean)"],
+                [
+                    "configuration",
+                    "nodes (mean)",
+                    "vs L1-only",
+                    "closures",
+                    "backjumps",
+                    "time (mean)",
+                ],
             );
             let mut baseline_nodes = 0.0f64;
             for (name, cfg) in &configs {

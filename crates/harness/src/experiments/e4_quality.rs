@@ -26,7 +26,15 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
 
     let mut table = Table::new(
         format!("E4: cost ratio to the decentralized optimum (n={n}, {seeds} seeds, mean [max])"),
-        ["family", "uniform-opt [1]", "greedy", "local search", "annealing", "random best-of-100", "random mean"],
+        [
+            "family",
+            "uniform-opt [1]",
+            "greedy",
+            "local search",
+            "annealing",
+            "random best-of-100",
+            "random mean",
+        ],
     );
     for family in [Family::Euclidean, Family::Clustered, Family::HubSpoke, Family::UniformRandom] {
         let points = Sweep::new().families([family]).sizes([n]).seeds(0..seeds).build();

@@ -29,14 +29,8 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
 
     let mut instances = vec![("credit-screening".to_string(), credit_pipeline())];
     for seed in 0..ctx.size(3, 1) {
-        instances.push((
-            format!("clustered-n6-s{seed}"),
-            generate(Family::Clustered, 6, seed),
-        ));
-        instances.push((
-            format!("euclidean-n10-s{seed}"),
-            generate(Family::Euclidean, 10, seed),
-        ));
+        instances.push((format!("clustered-n6-s{seed}"), generate(Family::Clustered, 6, seed)));
+        instances.push((format!("euclidean-n10-s{seed}"), generate(Family::Euclidean, 10, seed)));
     }
 
     for (name, inst) in &instances {
@@ -47,8 +41,7 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
         }
         for (plan_name, plan) in plans {
             let predicted = bottleneck_cost(inst, &plan);
-            let report =
-                simulate(inst, &plan, &SimConfig { tuples, ..SimConfig::default() });
+            let report = simulate(inst, &plan, &SimConfig { tuples, ..SimConfig::default() });
             let measured = report.measured_unit_cost();
             table.push_row([
                 name.clone(),

@@ -39,8 +39,7 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
             let result = optimize(&inst);
             elapsed += t0.elapsed();
             nodes += result.stats().nodes_visited;
-            matches +=
-                u64::from((result.cost() - reference).abs() <= 1e-9 * reference.max(1.0));
+            matches += u64::from((result.cost() - reference).abs() <= 1e-9 * reference.max(1.0));
         }
         prolif.push_row([
             cell_f64(fraction, 1),
@@ -74,8 +73,7 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
             let result = optimize(&inst);
             elapsed += t0.elapsed();
             nodes += result.stats().nodes_visited;
-            matches +=
-                u64::from((result.cost() - reference).abs() <= 1e-9 * reference.max(1.0));
+            matches += u64::from((result.cost() - reference).abs() <= 1e-9 * reference.max(1.0));
         }
         prec.push_row([
             cell_f64(density, 1),
@@ -84,6 +82,8 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
             format!("{} ms", cell_ms(elapsed / seeds as u32)),
         ]);
     }
-    prec.push_note("denser constraints shrink the feasible search space, so nodes fall as density rises");
+    prec.push_note(
+        "denser constraints shrink the feasible search space, so nodes fall as density rises",
+    );
     vec![prolif, prec]
 }

@@ -19,7 +19,8 @@ pub fn experiment() -> Experiment {
     Experiment {
         id: "e8",
         title: "Threaded pipeline: wall-clock agreement",
-        claim: "\"extensive simulation and real experiments' results\" (§1) — the real-execution half",
+        claim:
+            "\"extensive simulation and real experiments' results\" (§1) — the real-execution half",
         run,
     }
 }

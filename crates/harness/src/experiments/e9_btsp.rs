@@ -24,7 +24,15 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
 
     let mut table = Table::new(
         "E9: B&B on σ=1/c=0 instances vs the threshold BTSP solver",
-        ["n", "instances", "matches", "mean B&B nodes", "B&B time", "threshold-solver time", "LB tight count"],
+        [
+            "n",
+            "instances",
+            "matches",
+            "mean B&B nodes",
+            "B&B time",
+            "threshold-solver time",
+            "LB tight count",
+        ],
     );
     for &n in &sizes {
         let mut matches = 0u64;

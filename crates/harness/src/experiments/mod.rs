@@ -1,5 +1,6 @@
 //! The reconstructed evaluation suite (see DESIGN.md §5 for the index).
 
+pub mod e10_blocks;
 pub mod e11_anytime;
 pub mod e12_latency;
 pub mod e1_optimality;
@@ -11,4 +12,3 @@ pub mod e6_heterogeneity;
 pub mod e7_generalizations;
 pub mod e8_runtime;
 pub mod e9_btsp;
-pub mod e10_blocks;

@@ -18,7 +18,10 @@ impl Table {
     /// # Panics
     ///
     /// Panics if no headers are given.
-    pub fn new(title: impl Into<String>, headers: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        headers: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "a table needs at least one column");
         Table { title: title.into(), headers, rows: Vec::new(), notes: Vec::new() }

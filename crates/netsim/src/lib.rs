@@ -180,12 +180,7 @@ pub fn uniform_random(n: usize, lo: f64, hi: f64, symmetric: bool, seed: u64) ->
 /// # Panics
 ///
 /// Panics if `n == 0` or a range is invalid (`lo > hi` or negative).
-pub fn last_mile(
-    n: usize,
-    up: (f64, f64),
-    down: (f64, f64),
-    seed: u64,
-) -> Topology {
+pub fn last_mile(n: usize, up: (f64, f64), down: (f64, f64), seed: u64) -> Topology {
     assert!(n > 0, "topology needs at least one host");
     for (lo, hi) in [up, down] {
         assert!(lo >= 0.0 && hi >= lo, "invalid cost range");
@@ -205,9 +200,8 @@ pub fn heterogeneity(comm: &CommMatrix) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let entries: Vec<f64> = (0..n)
-        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| comm.get(i, j)))
-        .collect();
+    let entries: Vec<f64> =
+        (0..n).flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| comm.get(i, j))).collect();
     let mean = entries.iter().sum::<f64>() / entries.len() as f64;
     if mean == 0.0 {
         return 0.0;

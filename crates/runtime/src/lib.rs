@@ -204,11 +204,8 @@ pub fn run_pipeline(
     let makespan = started.elapsed();
 
     let delivered = delivered.into_inner();
-    let stages: Vec<StageWallStats> = stats
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("every stage thread reports"))
-        .collect();
+    let stages: Vec<StageWallStats> =
+        stats.into_inner().into_iter().map(|s| s.expect("every stage thread reports")).collect();
     RuntimeReport {
         tuples_in: config.tuples,
         tuples_delivered: delivered.len() as u64,
@@ -285,11 +282,7 @@ mod tests {
 
     fn pipeline(sigmas: &[f64], costs_us: &[f64], t_us: f64) -> QueryInstance {
         QueryInstance::from_parts(
-            sigmas
-                .iter()
-                .zip(costs_us)
-                .map(|(&s, &c)| Service::new(c, s))
-                .collect(),
+            sigmas.iter().zip(costs_us).map(|(&s, &c)| Service::new(c, s)).collect(),
             CommMatrix::uniform(sigmas.len(), t_us),
         )
         .unwrap()

@@ -73,10 +73,7 @@ impl Ord for Event {
     // Reversed: BinaryHeap is a max-heap, we want earliest-first, ties by
     // insertion order for determinism.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -450,8 +447,7 @@ mod tests {
         // the first block (32) is ready, then runs continuously:
         // makespan = 0.01·32 + 100·0.02 = 2.32.
         let (inst, plan) = two_stage();
-        let report =
-            simulate(&inst, &plan, &SimConfig { tuples: 100, ..SimConfig::default() });
+        let report = simulate(&inst, &plan, &SimConfig { tuples: 100, ..SimConfig::default() });
         assert_eq!(report.tuples_delivered, 100);
         assert!((report.makespan - 2.32).abs() < 1e-9, "makespan {}", report.makespan);
         assert_eq!(report.bottleneck_position(), 1);
@@ -467,8 +463,7 @@ mod tests {
         )
         .unwrap();
         let plan = Plan::new(vec![0, 1]).unwrap();
-        let report =
-            simulate(&inst, &plan, &SimConfig { tuples: 1_000, ..SimConfig::default() });
+        let report = simulate(&inst, &plan, &SimConfig { tuples: 1_000, ..SimConfig::default() });
         assert_eq!(report.stages[0].tuples_out, 500);
         assert_eq!(report.stages[1].tuples_in, 500);
         assert_eq!(report.tuples_delivered, 125);
@@ -498,7 +493,10 @@ mod tests {
                 Service::new(0.012, 0.9),
                 Service::new(0.002, 1.0),
             ],
-            CommMatrix::from_fn(4, |i, j| if i == j { 0.0 } else { 0.001 * (1 + (i + j) % 3) as f64 }),
+            CommMatrix::from_fn(
+                4,
+                |i, j| if i == j { 0.0 } else { 0.001 * (1 + (i + j) % 3) as f64 },
+            ),
         )
         .unwrap();
         for order in [vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 0, 3, 2]] {
@@ -718,11 +716,8 @@ mod tests {
 
     #[test]
     fn filtered_out_tuples_leave_no_latency_samples() {
-        let inst = QueryInstance::from_parts(
-            vec![Service::new(0.001, 0.0)],
-            CommMatrix::zeros(1),
-        )
-        .unwrap();
+        let inst = QueryInstance::from_parts(vec![Service::new(0.001, 0.0)], CommMatrix::zeros(1))
+            .unwrap();
         let plan = Plan::new(vec![0]).unwrap();
         let report = simulate(
             &inst,

@@ -131,7 +131,12 @@ impl fmt::Display for SimReport {
             writeln!(
                 f,
                 "  #{} WS{}: in {:>8} out {:>8} busy {:>10.4}s ({} blocks, peak queue {})",
-                s.position, s.service, s.tuples_in, s.tuples_out, s.busy_time, s.blocks_sent,
+                s.position,
+                s.service,
+                s.tuples_in,
+                s.tuples_out,
+                s.busy_time,
+                s.blocks_sent,
                 s.peak_queue
             )?;
         }

@@ -122,12 +122,7 @@ pub fn generate_with(family: Family, n: usize, seed: u64, params: &FamilyParams)
         .expect("generated instances are valid")
 }
 
-fn services_for(
-    family: Family,
-    n: usize,
-    rng: &mut StdRng,
-    params: &FamilyParams,
-) -> Vec<Service> {
+fn services_for(family: Family, n: usize, rng: &mut StdRng, params: &FamilyParams) -> Vec<Service> {
     let (c_lo, c_hi) = params.cost_range;
     let (s_lo, s_hi) = params.selectivity_range;
     match family {
@@ -169,9 +164,13 @@ fn comm_for(family: Family, n: usize, rng: &mut StdRng, params: &FamilyParams) -
             let rate = (t_hi - t_lo) / (side * std::f64::consts::SQRT_2);
             netsim::euclidean(n, side, t_lo, rate, seed).into_comm()
         }
-        Family::Clustered => netsim::clustered(n, 3, t_lo, t_hi.max(t_lo * 4.0), 0.2, seed).into_comm(),
+        Family::Clustered => {
+            netsim::clustered(n, 3, t_lo, t_hi.max(t_lo * 4.0), 0.2, seed).into_comm()
+        }
         Family::HubSpoke => netsim::hub_spoke(n, 2, t_lo, t_hi, seed).into_comm(),
-        Family::BtspHard => netsim::uniform_random(n, t_lo.max(0.1), t_hi.max(1.0), false, seed).into_comm(),
+        Family::BtspHard => {
+            netsim::uniform_random(n, t_lo.max(0.1), t_hi.max(1.0), false, seed).into_comm()
+        }
         _ => netsim::uniform_random(n, t_lo, t_hi, false, seed).into_comm(),
     }
 }

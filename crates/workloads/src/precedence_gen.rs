@@ -94,6 +94,7 @@ mod tests {
         assert!(random_dag(6, 0.0, 1).is_empty());
         let total = random_dag(6, 1.0, 1);
         assert_eq!(total.edge_count(), 15); // C(6,2)
+
         // A total order admits exactly one topological order.
         let topo = total.validate().unwrap();
         assert!(total.is_feasible_order(&topo));

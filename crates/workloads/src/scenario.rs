@@ -51,18 +51,9 @@ pub fn credit_pipeline() -> QueryInstance {
     // Regions: {0,1} = A, {2,3} = B, {4,5} = C.
     let region = [0usize, 0, 1, 1, 2, 2];
     // Per-tuple transfer cost (ms) between regions; A↔C is the worst link.
-    let region_cost = [
-        [0.05, 0.6, 1.2],
-        [0.6, 0.08, 0.5],
-        [1.2, 0.5, 0.06],
-    ];
-    let comm = CommMatrix::from_fn(6, |i, j| {
-        if i == j {
-            0.0
-        } else {
-            region_cost[region[i]][region[j]]
-        }
-    });
+    let region_cost = [[0.05, 0.6, 1.2], [0.6, 0.08, 0.5], [1.2, 0.5, 0.06]];
+    let comm =
+        CommMatrix::from_fn(6, |i, j| if i == j { 0.0 } else { region_cost[region[i]][region[j]] });
     QueryInstance::builder()
         .name("credit-screening")
         .services(services)
@@ -90,18 +81,9 @@ pub fn sensor_fusion() -> QueryInstance {
     ];
     // Sites: {0,1,2} edge A, {3,4} edge B, {5,6} core.
     let site = [0usize, 0, 0, 1, 1, 2, 2];
-    let site_cost = [
-        [0.04, 0.9, 0.45],
-        [0.9, 0.05, 0.4],
-        [0.45, 0.4, 0.03],
-    ];
-    let comm = CommMatrix::from_fn(7, |i, j| {
-        if i == j {
-            0.0
-        } else {
-            site_cost[site[i]][site[j]]
-        }
-    });
+    let site_cost = [[0.04, 0.9, 0.45], [0.9, 0.05, 0.4], [0.45, 0.4, 0.03]];
+    let comm =
+        CommMatrix::from_fn(7, |i, j| if i == j { 0.0 } else { site_cost[site[i]][site[j]] });
     let mut dag = dsq_core::PrecedenceDag::new(7).expect("n > 0");
     for later in 1..7 {
         dag.add_edge(0, later).expect("ingest precedes everything");

@@ -85,8 +85,7 @@ impl Sweep {
             !self.families.is_empty() && !self.sizes.is_empty(),
             "a sweep needs at least one family and one size"
         );
-        let mut out =
-            Vec::with_capacity(self.families.len() * self.sizes.len() * self.seeds.len());
+        let mut out = Vec::with_capacity(self.families.len() * self.sizes.len() * self.seeds.len());
         for &family in &self.families {
             for &n in &self.sizes {
                 for &seed in &self.seeds {
@@ -115,11 +114,8 @@ mod tests {
 
     #[test]
     fn grid_shape_and_order() {
-        let points = Sweep::new()
-            .families([Family::UniformRandom])
-            .sizes([3, 5])
-            .seeds(0..2)
-            .build();
+        let points =
+            Sweep::new().families([Family::UniformRandom]).sizes([3, 5]).seeds(0..2).build();
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].n, 3);
         assert_eq!(points[0].seed, 0);

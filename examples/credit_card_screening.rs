@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("lookup-first", naive),
         ("network-oblivious", oblivious),
     ] {
-        let report = simulate(&instance, &plan, &SimConfig { tuples: 20_000, ..SimConfig::default() });
+        let report =
+            simulate(&instance, &plan, &SimConfig { tuples: 20_000, ..SimConfig::default() });
         let predicted = 1.0 / bottleneck_cost(&instance, &plan);
         println!(
             "  {name:<18} predicted {predicted:>8.3}/s   simulated {:>8.3}/s   ({} tuples delivered)",

@@ -46,14 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dp = subset_dp(&base)?;
     println!("\nbranch-and-bound : {} nodes visited", result.stats().nodes_visited);
     println!("subset DP        : {} transitions", dp.states_expanded());
-    println!(
-        "unpruned DFS     : {} prefixes",
-        SearchStats::unpruned_prefix_count(base.len())
-    );
-    println!(
-        "agreement        : B&B {:.6} vs DP {:.6}",
-        result.cost(),
-        dp.cost()
-    );
+    println!("unpruned DFS     : {} prefixes", SearchStats::unpruned_prefix_count(base.len()));
+    println!("agreement        : B&B {:.6} vs DP {:.6}", result.cost(), dp.cost());
     Ok(())
 }

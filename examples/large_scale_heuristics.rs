@@ -40,10 +40,8 @@ fn main() {
     record("local search", ls.cost(), t0.elapsed());
 
     let t0 = Instant::now();
-    let sa = simulated_annealing(
-        &instance,
-        &AnnealingConfig { steps: 60_000, ..Default::default() },
-    );
+    let sa =
+        simulated_annealing(&instance, &AnnealingConfig { steps: 60_000, ..Default::default() });
     record("simulated annealing", sa.cost(), t0.elapsed());
 
     // Budgeted exact search: seeds with greedy, explores until the node
@@ -63,9 +61,6 @@ fn main() {
         bnb.stats().candidates_recorded
     );
 
-    let best = results
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("at least one method ran");
+    let best = results.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("at least one method ran");
     println!("\nbest method here: {} at cost {:.4}", best.0, best.1);
 }

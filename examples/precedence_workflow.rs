@@ -8,9 +8,7 @@
 //! ```
 
 use service_ordering::baselines::subset_dp;
-use service_ordering::core::{
-    optimize, CommMatrix, PrecedenceDag, QueryInstance, Service,
-};
+use service_ordering::core::{optimize, CommMatrix, PrecedenceDag, QueryInstance, Service};
 use service_ordering::runtime::{run_pipeline, RuntimeConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,8 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     println!("{instance}");
-    println!("constraints: extract first of its group, archive last, {} edges\n",
-        instance.precedence().expect("built with precedence").edge_count());
+    println!(
+        "constraints: extract first of its group, archive last, {} edges\n",
+        instance.precedence().expect("built with precedence").edge_count()
+    );
 
     let result = optimize(&instance);
     println!("optimal plan : {}", result.plan());
@@ -51,8 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cross-check with the exact DP (also precedence-aware).
     let dp = subset_dp(&instance)?;
-    println!("subset DP    : {:.4} (agrees: {})", dp.cost(),
-        (dp.cost() - result.cost()).abs() < 1e-9);
+    println!(
+        "subset DP    : {:.4} (agrees: {})",
+        dp.cost(),
+        (dp.cost() - result.cost()).abs() < 1e-9
+    );
 
     // Run it for real on threads (scaled to microseconds).
     let report = run_pipeline(

@@ -24,11 +24,8 @@ fn heuristics_bracket_the_optimum() {
         let opt = optimize(inst).cost();
         let greedy = best_greedy(inst).cost();
         let ls = local_search(inst, &LocalSearchConfig::default()).cost();
-        let sa = simulated_annealing(
-            inst,
-            &AnnealingConfig { steps: 5_000, ..Default::default() },
-        )
-        .cost();
+        let sa = simulated_annealing(inst, &AnnealingConfig { steps: 5_000, ..Default::default() })
+            .cost();
         let rnd = random_sampling(inst, 50, point.seed).cost();
         for (name, value) in [("greedy", greedy), ("ls", ls), ("sa", sa), ("random", rnd)] {
             assert!(

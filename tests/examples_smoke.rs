@@ -1,0 +1,57 @@
+//! Smoke tests: every checked-in example must build, run to completion,
+//! and print the output its narrative promises. Examples are documentation
+//! that tends to rot silently; this file makes rot a test failure.
+//!
+//! Each test shells out to `cargo run --release --example …` — release
+//! because the heuristics example orders 60 services, and because the
+//! tier-1 pipeline (`cargo build --release && cargo test`) has already
+//! produced the artifacts, making these runs cheap.
+
+use std::process::Command;
+
+fn run_example(name: &str) -> String {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["run", "--release", "--quiet", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs() {
+    let out = run_example("quickstart");
+    assert!(!out.trim().is_empty(), "quickstart should print its result:\n{out}");
+}
+
+#[test]
+fn credit_card_screening_runs() {
+    let out = run_example("credit_card_screening");
+    assert!(out.contains("optimal"), "expected an optimal plan report:\n{out}");
+}
+
+#[test]
+fn geo_distributed_analytics_runs() {
+    let out = run_example("geo_distributed_analytics");
+    assert!(out.contains("spread"), "expected the heterogeneity sweep table:\n{out}");
+}
+
+#[test]
+fn precedence_workflow_runs() {
+    let out = run_example("precedence_workflow");
+    assert!(!out.trim().is_empty(), "precedence workflow should print plans:\n{out}");
+}
+
+#[test]
+fn large_scale_heuristics_runs() {
+    let out = run_example("large_scale_heuristics");
+    assert!(out.contains("best method here"), "expected the method comparison:\n{out}");
+}

@@ -17,10 +17,7 @@ fn run_by_id(id: &str) -> Vec<dsq_harness::Table> {
 #[test]
 fn registry_is_complete() {
     let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-    assert_eq!(
-        ids,
-        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"]
-    );
+    assert_eq!(ids, ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"]);
 }
 
 #[test]
@@ -41,17 +38,11 @@ fn e3_shows_pruning_gains() {
     assert!(!tables.is_empty());
     for table in &tables {
         let csv = table.to_csv();
-        let rows: Vec<Vec<String>> = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').map(str::to_string).collect())
-            .collect();
+        let rows: Vec<Vec<String>> =
+            csv.lines().skip(1).map(|l| l.split(',').map(str::to_string).collect()).collect();
         let nodes: Vec<f64> = rows.iter().map(|r| r[1].parse().expect("numeric")).collect();
         // Paper config (row 3) never visits more nodes than L1-only (row 0).
-        assert!(
-            nodes[3] <= nodes[0],
-            "paper config should not exceed incumbent-only: {nodes:?}"
-        );
+        assert!(nodes[3] <= nodes[0], "paper config should not exceed incumbent-only: {nodes:?}");
     }
 }
 
@@ -65,10 +56,7 @@ fn e6_gap_grows_with_heterogeneity() {
         .map(|l| l.split(',').nth(2).expect("gap column").parse().expect("numeric"))
         .collect();
     assert!((gaps[0] - 1.0).abs() < 1e-9, "factor 0 must have gap 1, got {}", gaps[0]);
-    assert!(
-        gaps.last().expect("rows") > &gaps[0],
-        "gap should grow with spread: {gaps:?}"
-    );
+    assert!(gaps.last().expect("rows") > &gaps[0], "gap should grow with spread: {gaps:?}");
 }
 
 #[test]
@@ -77,10 +65,7 @@ fn e5_simulator_agrees_with_the_model() {
     let csv = tables[0].to_csv();
     for line in csv.lines().skip(1) {
         let ratio: f64 = line.split(',').nth(4).expect("ratio column").parse().expect("numeric");
-        assert!(
-            (0.85..=1.1).contains(&ratio),
-            "simulated/predicted ratio out of band: {line}"
-        );
+        assert!((0.85..=1.1).contains(&ratio), "simulated/predicted ratio out of band: {line}");
     }
 }
 

@@ -23,14 +23,9 @@ fn precedence_and_names_survive() {
     let base = generate(Family::Clustered, 6, 9);
     let inst = QueryInstance::builder()
         .name("with everything")
-        .services(
-            base.services()
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    Service::new(s.cost(), s.selectivity()).with_name(format!("svc number {i}"))
-                }),
-        )
+        .services(base.services().iter().enumerate().map(|(i, s)| {
+            Service::new(s.cost(), s.selectivity()).with_name(format!("svc number {i}"))
+        }))
         .comm(base.comm().clone())
         .sink(vec![0.5; 6])
         .precedence(random_dag(6, 0.4, 3))

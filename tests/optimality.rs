@@ -7,10 +7,7 @@ use service_ordering::core::{optimize_with, BnbConfig};
 use service_ordering::workloads::{random_dag, Family, Sweep};
 
 fn assert_close(a: f64, b: f64, what: &str) {
-    assert!(
-        (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
-        "{what}: {a} vs {b}"
-    );
+    assert!((a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0), "{what}: {a} vs {b}");
 }
 
 #[test]
@@ -22,11 +19,7 @@ fn bnb_matches_exact_methods_on_all_families() {
         BnbConfig::without_backjump(),
         BnbConfig::extended(),
     ];
-    let points = Sweep::new()
-        .families(Family::ALL)
-        .sizes([3, 5, 7])
-        .seeds(0..4)
-        .build();
+    let points = Sweep::new().families(Family::ALL).sizes([3, 5, 7]).seeds(0..4).build();
     for point in points {
         let dp = subset_dp(&point.instance).expect("within limit");
         let brute = exhaustive(&point.instance).expect("within limit");

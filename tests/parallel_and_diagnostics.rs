@@ -13,17 +13,12 @@ fn threads(k: usize) -> NonZeroUsize {
 
 #[test]
 fn parallel_matches_sequential_across_families() {
-    let points = Sweep::new()
-        .families(Family::ALL)
-        .sizes([6, 9])
-        .seeds(0..2)
-        .build();
+    let points = Sweep::new().families(Family::ALL).sizes([6, 9]).seeds(0..2).build();
     for point in &points {
         let sequential = optimize(&point.instance);
         let parallel = optimize_parallel(&point.instance, &BnbConfig::paper(), threads(3));
         assert!(
-            (sequential.cost() - parallel.cost()).abs()
-                <= 1e-9 * sequential.cost().max(1.0),
+            (sequential.cost() - parallel.cost()).abs() <= 1e-9 * sequential.cost().max(1.0),
             "{} n={} seed={}: {} vs {}",
             point.family.name(),
             point.n,
@@ -48,9 +43,7 @@ fn parallel_respects_precedence() {
             .expect("valid");
         let result = optimize_parallel(&inst, &BnbConfig::extended(), threads(2));
         assert!(result.plan().satisfies(inst.precedence().expect("present")));
-        assert!(
-            (result.cost() - optimize(&inst).cost()).abs() <= 1e-9 * result.cost().max(1.0)
-        );
+        assert!((result.cost() - optimize(&inst).cost()).abs() <= 1e-9 * result.cost().max(1.0));
     }
 }
 
@@ -92,12 +85,8 @@ fn explain_flags_suboptimal_plans() {
     let bad_order: Vec<usize> = optimal.plan().indices().into_iter().rev().collect();
     let bad = service_ordering::core::Plan::new(bad_order).expect("permutation");
     let report = explain(&inst, &bad);
-    let best_swap = report
-        .adjacent_swap_costs()
-        .iter()
-        .flatten()
-        .copied()
-        .fold(f64::INFINITY, f64::min);
+    let best_swap =
+        report.adjacent_swap_costs().iter().flatten().copied().fold(f64::INFINITY, f64::min);
     // Either some swap improves, or the reversed plan is (rarely) also a
     // local optimum — but it can never beat the true optimum.
     assert!(report.cost() >= optimal.cost() - 1e-9);

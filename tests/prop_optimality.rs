@@ -1,12 +1,17 @@
 //! Property-based tests over arbitrary instances: the pruning lemmas
 //! never lose the optimum, returned plans are valid, and the cost
 //! metric's structural properties hold.
+//!
+//! Case budget: the checked-in `proptest_config` counts below are sized
+//! to keep this suite well under a minute. CI additionally exports
+//! `PROPTEST_CASES` to cap every property in the workspace uniformly;
+//! raise it locally (e.g. `PROPTEST_CASES=2048 cargo test`) for a more
+//! exhaustive sweep.
 
 use proptest::prelude::*;
 use service_ordering::baselines::subset_dp;
 use service_ordering::core::{
-    bottleneck_cost, cost_terms, optimize_with, BnbConfig, CommMatrix, Plan, QueryInstance,
-    Service,
+    bottleneck_cost, cost_terms, optimize_with, BnbConfig, CommMatrix, Plan, QueryInstance, Service,
 };
 
 /// Strategy: a small arbitrary instance, optionally with proliferative

@@ -1,0 +1,345 @@
+//! Offline stand-in for the parts of [`criterion`] this workspace uses.
+//!
+//! It really measures: each benchmark warms up for the configured
+//! duration, then takes `sample_size` samples, each sized so the whole
+//! measurement fits in `measurement_time`, and reports min / mean /
+//! max per-iteration wall-clock time (plus throughput when configured)
+//! on stdout. There is no statistical analysis, plotting, or baseline
+//! comparison — swap in the real crate for those.
+//!
+//! Bench binaries built with `harness = false` receive Cargo's CLI
+//! arguments (`--bench`, filters); unrecognized flags are ignored and a
+//! positional argument filters benchmarks by substring, so
+//! `cargo bench -- bottleneck` works.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter,
+/// printed as `name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, parameter: P) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (tuples, items) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times and records total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver holding shared settings.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Applies CLI arguments (already done by `default`; kept for API
+    /// compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n{name}");
+        BenchmarkGroup { criterion: self, group: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let group = id.name.clone();
+        let mut g = BenchmarkGroup { criterion: self, group, throughput: None };
+        g.run(&id, f);
+    }
+
+    /// Prints the closing summary (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks `routine` with no extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id, routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &BenchmarkId, mut routine: F) {
+        let full = format!("{}/{id}", self.group);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Warm-up: discover how many iterations fit in the warm-up
+        // window, growing geometrically from 1.
+        let mut iters: u64 = 1;
+        let warm_up_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            per_iter = b
+                .elapsed
+                .checked_div(iters as u32)
+                .unwrap_or(per_iter)
+                .max(Duration::from_nanos(1));
+            if warm_up_start.elapsed() >= self.criterion.warm_up_time {
+                break;
+            }
+            iters = iters.saturating_mul(2).min(1 << 40);
+        }
+
+        // Size each sample so all samples together fit the measurement
+        // window.
+        let sample_size = self.criterion.sample_size as u64;
+        let budget = self.criterion.measurement_time.as_secs_f64() / sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.as_secs_f64()).ceil() as u64).clamp(1, 1 << 40);
+
+        let mut samples = Vec::with_capacity(sample_size as usize);
+        for _ in 0..sample_size {
+            let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+            routine(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+        let mut line =
+            format!("  {full:<48} time: [{} {} {}]", fmt_time(min), fmt_time(mean), fmt_time(max));
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!("  thrpt: {:.1} elem/s", n as f64 / mean));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!("  thrpt: {:.1} B/s", n as f64 / mean));
+            }
+            None => {}
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Re-exported so `b.iter(|| black_box(...))` patterns can use
+/// `criterion::black_box` as upstream allows.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a named group of benchmark functions with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(15),
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &1u32, |b, _| {
+            runs += 1;
+            b.iter(|| black_box(2 + 2))
+        });
+        group.finish();
+        assert!(runs > 3, "warm-up plus samples should invoke the routine repeatedly");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(2),
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("skipped", |b| {
+            runs += 1;
+            b.iter(|| ())
+        });
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the parts of [`crossbeam`] this workspace uses:
+//! bounded MPSC channels with blocking `send`/`recv`, backed by
+//! `std::sync::mpsc::sync_channel`. Semantics match what the runtime
+//! crate relies on — `send` blocks when the buffer is full
+//! (backpressure), `recv` returns `Err` once all senders are dropped,
+//! and `send` returns `Err` once the receiver is dropped.
+//!
+//! [`crossbeam`]: https://crates.io/crates/crossbeam
+
+/// Multi-producer single-consumer bounded channels.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// The sending half of a bounded channel. Clonable.
+    #[derive(Debug)]
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is at capacity.
+        /// Returns `Err` if the receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Receives the next value, blocking while the channel is empty.
+        /// Returns `Err` once the channel is empty and all senders are
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates over received values until the channel closes.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a bounded channel with space for `cap` in-flight values.
+    /// `cap = 0` gives a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::bounded;
+
+    #[test]
+    fn fifo_and_close() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for the parts of [`proptest`] this workspace uses:
+//! range and tuple strategies, `prop_map` / `prop_flat_map`,
+//! [`collection::vec`], the [`proptest!`] test macro, `prop_assert!` /
+//! `prop_assert_eq!`, and an env-tunable [`test_runner::Config`]
+//! (`ProptestConfig`).
+//!
+//! Differences from the real crate, by design of the stand-in:
+//!
+//! * **no shrinking** — a failing case reports its seed and generated
+//!   input (via the assertion message) but is not minimized;
+//! * generation is driven by the workspace's vendored `rand`
+//!   (xoshiro256++), fully deterministic per test name and case index;
+//! * `PROPTEST_CASES` in the environment overrides every suite's case
+//!   count — CI sets it low to bound wall-clock time, local runs can
+//!   raise it for more exhaustive sweeps.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating values of `Value`.
+    ///
+    /// The stand-in keeps only the generation half of proptest's
+    /// `Strategy` (no value trees, no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms every generated value with `map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Generates a value, then generates from the strategy `flat`
+        /// builds out of it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, flat: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, flat }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        flat: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.flat)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Creates a [`VecStrategy`]. `size` is any strategy yielding a
+    /// length — in particular a `usize` range such as `0..8` or `n..=n`.
+    pub fn vec<S: Strategy, R: Strategy<Value = usize>>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: Strategy<Value = usize>> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case configuration and error plumbing used by [`proptest!`].
+    //!
+    //! [`proptest!`]: crate::proptest
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Suite configuration; `ProptestConfig` in the prelude.
+    ///
+    /// Field defaults mirror the upstream crate's names so checked-in
+    /// `ProptestConfig { cases: …, ..ProptestConfig::default() }`
+    /// expressions work unchanged.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Config {
+        /// Number of cases to run per property (before the
+        /// `PROPTEST_CASES` environment override).
+        pub cases: u32,
+        /// Accepted for compatibility; the stand-in never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for compatibility; failures are never persisted.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 0, max_global_rejects: 65_536 }
+        }
+    }
+
+    impl Config {
+        /// The case count actually run: `PROPTEST_CASES` from the
+        /// environment when set (letting CI cap the suite and local
+        /// runs expand it), else the configured `cases`.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("PROPTEST_CASES must be a u32, got `{v}`")),
+                Err(_) => self.cases,
+            }
+        }
+
+        /// Deterministic generator for one (test, case) pair.
+        pub fn rng_for(test_name: &str, case: u32) -> StdRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            StdRng::seed_from_u64(h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+    }
+
+    /// Failure raised by `prop_assert!` and friends.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {{
+        // Bound to a bool first so lints see a boolean negation, not a
+        // negated float comparison, whatever expression the caller wrote.
+        let prop_assert_condition: bool = $cond;
+        if !prop_assert_condition {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the enclosing property when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests. Supports the upstream form used in this
+/// workspace: an optional `#![proptest_config(…)]` header followed by
+/// `#[test] fn name(pat in strategy, …) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let cases = config.resolved_cases();
+            for case in 0..cases {
+                let mut rng =
+                    $crate::test_runner::Config::rng_for(concat!(module_path!(), "::", stringify!($name)), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("proptest `{}` failed at case {case} of {cases}: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::Config;
+
+    #[test]
+    fn ranges_and_combinators_generate_in_bounds() {
+        let strat = (2usize..=5).prop_flat_map(|n| {
+            crate::collection::vec(0.0f64..1.0, n..=n).prop_map(move |v| (n, v))
+        });
+        let mut rng = Config::rng_for("shim", 0);
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert!((2..=5).contains(&n));
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn env_var_caps_case_count() {
+        // Serialized with nothing: other tests in this binary tolerate a
+        // briefly lowered case count, and the var is restored immediately.
+        std::env::set_var("PROPTEST_CASES", "7");
+        let config = Config { cases: 64, ..Config::default() };
+        assert_eq!(config.resolved_cases(), 7);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(config.resolved_cases(), 64);
+    }
+
+    #[test]
+    fn per_case_rngs_are_deterministic_and_distinct() {
+        use crate::strategy::Strategy;
+        let s = 0u64..u64::MAX;
+        let a = s.generate(&mut Config::rng_for("t", 0));
+        let b = s.generate(&mut Config::rng_for("t", 0));
+        let c = s.generate(&mut Config::rng_for("t", 1));
+        let d = s.generate(&mut Config::rng_for("u", 0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro wires strategies, multiple args, and prop_asserts.
+        #[test]
+        fn macro_smoke(n in 1usize..6, x in 0.0f64..10.0, (a, b) in (0u8..4, 0u8..4)) {
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(x < 10.0, "x was {x}");
+            prop_assert_eq!((a < 4) && (b < 4), true);
+            prop_assert_ne!(n, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+            #[allow(unused)]
+            fn always_fails(n in 0usize..10) {
+                prop_assert!(n > 100, "n was only {n}");
+            }
+        }
+        always_fails();
+    }
+}
