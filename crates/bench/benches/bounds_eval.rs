@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the per-node bound evaluations — the hot path of
+//! the branch-and-bound search. Measures tight and loose `ε̄`, the
+//! optimistic completion lower bound, and the incremental push/pop
+//! maintenance itself, against the shared [`SearchContext`].
+//!
+//! [`SearchContext`]: dsq_core::bnb::SearchContext
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsq_bench::bench_instance;
+use dsq_core::bnb::{IncrementalBounds, SearchContext};
+use dsq_workloads::Family;
+use std::hint::black_box;
+
+/// A mid-search position: the first half of the services placed in index
+/// order, mirroring a depth-`n/2` node of the search tree.
+fn half_placed(ctx: &SearchContext) -> (IncrementalBounds, usize, f64) {
+    let n = ctx.len();
+    let mut state = IncrementalBounds::new(ctx);
+    let mut prefix_last = 1.0;
+    for j in 0..n / 2 {
+        if j > 0 {
+            prefix_last *= ctx.selectivity(j - 1);
+        }
+        state.push(ctx, j);
+    }
+    (state, n / 2 - 1, prefix_last)
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds_eval");
+    for n in [8usize, 16, 32] {
+        let inst = bench_instance(Family::UniformRandom, n);
+        let ctx = SearchContext::new(&inst);
+        let (state, last, prefix_last) = half_placed(&ctx);
+
+        group.bench_with_input(BenchmarkId::new("tight_epsilon_bar", n), &n, |b, _| {
+            b.iter(|| black_box(ctx.epsilon_bar(black_box(&state), last, prefix_last, true)))
+        });
+        group.bench_with_input(BenchmarkId::new("loose_epsilon_bar", n), &n, |b, _| {
+            b.iter(|| black_box(ctx.epsilon_bar(black_box(&state), last, prefix_last, false)))
+        });
+        group.bench_with_input(BenchmarkId::new("completion_lower_bound", n), &n, |b, _| {
+            b.iter(|| black_box(ctx.completion_lower_bound(black_box(&state), last, prefix_last)))
+        });
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, _| {
+            let mut walker = state.clone();
+            // Toggle the last unplaced service in and out: one O(1)
+            // product update plus two bit flips per direction.
+            let j = n - 1;
+            b.iter(|| {
+                walker.push(&ctx, black_box(j));
+                walker.pop(black_box(j));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("context_build", n), &n, |b, _| {
+            b.iter(|| black_box(SearchContext::new(black_box(&inst))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_bounds
+}
+criterion_main!(benches);

@@ -25,6 +25,21 @@ fn bench_ablation(c: &mut Criterion) {
             });
         }
     }
+    // Larger hard instances only for the configurations whose per-node
+    // work is dominated by the tight ε̄ evaluation — the hot path the
+    // incremental bound engine targets. The weak ablations would take
+    // minutes here without telling us anything new.
+    for n in [14usize, 16] {
+        let inst = bench_instance(Family::BtspHard, n);
+        for (name, cfg) in &configs {
+            if !cfg.use_epsilon_bar || !cfg.tight_epsilon_bar {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(*name, format!("btsp-n{n}")), &n, |b, _| {
+                b.iter(|| black_box(optimize_with(black_box(&inst), cfg)))
+            });
+        }
+    }
     group.finish();
 }
 

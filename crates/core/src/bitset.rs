@@ -99,9 +99,54 @@ impl BitSet {
         self.words.iter().zip(&other.words).all(|(a, b)| b & !a == 0)
     }
 
+    /// Inserts every index `0..capacity` at once (word-level fill).
+    pub fn insert_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = !0);
+        self.mask_tail();
+    }
+
+    /// Zeroes the bits of the last word that lie beyond `capacity`, so
+    /// whole-word operations never materialize out-of-capacity indices.
+    fn mask_tail(&mut self) {
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        } else if self.capacity == 0 {
+            // Capacity 0 still allocates one (permanently empty) word.
+            self.words[0] = 0;
+        }
+    }
+
     /// Iterates over the indices in ascending order.
+    ///
+    /// The iterator walks whole `u64` words and pops set bits with
+    /// `trailing_zeros`, so sparse sets cost one transition per word
+    /// rather than one per candidate index.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, next: 0 }
+        Iter { words: &self.words, word_index: 0, bits: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Iterates over the indices **not** in the set, in ascending order
+    /// (the complement within `0..capacity`), using the same word-level
+    /// walk as [`iter`](Self::iter).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dsq_core::BitSet;
+    ///
+    /// let mut placed = BitSet::new(5);
+    /// placed.insert(1);
+    /// placed.insert(3);
+    /// assert_eq!(placed.iter_unset().collect::<Vec<_>>(), vec![0, 2, 4]);
+    /// ```
+    pub fn iter_unset(&self) -> IterUnset<'_> {
+        let mut it =
+            IterUnset { words: &self.words, capacity: self.capacity, word_index: 0, bits: 0 };
+        it.bits = it.complement_word(0);
+        it
     }
 }
 
@@ -127,22 +172,65 @@ impl FromIterator<usize> for BitSet {
 /// Iterator over set indices, created by [`BitSet::iter`].
 #[derive(Debug)]
 pub struct Iter<'a> {
-    set: &'a BitSet,
-    next: usize,
+    words: &'a [u64],
+    word_index: usize,
+    /// Unconsumed bits of `words[word_index]`.
+    bits: u64,
 }
 
 impl Iterator for Iter<'_> {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        while self.next < self.set.capacity {
-            let i = self.next;
-            self.next += 1;
-            if self.set.contains(i) {
-                return Some(i);
-            }
+        while self.bits == 0 {
+            self.word_index += 1;
+            self.bits = *self.words.get(self.word_index)?;
         }
-        None
+        let bit = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1; // clear lowest set bit
+        Some(self.word_index * 64 + bit)
+    }
+}
+
+/// Iterator over unset indices, created by [`BitSet::iter_unset`].
+#[derive(Debug)]
+pub struct IterUnset<'a> {
+    words: &'a [u64],
+    capacity: usize,
+    word_index: usize,
+    /// Unconsumed bits of the complement of `words[word_index]`, already
+    /// masked to the capacity.
+    bits: u64,
+}
+
+impl IterUnset<'_> {
+    /// The complement of word `w`, with bits beyond `capacity` cleared.
+    fn complement_word(&self, w: usize) -> u64 {
+        let Some(&word) = self.words.get(w) else { return 0 };
+        let mut bits = !word;
+        let word_base = w * 64;
+        if self.capacity < word_base + 64 {
+            let tail = self.capacity.saturating_sub(word_base);
+            bits &= (1u64 << tail).wrapping_sub(1);
+        }
+        bits
+    }
+}
+
+impl Iterator for IterUnset<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.bits == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.bits = self.complement_word(self.word_index);
+        }
+        let bit = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.word_index * 64 + bit)
     }
 }
 
@@ -220,10 +308,50 @@ mod tests {
 
     #[test]
     fn zero_capacity_is_usable() {
-        let s = BitSet::new(0);
+        let mut s = BitSet::new(0);
         assert!(s.is_empty());
         assert!(!s.contains(0));
         assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.iter_unset().count(), 0);
+        s.insert_all();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_unset_is_the_complement() {
+        for cap in [0usize, 1, 5, 63, 64, 65, 127, 128, 130] {
+            let mut s = BitSet::new(cap);
+            for i in (0..cap).step_by(3) {
+                s.insert(i);
+            }
+            let set: Vec<usize> = s.iter().collect();
+            let unset: Vec<usize> = s.iter_unset().collect();
+            assert_eq!(set, (0..cap).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+            assert_eq!(unset, (0..cap).filter(|i| i % 3 != 0).collect::<Vec<_>>());
+            assert_eq!(set.len() + unset.len(), cap);
+        }
+    }
+
+    #[test]
+    fn insert_all_fills_to_capacity_only() {
+        for cap in [1usize, 63, 64, 65, 128, 130] {
+            let mut s = BitSet::new(cap);
+            s.insert_all();
+            assert_eq!(s.len(), cap, "capacity {cap}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..cap).collect::<Vec<_>>());
+            assert_eq!(s.iter_unset().count(), 0);
+            // Word-level fill must not create phantom out-of-capacity bits.
+            assert!(!s.contains(cap));
+        }
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let mut s = BitSet::new(200);
+        for i in [0, 63, 64, 127, 128, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
     }
 
     #[test]

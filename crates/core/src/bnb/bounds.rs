@@ -1,10 +1,18 @@
-//! The two guiding measures of the search, `ε̄` and the optimistic
-//! completion bound.
+//! **Reference oracles** for the two guiding measures of the search, `ε̄`
+//! and the optimistic completion bound.
+//!
+//! The production search evaluates these bounds through the incremental
+//! engine in [`context`](super::context) (flat arrays, pre-sorted transfer
+//! rows, `O(1)` product maintenance). This module keeps the original
+//! closed-form, recompute-from-scratch implementations — compiled only for
+//! tests — as the executable specification: the property tests in
+//! `context` pin the incremental engine to these within `1e-12` across
+//! random push/pop/rewind sequences, and the tests at the bottom of this
+//! file prove the definitions themselves sound against random completions.
 //!
 //! Notation: the current partial plan `C` has last service `u`;
 //! `prefix_last = Π σ` over the services *before* `u`; `R` is the set of
-//! services not yet placed. Every bound in this module is proven against
-//! random completions in the property tests at the bottom.
+//! services not yet placed.
 
 use crate::bitset::BitSet;
 use crate::instance::QueryInstance;

@@ -36,7 +36,15 @@ pub struct BnbConfig {
     pub use_backjump: bool,
     /// Compute `ε̄` over the *remaining* services only (tight, the paper's
     /// reading) rather than over precomputed whole-row maxima (loose,
-    /// cheaper per node but weaker).
+    /// historically cheaper per node but weaker).
+    ///
+    /// With the incremental bound engine
+    /// ([`SearchContext`](crate::bnb::SearchContext)) the tight mode's
+    /// per-row maxima come from pre-sorted transfer rows — `O(1)` per row
+    /// while the row head is unplaced, `O(depth)` worst case — so tight
+    /// nodes are near-linear in `|R|` in practice instead of
+    /// unconditionally quadratic; the switch remains for the E3 ablation
+    /// and for bound-quality comparisons.
     pub tight_epsilon_bar: bool,
     /// **Extension beyond the paper**: prune nodes whose optimistic
     /// completion bound (best prefix × best outgoing transfer per remaining

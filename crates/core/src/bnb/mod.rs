@@ -6,17 +6,48 @@
 //! | Paper | Code |
 //! |-------|------|
 //! | Lemma 1 — `ε` never decreases along a prefix | `ε` is a running max over finalized terms (the searcher keeps it in the `eps_fin` stack); nodes with `ε ≥ ρ` are pruned, and root pairs are abandoned once their pair cost reaches `ρ` |
-//! | Lemma 2 — `ε ≥ ε̄` fixes the cost of all completions | [`BnbConfig::use_epsilon_bar`]; `ε̄` computed in `bounds::epsilon_bar`, including the proliferative-selectivity modification |
+//! | Lemma 2 — `ε ≥ ε̄` fixes the cost of all completions | [`BnbConfig::use_epsilon_bar`]; `ε̄` evaluated by [`SearchContext::epsilon_bar`] from the incremental engine state, including the proliferative-selectivity modification |
 //! | Lemma 3 — pruning up to the bottleneck service | [`BnbConfig::use_backjump`]; the search rewinds to the earliest position whose finalized term reaches `ρ`, which is sound because successors are expanded cheapest-transfer-first |
+//!
+//! # Architecture of the hot path
+//!
+//! Evaluating `ε̄` (and the optional completion lower bound) at every node
+//! *is* the optimizer's throughput ceiling, so the per-node work is split
+//! into two pieces (see [`context`]):
+//!
+//! * **[`SearchContext`]** — immutable, built once per `optimize` call and
+//!   shared by reference across all [`optimize_parallel`] workers: flat
+//!   structure-of-arrays copies of cost/selectivity/sink, the row-major
+//!   transfer matrix, loose-mode row maxima, and per-row successor lists
+//!   pre-sorted ascending (candidate expansion, lower-bound minima) and
+//!   descending (tight `ε̄` maxima). "Max/min transfer into the remaining
+//!   set" is a first-remaining-entry scan of a sorted row (`O(1)` while
+//!   the row head is unplaced, `O(depth)` worst case) instead of an
+//!   unconditional `O(n)` loop, and the sorted rows double as the
+//!   cheapest-transfer-first expansion order that makes Lemma 3 sound.
+//! * **[`IncrementalBounds`]** — mutable per-worker state updated in `O(1)`
+//!   on every push/pop: the placed/remaining bit sets (iterated word-level)
+//!   and stacks of the inflation (`Π σ>1`) and shrink (`Π σ<1`) products
+//!   over the remaining services, so no bound evaluation ever rebuilds a
+//!   product from scratch. Pops truncate the stacks, restoring pre-push
+//!   values exactly.
+//!
+//! The original closed-form bound implementations are retained in a
+//! test-only `bounds` module as reference oracles; property tests pin the
+//! incremental engine to them within `1e-12` over random push/pop/rewind
+//! sequences.
 //!
 //! The private `search` module's source documents the full search-tree
 //! layout, per-node checks, and the back-jumping mechanics.
 
+#[cfg(test)]
 mod bounds;
 mod config;
+pub mod context;
 mod search;
 mod stats;
 
 pub use config::BnbConfig;
+pub use context::{IncrementalBounds, SearchContext};
 pub use search::{optimize, optimize_parallel, optimize_with, BnbResult};
 pub use stats::SearchStats;

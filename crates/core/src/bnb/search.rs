@@ -36,8 +36,8 @@
 //! them.
 
 use crate::bitset::BitSet;
-use crate::bnb::bounds::{completion_lower_bound, epsilon_bar, row_maxima};
 use crate::bnb::config::BnbConfig;
+use crate::bnb::context::{IncrementalBounds, SearchContext};
 use crate::bnb::stats::SearchStats;
 use crate::cost::bottleneck_cost;
 use crate::instance::QueryInstance;
@@ -109,7 +109,8 @@ pub fn optimize(instance: &QueryInstance) -> BnbResult {
 /// budget interrupts the search, in which case the best plan found so far
 /// is returned with [`BnbResult::is_proven_optimal`] `== false`.
 pub fn optimize_with(instance: &QueryInstance, config: &BnbConfig) -> BnbResult {
-    Searcher::new(instance, config.clone()).run()
+    let ctx = SearchContext::new(instance);
+    Searcher::new(instance, &ctx, config.clone()).run()
 }
 
 /// Finds the optimal linear ordering using `threads` worker threads that
@@ -152,20 +153,24 @@ pub fn optimize_parallel(
     let started = Instant::now();
     let shared_rho = AtomicU64::new(f64::INFINITY.to_bits());
     let next_root = AtomicUsize::new(0);
-    // All workers iterate the same globally sorted root list.
-    let roots = Searcher::new(instance, config.clone()).sorted_roots();
+    // The cache-friendly context (flat parameter arrays, sorted successor
+    // rows) and the globally sorted root list are built once and shared by
+    // every worker, instead of paying the O(n² log n) setup per thread.
+    let ctx = SearchContext::new(instance);
+    let roots = Searcher::new(instance, &ctx, config.clone()).sorted_roots();
 
-    // (best order + cost, per-worker stats, whether a budget interrupted).
-    type WorkerOutcome = (Option<(Vec<usize>, f64)>, SearchStats, bool);
+    // (best order + cost, per-worker stats).
+    type WorkerOutcome = (Option<(Vec<usize>, f64)>, SearchStats);
     let worker_results: Vec<WorkerOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
+                let ctx = &ctx;
                 let roots = &roots;
                 let shared_rho = &shared_rho;
                 let next_root = &next_root;
                 let cfg = config.clone();
                 scope.spawn(move || {
-                    let mut searcher = Searcher::new(instance, cfg);
+                    let mut searcher = Searcher::new(instance, ctx, cfg);
                     searcher.shared_rho = Some(shared_rho);
                     if searcher.cfg.seed_with_greedy {
                         if let Some((order, cost)) = searcher.greedy_plan() {
@@ -197,7 +202,8 @@ pub fn optimize_parallel(
                         let cost = bottleneck_cost(instance, &plan);
                         (order, cost)
                     });
-                    (best, searcher.stats.clone(), searcher.interrupted)
+                    searcher.stats.proven_optimal = !searcher.interrupted;
+                    (best, searcher.stats)
                 })
             })
             .collect();
@@ -206,19 +212,8 @@ pub fn optimize_parallel(
 
     let mut stats = SearchStats { proven_optimal: true, ..SearchStats::default() };
     let mut best: Option<(Vec<usize>, f64)> = None;
-    for (candidate, worker_stats, interrupted) in worker_results {
-        stats.nodes_visited += worker_stats.nodes_visited;
-        stats.nodes_expanded += worker_stats.nodes_expanded;
-        stats.candidates_recorded += worker_stats.candidates_recorded;
-        stats.lemma2_closures += worker_stats.lemma2_closures;
-        stats.backjumps += worker_stats.backjumps;
-        stats.backjump_levels_saved += worker_stats.backjump_levels_saved;
-        stats.prunes_incumbent += worker_stats.prunes_incumbent;
-        stats.prunes_lower_bound += worker_stats.prunes_lower_bound;
-        stats.roots_explored += worker_stats.roots_explored;
-        stats.roots_pruned += worker_stats.roots_pruned;
-        stats.max_depth = stats.max_depth.max(worker_stats.max_depth);
-        stats.proven_optimal &= !interrupted;
+    for (candidate, worker_stats) in worker_results {
+        stats.merge(&worker_stats);
         if let Some((order, cost)) = candidate {
             if best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 best = Some((order, cost));
@@ -226,7 +221,7 @@ pub fn optimize_parallel(
         }
     }
     let (order, cost) = best.unwrap_or_else(|| {
-        let fallback = Searcher::new(instance, config.clone());
+        let fallback = Searcher::new(instance, &ctx, config.clone());
         let (order, cost) = fallback.greedy_plan().expect("acyclic precedence admits a plan");
         stats.proven_optimal = false;
         (order, cost)
@@ -237,14 +232,17 @@ pub fn optimize_parallel(
 
 struct Searcher<'a> {
     inst: &'a QueryInstance,
+    /// Shared immutable search data: flat parameter arrays, sorted
+    /// successor rows, loose-mode row maxima. Built once per optimization
+    /// (and shared across parallel workers).
+    ctx: &'a SearchContext,
     cfg: BnbConfig,
     n: usize,
-    /// Per service: all other services sorted by ascending transfer cost.
-    sorted_succ: Vec<Vec<u32>>,
-    row_max: Vec<f64>,
     // --- mutable search state ---
     plan: Vec<usize>,
-    placed: BitSet,
+    /// Placed/remaining sets plus the incrementally-maintained
+    /// inflation/shrink selectivity products feeding the bounds.
+    state: IncrementalBounds,
     /// `prefix[k]` = Π σ of `plan[0..k]` (so `prefix[0] == 1`).
     prefix: Vec<f64>,
     /// `terms[k]` = finalized term of position `k` (`k ≤ plan.len()-2`).
@@ -265,25 +263,15 @@ struct Searcher<'a> {
 }
 
 impl<'a> Searcher<'a> {
-    fn new(inst: &'a QueryInstance, cfg: BnbConfig) -> Self {
+    fn new(inst: &'a QueryInstance, ctx: &'a SearchContext, cfg: BnbConfig) -> Self {
         let n = inst.len();
-        let sorted_succ = (0..n)
-            .map(|u| {
-                let mut succ: Vec<u32> = (0..n as u32).filter(|&j| j as usize != u).collect();
-                succ.sort_by(|&a, &b| {
-                    inst.transfer(u, a as usize).total_cmp(&inst.transfer(u, b as usize))
-                });
-                succ
-            })
-            .collect();
         Searcher {
             inst,
+            ctx,
             cfg,
             n,
-            sorted_succ,
-            row_max: row_maxima(inst),
             plan: Vec::with_capacity(n),
-            placed: BitSet::new(n),
+            state: IncrementalBounds::new(ctx),
             prefix: Vec::with_capacity(n),
             terms: Vec::with_capacity(n),
             eps_fin: Vec::with_capacity(n),
@@ -327,7 +315,7 @@ impl<'a> Searcher<'a> {
                 if a == b || !self.second_position_feasible(a, b) {
                     continue;
                 }
-                let w = self.inst.cost(a) + self.inst.selectivity(a) * self.inst.transfer(a, b);
+                let w = self.ctx.cost(a) + self.ctx.selectivity(a) * self.ctx.transfer(a, b);
                 roots.push((a, b, w));
             }
         }
@@ -382,15 +370,15 @@ impl<'a> Searcher<'a> {
     /// Depth-first exploration of the subtree rooted at the pair `(a, b)`.
     fn explore_root(&mut self, a: usize, b: usize, w: f64) {
         self.plan.clear();
-        self.placed.clear();
+        self.state.reset(self.ctx);
         self.prefix.clear();
         self.terms.clear();
         self.eps_fin.clear();
 
         self.plan.extend([a, b]);
-        self.placed.insert(a);
-        self.placed.insert(b);
-        self.prefix.extend([1.0, self.inst.selectivity(a)]);
+        self.state.push(self.ctx, a);
+        self.state.push(self.ctx, b);
+        self.prefix.extend([1.0, self.ctx.selectivity(a)]);
         self.terms.push(w);
         self.eps_fin.push(w);
         self.cand_idx[2] = 0;
@@ -439,7 +427,7 @@ impl<'a> Searcher<'a> {
         let m = self.plan.len();
         self.stats.max_depth = self.stats.max_depth.max(m);
         let last = self.plan[m - 1];
-        let proc_term = self.prefix[m - 1] * self.inst.cost(last);
+        let proc_term = self.prefix[m - 1] * self.ctx.cost(last);
         let eps = self.eps_fin[m - 2].max(proc_term);
 
         if eps >= self.rho {
@@ -450,7 +438,7 @@ impl<'a> Searcher<'a> {
 
         if m == self.n {
             let final_term = self.prefix[m - 1]
-                * (self.inst.cost(last) + self.inst.selectivity(last) * self.inst.sink_cost(last));
+                * (self.ctx.cost(last) + self.ctx.selectivity(last) * self.ctx.sink_cost(last));
             let total = self.eps_fin[m - 2].max(final_term);
             if total < self.rho {
                 self.rho = total;
@@ -463,13 +451,11 @@ impl<'a> Searcher<'a> {
         }
 
         if self.cfg.use_epsilon_bar {
-            let ebar = epsilon_bar(
-                self.inst,
-                &self.placed,
+            let ebar = self.ctx.epsilon_bar(
+                &self.state,
                 last,
                 self.prefix[m - 1],
                 self.cfg.tight_epsilon_bar,
-                &self.row_max,
             );
             if eps >= ebar {
                 // Lemma 2: every completion of this prefix costs exactly ε.
@@ -496,7 +482,7 @@ impl<'a> Searcher<'a> {
         }
 
         if self.cfg.use_lower_bound {
-            let lb = completion_lower_bound(self.inst, &self.placed, last, self.prefix[m - 1]);
+            let lb = self.ctx.completion_lower_bound(&self.state, last, self.prefix[m - 1]);
             if lb >= self.rho {
                 self.stats.prunes_lower_bound += 1;
                 // The bound covers every completion of this node, but says
@@ -515,18 +501,19 @@ impl<'a> Searcher<'a> {
         let m = self.plan.len();
         let u = self.plan[m - 1];
         let prefix_u = self.prefix[m - 1];
-        let (c_u, s_u) = (self.inst.cost(u), self.inst.selectivity(u));
-        while self.cand_idx[m] < self.sorted_succ[u].len() {
-            let j = self.sorted_succ[u][self.cand_idx[m]] as usize;
+        let (c_u, s_u) = (self.ctx.cost(u), self.ctx.selectivity(u));
+        let succ = self.ctx.successors_ascending(u);
+        while self.cand_idx[m] < succ.len() {
+            let j = succ[self.cand_idx[m]] as usize;
             self.cand_idx[m] += 1;
-            if self.placed.contains(j) || !self.feasible_next(j) {
+            if self.state.is_placed(j) || !self.feasible_next(j) {
                 continue;
             }
-            let term_u = prefix_u * (c_u + s_u * self.inst.transfer(u, j));
+            let term_u = prefix_u * (c_u + s_u * self.ctx.transfer(u, j));
             if term_u >= self.rho {
                 // Successors are sorted by transfer cost: all remaining
                 // candidates finalize an even larger term. Exhaust level.
-                self.cand_idx[m] = self.sorted_succ[u].len();
+                self.cand_idx[m] = succ.len();
                 return None;
             }
             return Some(j);
@@ -538,13 +525,13 @@ impl<'a> Searcher<'a> {
         let m = self.plan.len();
         let u = self.plan[m - 1];
         let term_u = self.prefix[m - 1]
-            * (self.inst.cost(u) + self.inst.selectivity(u) * self.inst.transfer(u, j));
+            * (self.ctx.cost(u) + self.ctx.selectivity(u) * self.ctx.transfer(u, j));
         self.terms.push(term_u);
         let top = self.eps_fin.last().copied().unwrap_or(0.0);
         self.eps_fin.push(top.max(term_u));
-        self.prefix.push(self.prefix[m - 1] * self.inst.selectivity(u));
+        self.prefix.push(self.prefix[m - 1] * self.ctx.selectivity(u));
         self.plan.push(j);
-        self.placed.insert(j);
+        self.state.push(self.ctx, j);
         self.stats.nodes_expanded += 1;
     }
 
@@ -589,7 +576,7 @@ impl<'a> Searcher<'a> {
         debug_assert!(len >= 2 && len <= self.plan.len());
         while self.plan.len() > len {
             let j = self.plan.pop().expect("plan is non-empty while truncating");
-            self.placed.remove(j);
+            self.state.pop(j);
         }
         self.prefix.truncate(len);
         self.terms.truncate(len - 1);
@@ -598,7 +585,7 @@ impl<'a> Searcher<'a> {
 
     fn feasible_next(&self, j: usize) -> bool {
         match self.inst.precedence() {
-            Some(dag) => dag.is_ready(j, &self.placed),
+            Some(dag) => dag.is_ready(j, self.state.placed()),
             None => true,
         }
     }
@@ -622,10 +609,12 @@ impl<'a> Searcher<'a> {
     /// completion has the same cost.
     fn greedy_completion(&self) -> Vec<usize> {
         let mut order = self.plan.clone();
-        let mut placed = self.placed.clone();
+        let mut placed = self.state.placed().clone();
         while order.len() < self.n {
             let u = *order.last().expect("partial plan is non-empty");
-            let next = self.sorted_succ[u]
+            let next = self
+                .ctx
+                .successors_ascending(u)
                 .iter()
                 .map(|&j| j as usize)
                 .find(|&j| {
@@ -653,10 +642,11 @@ impl<'a> Searcher<'a> {
             placed.insert(start);
             while order.len() < self.n {
                 let u = *order.last().expect("non-empty");
-                let next = self.sorted_succ[u].iter().map(|&j| j as usize).find(|&j| {
-                    !placed.contains(j)
-                        && self.inst.precedence().is_none_or(|dag| dag.is_ready(j, &placed))
-                });
+                let next =
+                    self.ctx.successors_ascending(u).iter().map(|&j| j as usize).find(|&j| {
+                        !placed.contains(j)
+                            && self.inst.precedence().is_none_or(|dag| dag.is_ready(j, &placed))
+                    });
                 match next {
                     Some(j) => {
                         order.push(j);

@@ -103,14 +103,16 @@ pub fn cost_terms(instance: &QueryInstance, plan: &Plan) -> Vec<CostTerm> {
 ///
 /// Panics if the plan's length differs from the instance's service count.
 pub fn bottleneck_position(instance: &QueryInstance, plan: &Plan) -> usize {
-    let terms = cost_terms(instance, plan);
-    let mut best = 0;
-    for (i, t) in terms.iter().enumerate() {
-        if t.term > terms[best].term {
-            best = i;
+    // Strict `>` keeps the earliest position on ties; folding directly
+    // avoids materializing the intermediate `Vec<CostTerm>`.
+    fold_terms(instance, plan, (0, f64::NEG_INFINITY), |(best, best_term), t| {
+        if t.term > best_term {
+            (t.position, t.term)
+        } else {
+            (best, best_term)
         }
-    }
-    best
+    })
+    .0
 }
 
 /// Predicted steady-state throughput of the pipeline, in input tuples per
@@ -226,6 +228,31 @@ mod tests {
         let plan = Plan::new(vec![2, 0, 1]).unwrap();
         assert!((bottleneck_cost(&inst, &plan) - 5.0).abs() < 1e-12);
         assert_eq!(bottleneck_position(&inst, &plan), 0);
+    }
+
+    #[test]
+    fn bottleneck_position_ties_resolve_to_earliest() {
+        // σ ≡ 1, c ≡ 1, t ≡ 0, sinks 0: every term is exactly 1.0.
+        let inst = QueryInstance::from_parts(
+            vec![Service::new(1.0, 1.0), Service::new(1.0, 1.0), Service::new(1.0, 1.0)],
+            CommMatrix::zeros(3),
+        )
+        .unwrap();
+        let plan = Plan::new(vec![2, 0, 1]).unwrap();
+        let terms = cost_terms(&inst, &plan);
+        assert!(terms.iter().all(|t| (t.term - 1.0).abs() < 1e-15));
+        assert_eq!(bottleneck_position(&inst, &plan), 0, "earliest tied position wins");
+
+        // A tie strictly after a unique maximum must not displace it, and
+        // a later tie of the maximum keeps the earlier occurrence.
+        let inst = QueryInstance::builder()
+            .services(vec![Service::new(1.0, 1.0), Service::new(3.0, 1.0), Service::new(3.0, 1.0)])
+            .comm(CommMatrix::zeros(3))
+            .build()
+            .unwrap();
+        let plan = Plan::new(vec![0, 1, 2]).unwrap();
+        // terms = [1, 3, 3]: positions 1 and 2 tie at the bottleneck.
+        assert_eq!(bottleneck_position(&inst, &plan), 1);
     }
 
     #[test]

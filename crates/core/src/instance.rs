@@ -131,6 +131,16 @@ impl QueryInstance {
         self.sink[i]
     }
 
+    /// All per-service sink delivery costs, indexed by service.
+    ///
+    /// Bulk accessor for consumers that snapshot the instance into flat
+    /// arrays (e.g. the optimizer's
+    /// [`SearchContext`](crate::bnb::SearchContext)).
+    #[inline]
+    pub fn sink_costs(&self) -> &[f64] {
+        &self.sink
+    }
+
     /// The precedence constraints, if any.
     pub fn precedence(&self) -> Option<&PrecedenceDag> {
         self.precedence.as_ref()

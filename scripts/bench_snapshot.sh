@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the Criterion benches in quick mode and emits a JSON snapshot of
+# median wall-clock per bench — the perf trajectory artifact checked in
+# as BENCH_PR<k>.json and run as a CI smoke step.
+#
+# Usage: scripts/bench_snapshot.sh [OUTPUT.json]
+#
+#   OUTPUT.json             snapshot destination (default BENCH_PR2.json)
+#   DSQ_SNAPSHOT_BENCHES    space-separated bench targets to run
+#                           (default: the optimizer-centric set)
+#
+# The vendored criterion writes one JSON object per benchmark to the file
+# named by DSQ_BENCH_JSON (see vendor/criterion); this script wraps those
+# lines into a single document with provenance.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+benches="${DSQ_SNAPSHOT_BENCHES:-cost_eval bounds_eval pruning_ablation optimizer_scaling}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for bench in $benches; do
+    echo "bench_snapshot: running $bench" >&2
+    DSQ_BENCH_JSON="$raw" cargo bench -p dsq-bench --bench "$bench"
+done
+
+if ! [ -s "$raw" ]; then
+    echo "bench_snapshot: no benchmark results were recorded" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "schema": "dsq-bench-snapshot/v1",'
+    rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    # A snapshot from an uncommitted tree must not masquerade as the
+    # HEAD commit's numbers — mark it so the trajectory stays honest.
+    # Both tracked modifications and untracked files (other than the
+    # snapshot being written) count as dirty.
+    git update-index -q --refresh 2>/dev/null || true
+    untracked="$(git ls-files --others --exclude-standard 2>/dev/null | grep -vFx "$out" || true)"
+    if ! git diff-index --quiet HEAD -- 2>/dev/null || [ -n "$untracked" ]; then
+        rev="${rev}-dirty"
+    fi
+    echo "  \"git_rev\": \"$rev\","
+    echo "  \"benches\": ["
+    sed -e 's/^/    /' -e '$!s/$/,/' "$raw"
+    echo '  ]'
+    echo '}'
+} > "$out"
+
+echo "bench_snapshot: wrote $(grep -c '"bench"' "$out") medians to $out" >&2
