@@ -1,0 +1,77 @@
+//! E13's timing series: the serving layer's request costs — fingerprint
+//! computation, validated cache hits, cold optimization, and whole
+//! drifting-stream batches — at the production-relevant n = 12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsq_core::{optimize_with, BnbConfig, CanonicalKey, Quantization};
+use dsq_service::{optimize_batch, BatchOptions, CacheConfig, PlanCache};
+use dsq_workloads::{DriftConfig, DriftStream, Family};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+
+const N: usize = 12;
+
+fn cache_config() -> CacheConfig {
+    // Same knobs as experiment E13.
+    CacheConfig { quantization: Quantization::new(0.2), ..CacheConfig::default() }
+}
+
+fn stream(family: Family, requests: usize) -> Vec<dsq_core::QueryInstance> {
+    DriftStream::new(DriftConfig::new(family, N, 23, requests)).collect()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    let requests = stream(Family::BtspHard, 48);
+    let config = BnbConfig::paper();
+
+    group.bench_with_input(BenchmarkId::new("fingerprint", N), &requests[0], |b, inst| {
+        let quantization = Quantization::new(0.2);
+        b.iter(|| black_box(CanonicalKey::new(black_box(inst), &quantization)))
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("cold_optimize", format!("btsp-n{N}")),
+        &requests[0],
+        |b, inst| b.iter(|| black_box(optimize_with(black_box(inst), &config))),
+    );
+
+    // Validated hit path: fingerprint + transport + exact-cost check,
+    // cycling through drifted occurrences of the warmed base queries.
+    let cache = PlanCache::new(cache_config());
+    for inst in &requests {
+        cache.serve(inst, &config);
+    }
+    let mut next = 0usize;
+    group.bench_function(BenchmarkId::new("cache_hit", format!("btsp-n{N}")), |b| {
+        b.iter(|| {
+            let inst = &requests[next % requests.len()];
+            next += 1;
+            black_box(cache.serve(black_box(inst), &config))
+        })
+    });
+
+    // Whole-batch throughput, cold caches each iteration: the number the
+    // serving layer quotes (requests per second including the misses).
+    for workers in [1usize, 4] {
+        let options = BatchOptions {
+            workers: NonZeroUsize::new(workers).expect("non-zero"),
+            config: config.clone(),
+        };
+        group.throughput(Throughput::Elements(requests.len() as u64));
+        group.bench_function(BenchmarkId::new("batch_stream", format!("w{workers}")), |b| {
+            b.iter(|| {
+                let cache = PlanCache::new(cache_config());
+                black_box(optimize_batch(&cache, black_box(&requests), &options))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_serving
+}
+criterion_main!(benches);

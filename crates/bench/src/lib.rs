@@ -3,7 +3,8 @@
 //! Each benchmark file regenerates the timing series of one experiment
 //! family from DESIGN.md §5: `cost_eval` (micro-costs of Eq. 1),
 //! `optimizer_scaling` (E2), `pruning_ablation` (E3), `heuristics` (E4's
-//! timing side), `simulator` (E5/E10), and `runtime_pipeline` (E8).
+//! timing side), `simulator` (E5/E10), `runtime_pipeline` (E8), and
+//! `service_throughput` (E13's serving-layer costs).
 
 #![warn(missing_docs)]
 

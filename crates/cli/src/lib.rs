@@ -9,6 +9,7 @@
 //! dsq explain pipeline.dsq --plan 2,0,1                # per-term breakdown
 //! dsq baselines pipeline.dsq                           # comparison table
 //! dsq simulate pipeline.dsq --tuples 20000 [--plan …]  # discrete-event run
+//! dsq serve-batch queries/ [--workers 4]               # plan-cache batch serve
 //! ```
 
 #![warn(missing_docs)]
@@ -19,12 +20,14 @@ use dsq_baselines::{
 };
 use dsq_core::{
     bottleneck_cost, explain, format_instance, optimize_parallel, optimize_with, parse_instance,
-    BnbConfig, Plan, QueryInstance,
+    BnbConfig, Plan, Quantization, QueryInstance,
 };
+use dsq_service::{optimize_batch, BatchOptions, CacheConfig, PlanCache};
 use dsq_simulator::{simulate, SimConfig};
 use dsq_workloads::{generate, Family};
 use std::io::Read;
 use std::num::NonZeroUsize;
+use std::time::Instant;
 
 /// Error produced by a CLI run: the message printed to stderr.
 pub type CliError = String;
@@ -49,6 +52,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("explain") => explain_cmd(&mut args, out),
         Some("baselines") => baselines_cmd(&mut args, out),
         Some("simulate") => simulate_cmd(&mut args, out),
+        Some("serve-batch") => serve_batch_cmd(&mut args, out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -63,9 +67,12 @@ const USAGE: &str = "usage:
   dsq explain FILE --plan I,J,K,...                   break down a plan's cost
   dsq baselines FILE                                  compare all ordering methods
   dsq simulate FILE [--plan I,J,...] [--tuples N] [--block B]
+  dsq serve-batch DIR|-  [--workers T] [--config NAME] [--shards S]
+                         [--capacity C] [--resolution R] [--tolerance X]
 families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
 configs:  paper incumbent-only no-epsilon-bar no-backjump extended
-FILE may be `-` for stdin";
+FILE may be `-` for stdin; serve-batch reads every *.dsq in DIR (sorted) or a
+concatenated instance stream from stdin and serves it through the plan cache";
 
 fn io_err(e: std::io::Error) -> CliError {
     format!("I/O error: {e}")
@@ -108,7 +115,8 @@ fn parse_plan_arg(spec: &str, n: usize) -> Result<Plan, CliError> {
     if order.len() != n {
         return Err(format!("plan has {} services, instance has {n}", order.len()));
     }
-    Plan::new(order).map_err(|e| format!("invalid plan: {e}"))
+    // ModelError::InvalidPlan already reads "invalid plan: …".
+    Plan::new(order).map_err(|e| e.to_string())
 }
 
 fn generate_cmd<'a>(
@@ -273,6 +281,159 @@ fn simulate_cmd<'a>(
     writeln!(out, "{report}").map_err(io_err)
 }
 
+/// Splits a concatenated stream of instances (each starting with the
+/// `dsq-instance v1` header line) into individual documents.
+fn split_instance_stream(text: &str) -> Vec<String> {
+    let mut documents: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("dsq-instance") {
+            documents.push(String::new());
+        }
+        if let Some(current) = documents.last_mut() {
+            current.push_str(line);
+            current.push('\n');
+        }
+        // Content before the first header is unparseable noise; it is
+        // reported by the per-document parse below only if no header
+        // ever arrives (empty-stream error), matching `optimize -`.
+    }
+    documents
+}
+
+fn serve_batch_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut path: Option<&str> = None;
+    let mut workers = 4usize;
+    let mut config = BnbConfig::paper();
+    let mut cache_config = CacheConfig::default();
+    while let Some(arg) = args.next() {
+        match arg {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--workers needs a positive integer")?
+            }
+            "--config" => config = parse_config(args.next().ok_or("--config needs a value")?)?,
+            "--shards" => {
+                cache_config.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--shards needs a positive integer")?
+            }
+            "--capacity" => {
+                cache_config.capacity_per_shard = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--capacity needs a non-negative integer")?
+            }
+            "--resolution" => {
+                let value: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v| (0.0..1.0).contains(v) && *v > 0.0)
+                    .ok_or("--resolution needs a number in (0, 1)")?;
+                cache_config.quantization = Quantization::new(value);
+            }
+            "--tolerance" => {
+                cache_config.validation_tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                    .ok_or("--tolerance needs a non-negative number")?
+            }
+            other if path.is_none() => path = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let path = path.ok_or("serve-batch requires a directory or `-` for stdin")?;
+
+    // Gather the request stream: every *.dsq under a directory (sorted
+    // for deterministic request order) or a concatenated stdin stream.
+    // Names and instances are parallel vectors so the batch API gets
+    // one contiguous slice without re-cloning every instance.
+    let mut names: Vec<String> = Vec::new();
+    let mut instances: Vec<QueryInstance> = Vec::new();
+    if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin().read_to_string(&mut buffer).map_err(io_err)?;
+        let documents = split_instance_stream(&buffer);
+        if documents.is_empty() {
+            return Err("stdin contained no instances".into());
+        }
+        for (index, text) in documents.iter().enumerate() {
+            let instance = parse_instance(text)
+                .map_err(|e| format!("cannot parse stdin instance {index}: {e}"))?;
+            names.push(instance.name().to_string());
+            instances.push(instance);
+        }
+    } else {
+        let entries = std::fs::read_dir(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut files: Vec<std::path::PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "dsq"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no .dsq instance files in {path}"));
+        }
+        for file in files {
+            let name = file.file_name().map(|f| f.to_string_lossy().into_owned());
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let instance = parse_instance(&text)
+                .map_err(|e| format!("cannot parse {}: {e}", file.display()))?;
+            names.push(name.unwrap_or_else(|| instance.name().to_string()));
+            instances.push(instance);
+        }
+    }
+
+    let cache = PlanCache::new(cache_config);
+    let options =
+        BatchOptions { workers: NonZeroUsize::new(workers).expect("checked > 0"), config };
+    let started = Instant::now();
+    let results = optimize_batch(&cache, &instances, &options);
+    let elapsed = started.elapsed();
+
+    for (name, served) in names.iter().zip(&results) {
+        writeln!(
+            out,
+            "{:<28} {:<5} cost {:<12.6} plan {}",
+            name,
+            served.source.name(),
+            served.cost,
+            served.plan
+        )
+        .map_err(io_err)?;
+    }
+    let stats = cache.stats();
+    writeln!(
+        out,
+        "served {} requests in {:.1} ms ({:.0} req/s) with {} workers",
+        results.len(),
+        elapsed.as_secs_f64() * 1e3,
+        results.len() as f64 / elapsed.as_secs_f64(),
+        workers,
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "cache: {} hits, {} warm starts, {} cold ({:.1}% hit-rate); {} entries, {} evictions",
+        stats.hits,
+        stats.warm_starts,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries,
+        stats.evictions,
+    )
+    .map_err(io_err)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +531,99 @@ mod tests {
         assert!(run_err(&["optimize", path.to_str().expect("utf8"), "--config", "zap"])
             .contains("unknown config"));
         std::fs::remove_file(path).ok();
+    }
+
+    /// The exact messages are part of the CLI contract: scripts match on
+    /// them, so changes must be deliberate.
+    #[test]
+    fn error_messages_are_exact() {
+        let (path, _) = temp_instance();
+        let file = path.to_str().expect("utf8 path");
+        // Malformed --plan lists.
+        assert_eq!(run_err(&["explain", file, "--plan", "0,x,2,3,4"]), "bad plan index `x`");
+        assert_eq!(run_err(&["explain", file, "--plan", "0, ,2,3,4"]), "bad plan index ` `");
+        // Out-of-range / duplicate indices.
+        assert_eq!(
+            run_err(&["explain", file, "--plan", "0,1,2,3,9"]),
+            "invalid plan: service index 9 out of range for 5 services"
+        );
+        assert_eq!(
+            run_err(&["explain", file, "--plan", "0,1,2,3,3"]),
+            "invalid plan: service 3 appears twice"
+        );
+        assert_eq!(
+            run_err(&["explain", file, "--plan", "0,1"]),
+            "plan has 2 services, instance has 5"
+        );
+        // Unknown family / config.
+        assert_eq!(run_err(&["generate", "--family", "mesh", "-n", "4"]), "unknown family `mesh`");
+        assert_eq!(run_err(&["optimize", file, "--config", "zap"]), "unknown config `zap`");
+        // serve-batch argument errors.
+        assert_eq!(run_err(&["serve-batch"]), "serve-batch requires a directory or `-` for stdin");
+        assert_eq!(
+            run_err(&["serve-batch", "/tmp", "--workers", "0"]),
+            "--workers needs a positive integer"
+        );
+        assert_eq!(
+            run_err(&["serve-batch", "/tmp", "--resolution", "7"]),
+            "--resolution needs a number in (0, 1)"
+        );
+        let missing = run_err(&["serve-batch", "/nonexistent-dsq-dir"]);
+        assert!(missing.starts_with("cannot read /nonexistent-dsq-dir:"), "{missing}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_batch_smoke_over_a_directory() {
+        let dir = std::env::temp_dir().join(format!("dsq-serve-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create batch dir");
+        // Two copies of the same query and one distinct one: the repeat
+        // must hit the cache.
+        for (name, seed) in [("a.dsq", 3u64), ("b.dsq", 3), ("c.dsq", 4)] {
+            let text = run_ok(&[
+                "generate",
+                "--family",
+                "clustered",
+                "-n",
+                "6",
+                "--seed",
+                &seed.to_string(),
+            ]);
+            std::fs::write(dir.join(name), text).expect("write instance");
+        }
+        std::fs::write(dir.join("ignored.txt"), "not an instance").expect("write decoy");
+        let out = run_ok(&["serve-batch", dir.to_str().expect("utf8"), "--workers", "2"]);
+        for needle in ["a.dsq", "b.dsq", "c.dsq", "served 3 requests", "hit-rate"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        assert!(out.contains("cache: 1 hits, 0 warm starts, 2 cold"), "{out}");
+        // a/b identical → identical plan lines modulo the file name.
+        let lines: Vec<&str> = out.lines().collect();
+        let plan_of = |line: &str| line.split("plan ").nth(1).map(str::to_string);
+        assert_eq!(plan_of(lines[0]), plan_of(lines[1]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_batch_rejects_instancefree_directories() {
+        let dir = std::env::temp_dir().join(format!("dsq-serve-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create empty dir");
+        let message = run_err(&["serve-batch", dir.to_str().expect("utf8")]);
+        assert_eq!(message, format!("no .dsq instance files in {}", dir.display()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn instance_streams_split_on_headers() {
+        let one = run_ok(&["generate", "--family", "euclidean", "-n", "4", "--seed", "1"]);
+        let two = run_ok(&["generate", "--family", "euclidean", "-n", "5", "--seed", "2"]);
+        let stream = format!("{one}{two}");
+        let documents = split_instance_stream(&stream);
+        assert_eq!(documents.len(), 2);
+        assert_eq!(parse_instance(&documents[0]).expect("first parses").len(), 4);
+        assert_eq!(parse_instance(&documents[1]).expect("second parses").len(), 5);
+        assert!(split_instance_stream("").is_empty());
+        assert!(split_instance_stream("  \n\nnoise without a header\n").is_empty());
     }
 
     #[test]

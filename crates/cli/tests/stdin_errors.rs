@@ -1,0 +1,85 @@
+//! Error paths that require a real process: stdin-driven commands. The
+//! library tests cover everything reachable without touching the
+//! process's stdin; these spawn the actual `dsq` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+/// Runs the built `dsq` binary with the given args and stdin, returning
+/// (exit success, stdout, stderr).
+fn run_binary(args: &[&str], stdin: &str) -> (bool, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dsq"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dsq");
+    child.stdin.as_mut().expect("piped stdin").write_all(stdin.as_bytes()).expect("write stdin");
+    let output = child.wait_with_output().expect("dsq terminates");
+    (
+        output.status.success(),
+        String::from_utf8(output.stdout).expect("utf8 stdout"),
+        String::from_utf8(output.stderr).expect("utf8 stderr"),
+    )
+}
+
+fn generated_instance(n: usize, seed: u64) -> String {
+    let (ok, stdout, stderr) = run_binary(
+        &["generate", "--family", "hub-spoke", "-n", &n.to_string(), "--seed", &seed.to_string()],
+        "",
+    );
+    assert!(ok, "generate failed: {stderr}");
+    stdout
+}
+
+#[test]
+fn optimize_of_empty_stdin_reports_the_parse_error() {
+    let (ok, _, stderr) = run_binary(&["optimize", "-"], "");
+    assert!(!ok);
+    assert_eq!(stderr.trim(), "dsq: cannot parse -: expected header line `dsq-instance v1`");
+}
+
+#[test]
+fn serve_batch_of_empty_stdin_reports_the_exact_message() {
+    let (ok, _, stderr) = run_binary(&["serve-batch", "-"], "");
+    assert!(!ok);
+    assert_eq!(stderr.trim(), "dsq: stdin contained no instances");
+    // Whitespace-only streams are equally empty.
+    let (ok, _, stderr) = run_binary(&["serve-batch", "-"], "  \n\n");
+    assert!(!ok);
+    assert_eq!(stderr.trim(), "dsq: stdin contained no instances");
+}
+
+#[test]
+fn serve_batch_reports_which_stdin_instance_is_malformed() {
+    let good = generated_instance(5, 1);
+    let stream = format!("{good}dsq-instance v1\nname broken\nn 2\n");
+    let (ok, _, stderr) = run_binary(&["serve-batch", "-"], &stream);
+    assert!(!ok);
+    assert!(
+        stderr.contains("cannot parse stdin instance 1:"),
+        "expected indexed parse error, got: {stderr}"
+    );
+}
+
+#[test]
+fn serve_batch_streams_from_stdin() {
+    // The same query twice plus a different one: one hit, two colds.
+    let a = generated_instance(6, 7);
+    let b = generated_instance(6, 8);
+    let stream = format!("{a}{a}{b}");
+    let (ok, stdout, stderr) = run_binary(&["serve-batch", "-", "--workers", "1"], &stream);
+    assert!(ok, "serve-batch failed: {stderr}");
+    assert!(stdout.contains("served 3 requests"), "{stdout}");
+    assert!(stdout.contains("cache: 1 hits, 0 warm starts, 2 cold"), "{stdout}");
+}
+
+#[test]
+fn optimize_over_stdin_still_works() {
+    // Guard the happy path of `-` handling alongside the error paths.
+    let instance = generated_instance(5, 3);
+    let (ok, stdout, stderr) = run_binary(&["optimize", "-"], &instance);
+    assert!(ok, "optimize over stdin failed: {stderr}");
+    assert!(stdout.contains("optimal   true"), "{stdout}");
+}

@@ -1,5 +1,6 @@
 //! Optimizer configuration and ablation switches.
 
+use crate::plan::Plan;
 use std::time::Duration;
 
 /// Configuration of the branch-and-bound optimizer.
@@ -60,6 +61,19 @@ pub struct BnbConfig {
     /// Abort after this much wall-clock time, returning the best plan found
     /// (flagged as not proven optimal).
     pub time_limit: Option<Duration>,
+    /// **Warm start**: seed the incumbent `ρ` with this complete plan
+    /// (evaluated on the instance being optimized) before the search
+    /// begins. Used by the `dsq-service` plan cache to resume from a
+    /// cached plan of a near-identical instance; any plan whose cost is
+    /// close to optimal prunes most of the tree immediately. The search
+    /// still proves optimality: the result is never worse than the seed,
+    /// and the returned plan is bit-identical to a cold search's whenever
+    /// the seed is not itself optimal (a seed that *is* optimal is simply
+    /// returned).
+    ///
+    /// A seed whose length disagrees with the instance or that violates
+    /// the instance's precedence constraints is ignored.
+    pub initial_incumbent: Option<Plan>,
 }
 
 impl BnbConfig {
@@ -73,6 +87,7 @@ impl BnbConfig {
             seed_with_greedy: false,
             node_limit: None,
             time_limit: None,
+            initial_incumbent: None,
         }
     }
 
@@ -107,6 +122,13 @@ impl BnbConfig {
     /// Returns this configuration with a wall-clock budget.
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
         self.time_limit = Some(limit);
+        self
+    }
+
+    /// Returns this configuration warm-started from `plan` (see
+    /// [`initial_incumbent`](Self::initial_incumbent)).
+    pub fn with_initial_incumbent(mut self, plan: Plan) -> Self {
+        self.initial_incumbent = Some(plan);
         self
     }
 }
@@ -149,5 +171,13 @@ mod tests {
             BnbConfig::paper().with_node_limit(1000).with_time_limit(Duration::from_millis(5));
         assert_eq!(cfg.node_limit, Some(1000));
         assert_eq!(cfg.time_limit, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn incumbent_builder_attaches_the_plan() {
+        let plan = Plan::new(vec![1, 0]).unwrap();
+        let cfg = BnbConfig::paper().with_initial_incumbent(plan.clone());
+        assert_eq!(cfg.initial_incumbent, Some(plan));
+        assert!(BnbConfig::paper().initial_incumbent.is_none());
     }
 }

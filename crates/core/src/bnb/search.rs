@@ -123,9 +123,14 @@ pub fn optimize_with(instance: &QueryInstance, config: &BnbConfig) -> BnbResult 
 /// statistics are summed across workers; `elapsed` is wall-clock time.
 ///
 /// Sharing `ρ` can only shrink it faster than the sequential search, so
-/// every pruning rule stays sound and the result is identical in cost
-/// (the plan may be a different optimum when several exist). Node/time
-/// budgets apply **per worker**.
+/// every pruning rule stays sound and the result is identical in cost.
+/// When the search completes (no budget interruption), the returned
+/// **plan** is also deterministic: a final replay pass with the proven
+/// optimal cost as a pinned bound re-derives the plan the *sequential*
+/// search order records first, so the result does not depend on worker
+/// scheduling or thread count. Node/time budgets apply **per worker**,
+/// and a budget-interrupted run skips the replay (its plan is then
+/// whichever incumbent happened to be best).
 ///
 /// # Examples
 ///
@@ -151,13 +156,21 @@ pub fn optimize_parallel(
         return optimize_with(instance, config);
     }
     let started = Instant::now();
-    let shared_rho = AtomicU64::new(f64::INFINITY.to_bits());
     let next_root = AtomicUsize::new(0);
     // The cache-friendly context (flat parameter arrays, sorted successor
     // rows) and the globally sorted root list are built once and shared by
     // every worker, instead of paying the O(n² log n) setup per thread.
     let ctx = SearchContext::new(instance);
-    let roots = Searcher::new(instance, &ctx, config.clone()).sorted_roots();
+    let setup = Searcher::new(instance, &ctx, config.clone());
+    let roots = setup.sorted_roots();
+    // Warm start: the seed plan bounds every worker from the first node
+    // (workers pull it through the shared cell) and survives as the
+    // result if nothing beats it.
+    let incumbent_seed = setup.incumbent_seed();
+    let shared_rho = AtomicU64::new(match &incumbent_seed {
+        Some((_, cost)) => cost.to_bits(),
+        None => f64::INFINITY.to_bits(),
+    });
 
     // (best order + cost, per-worker stats).
     type WorkerOutcome = (Option<(Vec<usize>, f64)>, SearchStats);
@@ -211,7 +224,7 @@ pub fn optimize_parallel(
     });
 
     let mut stats = SearchStats { proven_optimal: true, ..SearchStats::default() };
-    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut best: Option<(Vec<usize>, f64)> = incumbent_seed;
     for (candidate, worker_stats) in worker_results {
         stats.merge(&worker_stats);
         if let Some((order, cost)) = candidate {
@@ -220,14 +233,65 @@ pub fn optimize_parallel(
             }
         }
     }
-    let (order, cost) = best.unwrap_or_else(|| {
+    let (mut order, mut cost) = best.unwrap_or_else(|| {
         let fallback = Searcher::new(instance, &ctx, config.clone());
         let (order, cost) = fallback.greedy_plan().expect("acyclic precedence admits a plan");
         stats.proven_optimal = false;
         (order, cost)
     });
+    if stats.proven_optimal {
+        // The workers proved `cost` optimal, but *which* optimal plan won
+        // the race depends on scheduling. Replay the sequential search
+        // order with the optimum as a pinned bound to pick the canonical
+        // one, so results are reproducible across runs and thread counts.
+        if let Some(canonical) = deterministic_optimum(instance, &ctx, config, cost) {
+            let plan = Plan::new(canonical.clone()).expect("replay produces valid permutations");
+            cost = bottleneck_cost(instance, &plan);
+            order = canonical;
+        }
+    }
     stats.elapsed = started.elapsed();
     BnbResult { plan: Plan::new(order).expect("search produces valid permutations"), cost, stats }
+}
+
+/// Re-derives the canonical optimal plan for a **proven** optimal cost:
+/// the plan the sequential search order records first. Runs the ordinary
+/// search with the incumbent pinned to the smallest float above
+/// `optimal`, so `ε ≥ ρ` prunes exactly the subtrees containing no
+/// optimal plan (the bound is perfect, making the pass cheap) and the
+/// first candidate recorded — cost `≤ optimal`, hence `== optimal` — is
+/// the sequential winner; [`Searcher::halt_on_candidate`] stops there.
+/// Greedy / warm-start seeds participate exactly as in the sequential
+/// search so that an already-optimal seed is returned unchanged, keeping
+/// warm and cold results bit-identical.
+fn deterministic_optimum(
+    instance: &QueryInstance,
+    ctx: &SearchContext,
+    config: &BnbConfig,
+    optimal: f64,
+) -> Option<Vec<usize>> {
+    let cfg = BnbConfig { node_limit: None, time_limit: None, ..config.clone() };
+    let mut searcher = Searcher::new(instance, ctx, cfg);
+    searcher.apply_seeds();
+    searcher.rho = searcher.rho.min(next_up(optimal));
+    searcher.halt_on_candidate = true;
+    let roots = searcher.sorted_roots();
+    for &(a, b, w) in &roots {
+        if searcher.halted || w >= searcher.rho {
+            break;
+        }
+        searcher.stats.roots_explored += 1;
+        searcher.explore_root(a, b, w);
+    }
+    searcher.best.take()
+}
+
+/// The smallest `f64` strictly greater than a non-negative finite value
+/// (a stand-in for `f64::next_up`, which stabilized after this
+/// workspace's minimum supported Rust version).
+fn next_up(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x >= 0.0);
+    f64::from_bits(x.to_bits() + 1)
 }
 
 struct Searcher<'a> {
@@ -256,6 +320,11 @@ struct Searcher<'a> {
     stats: SearchStats,
     started: Instant,
     interrupted: bool,
+    /// Replay mode (see [`deterministic_optimum`]): stop the search at
+    /// the first recorded candidate instead of exhausting the tree.
+    halt_on_candidate: bool,
+    /// Set once a candidate has been recorded in replay mode.
+    halted: bool,
     /// Incumbent cell shared between parallel workers (bit-encoded `f64`;
     /// non-negative floats order identically to their bit patterns, so
     /// `fetch_min` on bits is a numeric min).
@@ -281,7 +350,49 @@ impl<'a> Searcher<'a> {
             stats: SearchStats { proven_optimal: true, ..SearchStats::default() },
             started: Instant::now(),
             interrupted: false,
+            halt_on_candidate: false,
+            halted: false,
             shared_rho: None,
+        }
+    }
+
+    /// The validated warm-start seed from the configuration: the seed
+    /// plan's indices and its cost on **this** instance. A seed of the
+    /// wrong length or violating the precedence constraints is ignored
+    /// (warm starts must never make the search unsound).
+    fn incumbent_seed(&self) -> Option<(Vec<usize>, f64)> {
+        let plan = self.cfg.initial_incumbent.as_ref()?;
+        if plan.len() != self.n {
+            return None;
+        }
+        if let Some(dag) = self.inst.precedence() {
+            if !plan.satisfies(dag) {
+                return None;
+            }
+        }
+        let cost = bottleneck_cost(self.inst, plan);
+        Some((plan.indices(), cost))
+    }
+
+    /// Primes `ρ`/`best` from the configured seeds — greedy first, then
+    /// the warm-start incumbent — keeping strict improvements only.
+    /// Shared by [`run`](Self::run) and [`deterministic_optimum`]: the
+    /// replay must mirror the main search's seeding exactly, or the
+    /// warm≡cold and thread-count-determinism guarantees break.
+    fn apply_seeds(&mut self) {
+        if self.cfg.seed_with_greedy {
+            if let Some((order, cost)) = self.greedy_plan() {
+                if cost < self.rho {
+                    self.rho = cost;
+                    self.best = Some(order);
+                }
+            }
+        }
+        if let Some((order, cost)) = self.incumbent_seed() {
+            if cost < self.rho {
+                self.rho = cost;
+                self.best = Some(order);
+            }
         }
     }
 
@@ -328,12 +439,7 @@ impl<'a> Searcher<'a> {
             return self.finish(vec![0]);
         }
 
-        if self.cfg.seed_with_greedy {
-            if let Some((order, cost)) = self.greedy_plan() {
-                self.rho = cost;
-                self.best = Some(order);
-            }
-        }
+        self.apply_seeds();
 
         // Root pairs sorted by pair cost (the plan's first term).
         let roots = self.sorted_roots();
@@ -385,6 +491,9 @@ impl<'a> Searcher<'a> {
 
         let mut entering = true;
         loop {
+            if self.halted {
+                return;
+            }
             if self.budget_exhausted() {
                 self.interrupted = true;
                 return;
@@ -445,6 +554,9 @@ impl<'a> Searcher<'a> {
                 self.best = Some(self.plan.clone());
                 self.stats.candidates_recorded += 1;
                 self.publish_incumbent(total);
+                if self.halt_on_candidate {
+                    self.halted = true;
+                }
             }
             self.rewind();
             return false;
@@ -475,6 +587,9 @@ impl<'a> Searcher<'a> {
                     self.best = Some(full);
                     self.stats.candidates_recorded += 1;
                     self.publish_incumbent(eps);
+                    if self.halt_on_candidate {
+                        self.halted = true;
+                    }
                 }
                 self.rewind();
                 return false;
@@ -999,6 +1114,100 @@ mod tests {
         let result = optimize_parallel(&inst, &cfg, NonZeroUsize::new(2).expect("nz"));
         assert!(!result.is_proven_optimal());
         assert_eq!(result.plan().len(), 9);
+    }
+
+    #[test]
+    fn warm_start_from_the_optimum_is_bit_identical_and_cheaper() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..25 {
+            let inst = random_instance(&mut rng, 7, (trial % 2 == 0, false, trial % 3 == 0));
+            let cold = optimize_with(&inst, &BnbConfig::paper());
+            let warm_cfg = BnbConfig::paper().with_initial_incumbent(cold.plan().clone());
+            let warm = optimize_with(&inst, &warm_cfg);
+            assert_eq!(warm.plan(), cold.plan(), "trial {trial}");
+            assert_eq!(warm.cost().to_bits(), cold.cost().to_bits(), "trial {trial}");
+            assert!(
+                warm.stats().nodes_visited <= cold.stats().nodes_visited,
+                "warm start must not enlarge the tree: {} vs {}",
+                warm.stats().nodes_visited,
+                cold.stats().nodes_visited
+            );
+            assert!(warm.is_proven_optimal());
+        }
+    }
+
+    #[test]
+    fn warm_start_from_a_suboptimal_plan_matches_cold_search() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for trial in 0..25 {
+            let inst = random_instance(&mut rng, 7, (false, false, false));
+            let cold = optimize_with(&inst, &BnbConfig::paper());
+            let seed = Plan::identity(7);
+            let seed_cost = bottleneck_cost(&inst, &seed);
+            let warm =
+                optimize_with(&inst, &BnbConfig::paper().with_initial_incumbent(seed.clone()));
+            assert_close(warm.cost(), cold.cost(), "warm never worse than cold");
+            if seed_cost > cold.cost() {
+                // A strictly suboptimal seed only tightens pruning: the
+                // search trajectory to the first optimal candidate is
+                // unchanged, so the plan is bit-identical.
+                assert_eq!(warm.plan(), cold.plan(), "trial {trial}");
+            } else {
+                // The seed itself was optimal; it is returned as-is.
+                assert_eq!(warm.plan(), &seed);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_or_mismatched_incumbents_are_ignored() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = random_instance(&mut rng, 6, (false, true, false));
+        let cold = optimize_with(&inst, &BnbConfig::paper());
+        // Wrong length: ignored.
+        let warm =
+            optimize_with(&inst, &BnbConfig::paper().with_initial_incumbent(Plan::identity(4)));
+        assert_eq!(warm.plan(), cold.plan());
+        // Precedence-violating seeds are ignored rather than poisoning ρ
+        // with an infeasible (possibly too-low) bound.
+        if let Some(dag) = inst.precedence() {
+            let violating = (0..6).rev().collect::<Vec<_>>();
+            if !Plan::new(violating.clone()).unwrap().satisfies(dag) {
+                let warm = optimize_with(
+                    &inst,
+                    &BnbConfig::paper().with_initial_incumbent(Plan::new(violating).unwrap()),
+                );
+                assert_eq!(warm.plan(), cold.plan());
+                assert!(warm.plan().satisfies(dag));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_plans_are_thread_count_independent() {
+        let mut rng = StdRng::seed_from_u64(2026);
+        for trial in 0..15 {
+            let n = rng.gen_range(5..10);
+            let inst = random_instance(&mut rng, n, (trial % 2 == 0, false, trial % 3 == 0));
+            let reference = optimize_parallel(
+                &inst,
+                &BnbConfig::paper(),
+                NonZeroUsize::new(1).expect("non-zero"),
+            );
+            for threads in [2usize, 3, 4] {
+                let parallel = optimize_parallel(
+                    &inst,
+                    &BnbConfig::paper(),
+                    NonZeroUsize::new(threads).expect("non-zero"),
+                );
+                assert_eq!(
+                    parallel.plan(),
+                    reference.plan(),
+                    "trial {trial}: plan must not depend on thread count"
+                );
+                assert_eq!(parallel.cost().to_bits(), reference.cost().to_bits());
+            }
+        }
     }
 
     #[test]

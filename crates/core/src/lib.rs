@@ -57,10 +57,12 @@
 #![warn(missing_debug_implementations)]
 
 mod bitset;
+mod canonical;
 mod comm;
 mod cost;
 mod error;
 mod explain;
+mod hash;
 mod instance;
 mod io;
 mod plan;
@@ -71,12 +73,14 @@ pub mod bnb;
 
 pub use bitset::BitSet;
 pub use bnb::{optimize, optimize_parallel, optimize_with, BnbConfig, BnbResult, SearchStats};
+pub use canonical::{CanonicalKey, Quantization};
 pub use comm::CommMatrix;
 pub use cost::{
     bottleneck_cost, bottleneck_position, cost_terms, predicted_throughput, sum_cost, CostTerm,
 };
 pub use error::ModelError;
 pub use explain::{explain, PlanReport};
+pub use hash::Fnv1a;
 pub use instance::{QueryInstance, QueryInstanceBuilder};
 pub use io::{format_instance, parse_instance, ParseInstanceError};
 pub use plan::Plan;

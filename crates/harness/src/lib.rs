@@ -20,6 +20,7 @@
 //! | e10 | block-size amortization of transfer costs |
 //! | e11 | anytime quality of the budgeted search (extension) |
 //! | e12 | tuple latency under sub-saturation load (extension) |
+//! | e13 | plan-cache batch throughput on drifting statistics (extension) |
 //!
 //! Run everything with `cargo run --release -p dsq-harness -- all`, a
 //! subset with `… -- e3 e4`, and halve the sizes with `--quick`.

@@ -1,0 +1,191 @@
+//! Batched optimization over a worker pool.
+
+use crate::cache::{PlanCache, ServedPlan};
+use crossbeam::channel;
+use dsq_core::{BnbConfig, QueryInstance};
+use parking_lot::Mutex;
+use std::num::NonZeroUsize;
+
+/// Options of one [`optimize_batch`] run. Passive struct; fields are
+/// public.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads draining the request queue.
+    pub workers: NonZeroUsize,
+    /// Optimizer configuration applied to every request that needs a
+    /// search (cold or warm).
+    pub config: BnbConfig,
+}
+
+impl Default for BatchOptions {
+    /// Four workers, paper configuration.
+    fn default() -> Self {
+        BatchOptions {
+            workers: NonZeroUsize::new(4).expect("non-zero literal"),
+            config: BnbConfig::paper(),
+        }
+    }
+}
+
+/// Serves a batch of instances through the shared cache across a pool of
+/// worker threads, returning one [`ServedPlan`] per request **in request
+/// order**. Which request of a fingerprint group arrives first and pays
+/// the cold search depends on scheduling, so the
+/// [`ServeSource`](crate::ServeSource) attribution and search statistics
+/// are not deterministic; for **exact-duplicate** requests neither plans
+/// nor costs can vary (every cold search of the duplicate is identical),
+/// but near-identical requests sharing a fingerprint may be served the
+/// plan of whichever occurrence won the race — any such plan has passed
+/// exact-instance validation, i.e. it is within the cache's tolerance,
+/// not necessarily the same bits across runs.
+///
+/// The queue is a bounded crossbeam channel pre-filled with the indexed
+/// requests; workers drain it until empty, so an expensive request never
+/// blocks the others (no static partitioning).
+///
+/// # Examples
+///
+/// ```
+/// use dsq_core::{CommMatrix, QueryInstance, Service};
+/// use dsq_service::{optimize_batch, BatchOptions, CacheConfig, PlanCache};
+///
+/// let cache = PlanCache::new(CacheConfig::default());
+/// let requests: Vec<QueryInstance> = (0..6)
+///     .map(|k| {
+///         QueryInstance::from_parts(
+///             vec![Service::new(1.0, 0.4), Service::new(0.5 + 0.1 * (k % 2) as f64, 0.8)],
+///             CommMatrix::uniform(2, 0.2),
+///         )
+///         .unwrap()
+///     })
+///     .collect();
+/// let results = optimize_batch(&cache, &requests, &BatchOptions::default());
+/// assert_eq!(results.len(), 6);
+/// assert!(cache.stats().hits >= 4, "repeated shapes hit the cache");
+/// ```
+pub fn optimize_batch(
+    cache: &PlanCache,
+    requests: &[QueryInstance],
+    options: &BatchOptions,
+) -> Vec<ServedPlan> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let workers = options.workers.get().min(requests.len());
+    if workers <= 1 {
+        return requests.iter().map(|inst| cache.serve(inst, &options.config)).collect();
+    }
+
+    let (task_tx, task_rx) = channel::bounded::<(usize, &QueryInstance)>(requests.len());
+    for task in requests.iter().enumerate() {
+        task_tx.send(task).expect("receiver alive while filling the queue");
+    }
+    drop(task_tx);
+    // The vendored crossbeam receiver is single-consumer; a mutex turns
+    // it into the shared work queue the pool drains.
+    let task_rx = Mutex::new(task_rx);
+    let (result_tx, result_rx) = channel::bounded::<(usize, ServedPlan)>(requests.len());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let task_rx = &task_rx;
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                loop {
+                    // Hold the queue lock only for the pop, never during
+                    // the optimization.
+                    let task = task_rx.lock().try_recv();
+                    match task {
+                        Ok((index, inst)) => {
+                            let served = cache.serve(inst, &options.config);
+                            result_tx
+                                .send((index, served))
+                                .expect("main thread keeps the result receiver alive");
+                        }
+                        Err(_) => break, // queue drained
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        let mut results: Vec<Option<ServedPlan>> = (0..requests.len()).map(|_| None).collect();
+        while let Ok((index, served)) = result_rx.recv() {
+            results[index] = Some(served);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every request produces exactly one result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CacheConfig, ServeSource};
+    use dsq_core::optimize;
+    use dsq_workloads::{generate, Family};
+
+    fn requests(n: usize, count: usize) -> Vec<QueryInstance> {
+        // A handful of distinct shapes, cycled: plenty of cache traffic.
+        (0..count).map(|k| generate(Family::Clustered, n, (k % 3) as u64)).collect()
+    }
+
+    fn options(workers: usize) -> BatchOptions {
+        BatchOptions {
+            workers: NonZeroUsize::new(workers).expect("non-zero"),
+            ..BatchOptions::default()
+        }
+    }
+
+    #[test]
+    fn results_are_in_request_order_and_optimal() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let batch = requests(7, 12);
+        let results = optimize_batch(&cache, &batch, &options(4));
+        assert_eq!(results.len(), batch.len());
+        for (inst, served) in batch.iter().zip(&results) {
+            let fresh = optimize(inst);
+            assert_eq!(served.cost.to_bits(), fresh.cost().to_bits());
+            assert_eq!(&served.plan, fresh.plan());
+        }
+        // 3 distinct shapes → at most 3 cold searches, 9+ cache hits.
+        let stats = cache.stats();
+        assert_eq!(stats.requests(), 12);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 9);
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_plans_or_costs() {
+        let batch = requests(6, 10);
+        let reference =
+            optimize_batch(&PlanCache::new(CacheConfig::default()), &batch, &options(1));
+        for workers in [2usize, 4, 8] {
+            let results =
+                optimize_batch(&PlanCache::new(CacheConfig::default()), &batch, &options(workers));
+            for (a, b) in reference.iter().zip(&results) {
+                assert_eq!(a.plan, b.plan, "workers = {workers}");
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                assert_eq!(a.fingerprint, b.fingerprint);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let cache = PlanCache::new(CacheConfig::default());
+        assert!(optimize_batch(&cache, &[], &BatchOptions::default()).is_empty());
+        assert_eq!(cache.stats().requests(), 0);
+    }
+
+    #[test]
+    fn single_request_batches_serve_inline() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let batch = requests(5, 1);
+        let results = optimize_batch(&cache, &batch, &options(8));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].source, ServeSource::Cold);
+    }
+}

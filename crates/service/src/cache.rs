@@ -1,0 +1,527 @@
+//! The sharded, concurrent plan cache.
+
+use dsq_core::{
+    bottleneck_cost, optimize_with, BnbConfig, CanonicalKey, Plan, Quantization, QueryInstance,
+    SearchStats,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of a [`PlanCache`]. Passive struct; fields are public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Number of independently locked shards (requests map to shards by
+    /// fingerprint, so disjoint queries never contend).
+    pub shards: usize,
+    /// Maximum entries per shard; the least recently used entry is
+    /// evicted beyond it. `0` disables caching entirely (every request
+    /// optimizes cold), which gives the serving pipeline an exact
+    /// cache-off baseline through the same code path.
+    pub capacity_per_shard: usize,
+    /// Quantization used to fingerprint instances: near-identical
+    /// instances (drift within the resolution) share a cache key.
+    pub quantization: Quantization,
+    /// Relative tolerance for validating a cached plan against the exact
+    /// instance: a bucket-hit whose plan costs more than
+    /// `(1 + tolerance) ×` the cached cost (or less than the mirror
+    /// bound) is treated as stale and warm-starts a fresh search.
+    pub validation_tolerance: f64,
+}
+
+impl Default for CacheConfig {
+    /// 8 shards × 128 entries, default quantization, 5% validation
+    /// tolerance (matching the default quantization resolution).
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity_per_shard: 128,
+            quantization: Quantization::default(),
+            validation_tolerance: 0.05,
+        }
+    }
+}
+
+/// Where a served plan came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeSource {
+    /// Fingerprint hit and the cached plan validated against the exact
+    /// instance: no search ran.
+    CacheHit,
+    /// Fingerprint hit but the cached plan's cost drifted out of
+    /// tolerance: the search ran, warm-started from the cached plan.
+    WarmStart,
+    /// No cached entry: a cold optimization.
+    Cold,
+}
+
+impl ServeSource {
+    /// Stable lowercase name for tables and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeSource::CacheHit => "hit",
+            ServeSource::WarmStart => "warm",
+            ServeSource::Cold => "cold",
+        }
+    }
+}
+
+/// The outcome of serving one instance through the cache.
+#[derive(Debug, Clone)]
+pub struct ServedPlan {
+    /// The plan, in the request instance's own service labels.
+    pub plan: Plan,
+    /// The plan's bottleneck cost evaluated on the **exact** request
+    /// instance (never the cached representative's cost).
+    pub cost: f64,
+    /// How the plan was obtained.
+    pub source: ServeSource,
+    /// The request's cache fingerprint.
+    pub fingerprint: u64,
+    /// Statistics of the search that ran, if one did (`None` for pure
+    /// cache hits).
+    pub search: Option<SearchStats>,
+}
+
+/// Aggregated cache counters (summed over shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Validated fingerprint hits (no search ran).
+    pub hits: u64,
+    /// Fingerprint hits whose plan failed exact-instance validation and
+    /// warm-started a search.
+    pub warm_starts: u64,
+    /// Requests with no cached entry (cold optimizations).
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries written (cold and warm paths both write back).
+    pub insertions: u64,
+    /// Entries currently resident across all shards.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.warm_starts + self.misses
+    }
+
+    /// Fraction of requests answered without running a search; `0.0`
+    /// before any request.
+    pub fn hit_rate(&self) -> f64 {
+        let requests = self.requests();
+        if requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / requests as f64
+        }
+    }
+}
+
+/// One cached plan, stored in canonical index space so any instance with
+/// the same fingerprint can use it regardless of its service labels.
+#[derive(Debug)]
+struct Entry {
+    canonical_plan: Vec<u32>,
+    /// Bottleneck cost of the plan on the instance that produced it —
+    /// the reference value a bucket-hit validates against.
+    cost: f64,
+    /// Recency stamp; must match the newest queue slot for this key.
+    tick: u64,
+}
+
+/// One shard: an LRU map guarded by its own lock.
+///
+/// Recency is a lazy queue: every touch appends `(key, tick)` and stamps
+/// the entry; eviction pops from the front, discarding stale pairs whose
+/// tick no longer matches the live entry. Each popped pair was pushed by
+/// exactly one operation, so the queue stays linear in the number of
+/// operations and eviction is O(1) amortized.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    order: VecDeque<(u64, u64)>,
+    tick: u64,
+    hits: u64,
+    warm_starts: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, fingerprint: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.map.get_mut(&fingerprint) {
+            entry.tick = tick;
+            self.order.push_back((fingerprint, tick));
+        }
+    }
+
+    fn insert(&mut self, fingerprint: u64, canonical_plan: Vec<u32>, cost: f64, capacity: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(fingerprint, Entry { canonical_plan, cost, tick });
+        self.order.push_back((fingerprint, tick));
+        self.insertions += 1;
+        while self.map.len() > capacity {
+            match self.order.pop_front() {
+                Some((key, stamp)) => {
+                    if self.map.get(&key).is_some_and(|e| e.tick == stamp) {
+                        self.map.remove(&key);
+                        self.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// A sharded, concurrent, LRU plan cache in front of the branch-and-bound
+/// optimizer. See the [crate docs](crate) for the serving semantics and
+/// [`CacheConfig`] for the knobs.
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    config: CacheConfig,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`, the validation tolerance is
+    /// negative or non-finite, or the quantization resolution is invalid
+    /// (see [`Quantization::new`]).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.shards > 0, "a cache needs at least one shard");
+        assert!(
+            config.validation_tolerance.is_finite() && config.validation_tolerance >= 0.0,
+            "validation tolerance must be finite and non-negative"
+        );
+        // Re-validate through the constructor so an invalid hand-rolled
+        // resolution fails here rather than deep inside a request.
+        let _ = Quantization::new(config.quantization.resolution);
+        let shards = (0..config.shards).map(|_| Mutex::new(Shard::default())).collect();
+        PlanCache { shards, config }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Serves one instance: validated cache hit, warm-started search, or
+    /// cold search (see [`ServeSource`]). Cold and warm searches write
+    /// their result back, so subsequent near-identical requests hit.
+    ///
+    /// Concurrent callers are safe: the shard lock is **not** held while
+    /// optimizing, so long searches never block hits on other keys (or
+    /// even on the same shard).
+    pub fn serve(&self, instance: &QueryInstance, config: &BnbConfig) -> ServedPlan {
+        let key = CanonicalKey::new(instance, &self.config.quantization);
+        let fingerprint = key.fingerprint();
+        let shard = &self.shards[(fingerprint % self.shards.len() as u64) as usize];
+
+        let cached: Option<(Plan, f64)> = {
+            let guard = shard.lock();
+            guard.map.get(&fingerprint).and_then(|entry| {
+                // A malformed transport (fingerprint collision with a
+                // different-sized instance) degrades to a miss.
+                key.plan_from_canonical(&entry.canonical_plan).map(|p| (p, entry.cost))
+            })
+        };
+
+        if let Some((plan, cached_cost)) = cached {
+            let feasible = instance.precedence().is_none_or(|dag| plan.satisfies(dag));
+            if feasible {
+                let exact = bottleneck_cost(instance, &plan);
+                let spread = (exact - cached_cost).abs();
+                if spread <= self.config.validation_tolerance * exact.abs().max(cached_cost.abs()) {
+                    let mut guard = shard.lock();
+                    guard.hits += 1;
+                    guard.touch(fingerprint);
+                    return ServedPlan {
+                        plan,
+                        cost: exact,
+                        source: ServeSource::CacheHit,
+                        fingerprint,
+                        search: None,
+                    };
+                }
+                // Out of tolerance: re-optimize, seeded with the cached
+                // plan (its cost is near-optimal, so ρ prunes hard).
+                let warm_config = config.clone().with_initial_incumbent(plan);
+                let result = optimize_with(instance, &warm_config);
+                let canonical_plan = key.plan_to_canonical(result.plan());
+                let mut guard = shard.lock();
+                guard.warm_starts += 1;
+                guard.insert(
+                    fingerprint,
+                    canonical_plan,
+                    result.cost(),
+                    self.config.capacity_per_shard,
+                );
+                return ServedPlan {
+                    plan: result.plan().clone(),
+                    cost: result.cost(),
+                    source: ServeSource::WarmStart,
+                    fingerprint,
+                    search: Some(result.stats().clone()),
+                };
+            }
+        }
+
+        let result = optimize_with(instance, config);
+        let canonical_plan = key.plan_to_canonical(result.plan());
+        let mut guard = shard.lock();
+        guard.misses += 1;
+        guard.insert(fingerprint, canonical_plan, result.cost(), self.config.capacity_per_shard);
+        ServedPlan {
+            plan: result.plan().clone(),
+            cost: result.cost(),
+            source: ServeSource::Cold,
+            fingerprint,
+            search: Some(result.stats().clone()),
+        }
+    }
+
+    /// A snapshot of the counters, summed across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            total.hits += guard.hits;
+            total.warm_starts += guard.warm_starts;
+            total.misses += guard.misses;
+            total.evictions += guard.evictions;
+            total.insertions += guard.insertions;
+            total.entries += guard.map.len();
+        }
+        total
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            guard.map.clear();
+            guard.order.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_core::{optimize, CommMatrix, Service};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn instance(seed: u64, n: usize) -> QueryInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        QueryInstance::builder()
+            .services(
+                (0..n).map(|_| Service::new(rng.gen_range(0.2..2.0), rng.gen_range(0.2..0.95))),
+            )
+            .comm(CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { rng.gen_range(0.1..1.0) }))
+            .build()
+            .unwrap()
+    }
+
+    /// An instance whose parameters all sit at **bucket centers** of the
+    /// default 5% quantization (exact powers of 1.05): drift below ~2%
+    /// can then never cross a bucket boundary, keeping the fingerprint
+    /// deterministic for the drift tests below.
+    fn bucket_centered(seed: u64, n: usize) -> QueryInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let step = 1.05f64;
+        QueryInstance::builder()
+            .services((0..n).map(|_| {
+                Service::new(step.powi(rng.gen_range(-10..10)), step.powi(rng.gen_range(-14..0)))
+            }))
+            .comm(CommMatrix::from_fn(n, |i, j| {
+                if i == j {
+                    0.0
+                } else {
+                    step.powi(rng.gen_range(-8..4))
+                }
+            }))
+            .build()
+            .unwrap()
+    }
+
+    /// Multiplies every parameter by `factor` — same fingerprint while
+    /// the drift stays inside a quantization bucket.
+    fn drifted(inst: &QueryInstance, factor: f64) -> QueryInstance {
+        let n = inst.len();
+        QueryInstance::builder()
+            .services(
+                inst.services()
+                    .iter()
+                    .map(|s| Service::new(s.cost() * factor, s.selectivity() * factor)),
+            )
+            .comm(CommMatrix::from_fn(n, |i, j| inst.transfer(i, j) * factor))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cold_then_hit_roundtrip() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let inst = instance(1, 6);
+        let cold = cache.serve(&inst, &BnbConfig::paper());
+        assert_eq!(cold.source, ServeSource::Cold);
+        assert!(cold.search.is_some());
+        let hit = cache.serve(&inst, &BnbConfig::paper());
+        assert_eq!(hit.source, ServeSource::CacheHit);
+        assert!(hit.search.is_none());
+        assert_eq!(hit.plan, cold.plan);
+        assert_eq!(hit.cost.to_bits(), cold.cost.to_bits());
+        assert_eq!(hit.fingerprint, cold.fingerprint);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.warm_starts), (1, 1, 0));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.requests(), 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_drift_hits_and_validates_on_the_exact_instance() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let inst = bucket_centered(2, 6);
+        let cold = cache.serve(&inst, &BnbConfig::paper());
+        let near = drifted(&inst, 1.004);
+        let hit = cache.serve(&near, &BnbConfig::paper());
+        assert_eq!(hit.source, ServeSource::CacheHit, "sub-bucket drift must hit");
+        // The returned cost is the plan's cost on the *drifted* instance,
+        // not the cached number.
+        assert_eq!(hit.cost.to_bits(), bottleneck_cost(&near, &hit.plan).to_bits());
+        assert_ne!(hit.cost.to_bits(), cold.cost.to_bits());
+        // Hit quality: within tolerance of that instance's true optimum.
+        let fresh = optimize(&near);
+        assert!(hit.cost <= fresh.cost() * (1.0 + 0.05) + 1e-12);
+    }
+
+    #[test]
+    fn out_of_tolerance_drift_warm_starts() {
+        // Tiny tolerance forces the validation to fail for any real
+        // drift, driving the warm-start path deterministically.
+        let cache =
+            PlanCache::new(CacheConfig { validation_tolerance: 1e-12, ..CacheConfig::default() });
+        let inst = bucket_centered(3, 7);
+        cache.serve(&inst, &BnbConfig::paper());
+        let near = drifted(&inst, 1.004);
+        let warm = cache.serve(&near, &BnbConfig::paper());
+        assert_eq!(warm.source, ServeSource::WarmStart);
+        // Warm result is exactly optimal for the drifted instance.
+        let fresh = optimize(&near);
+        assert_eq!(warm.cost.to_bits(), fresh.cost().to_bits());
+        assert_eq!(&warm.plan, fresh.plan());
+        assert!(warm.search.expect("warm runs a search").proven_optimal);
+        // The write-back refreshed the entry: the same instance now hits.
+        assert_eq!(cache.serve(&near, &BnbConfig::paper()).source, ServeSource::CacheHit);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.warm_starts), (1, 1, 1));
+    }
+
+    #[test]
+    fn relabeled_instances_share_an_entry() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let inst = instance(4, 5);
+        let cold = cache.serve(&inst, &BnbConfig::paper());
+        // Rotate the labels: service i of the relabeling is original
+        // service (i + 1) mod n.
+        let n = inst.len();
+        let perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        let relabeled = QueryInstance::builder()
+            .services(perm.iter().map(|&o| inst.services()[o].clone()))
+            .comm(CommMatrix::from_fn(n, |i, j| inst.transfer(perm[i], perm[j])))
+            .build()
+            .unwrap();
+        let served = cache.serve(&relabeled, &BnbConfig::paper());
+        assert_eq!(served.source, ServeSource::CacheHit, "relabels share fingerprints");
+        // The transported plan orders the same physical services: mapping
+        // back through the permutation recovers the original plan.
+        let recovered: Vec<usize> = served.plan.indices().iter().map(|&i| perm[i]).collect();
+        assert_eq!(recovered, cold.plan.indices());
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = PlanCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+            ..CacheConfig::default()
+        });
+        let a = instance(10, 5);
+        let b = instance(11, 5);
+        let c = instance(12, 5);
+        cache.serve(&a, &BnbConfig::paper());
+        cache.serve(&b, &BnbConfig::paper());
+        // Touch A so B becomes the LRU victim.
+        assert_eq!(cache.serve(&a, &BnbConfig::paper()).source, ServeSource::CacheHit);
+        cache.serve(&c, &BnbConfig::paper());
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.serve(&a, &BnbConfig::paper()).source, ServeSource::CacheHit);
+        assert_eq!(cache.serve(&b, &BnbConfig::paper()).source, ServeSource::Cold, "B evicted");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(CacheConfig {
+            shards: 2,
+            capacity_per_shard: 0,
+            ..CacheConfig::default()
+        });
+        let inst = instance(5, 5);
+        for _ in 0..3 {
+            assert_eq!(cache.serve(&inst, &BnbConfig::paper()).source, ServeSource::Cold);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.evictions, 3);
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let inst = instance(6, 5);
+        cache.serve(&inst, &BnbConfig::paper());
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.serve(&inst, &BnbConfig::paper()).source, ServeSource::Cold);
+    }
+
+    #[test]
+    fn concurrent_serves_agree() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let instances: Vec<QueryInstance> = (0..4).map(|s| instance(20 + s, 6)).collect();
+        let expected: Vec<f64> = instances.iter().map(|i| optimize(i).cost()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for (inst, &cost) in instances.iter().zip(&expected) {
+                        let served = cache.serve(inst, &BnbConfig::paper());
+                        assert_eq!(served.cost.to_bits(), cost.to_bits());
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.requests(), 32);
+        assert!(stats.hits > 0, "later threads must hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        PlanCache::new(CacheConfig { shards: 0, ..CacheConfig::default() });
+    }
+}

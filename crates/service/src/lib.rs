@@ -1,0 +1,48 @@
+//! The serving layer: a sharded, concurrent plan cache plus a batched
+//! optimization front-end for the decentralized service-ordering
+//! optimizer.
+//!
+//! Real federated workloads re-optimize near-identical queries
+//! constantly — the same pipeline with slowly drifting selectivity /
+//! cost statistics. A single optimization is already fast; the next
+//! multiplier is amortizing work *across* optimizations:
+//!
+//! * [`PlanCache`] — N shards keyed by the
+//!   [`CanonicalKey`](dsq_core::CanonicalKey) fingerprint (quantized,
+//!   sort-normalized instances share a key), per-shard `parking_lot`
+//!   locks, LRU eviction, and hit / miss / warm-start / eviction
+//!   statistics. A bucket-hit **validates** the cached plan's bottleneck
+//!   cost against the *exact* instance before returning it; a plan that
+//!   drifted out of tolerance instead **warm-starts** the
+//!   branch-and-bound via
+//!   [`BnbConfig::initial_incumbent`](dsq_core::BnbConfig), which prunes
+//!   most of the tree while preserving exact optimality.
+//! * [`optimize_batch`] — drains a request queue across a crossbeam
+//!   worker pool sharing one cache, returning results in **request
+//!   order** regardless of worker scheduling.
+//!
+//! ```
+//! use dsq_core::{BnbConfig, CommMatrix, QueryInstance, Service};
+//! use dsq_service::{CacheConfig, PlanCache, ServeSource};
+//!
+//! let cache = PlanCache::new(CacheConfig::default());
+//! let inst = QueryInstance::from_parts(
+//!     vec![Service::new(1.0, 0.4), Service::new(0.3, 0.9)],
+//!     CommMatrix::uniform(2, 0.2),
+//! )?;
+//! let cold = cache.serve(&inst, &BnbConfig::paper());
+//! assert_eq!(cold.source, ServeSource::Cold);
+//! let warm = cache.serve(&inst, &BnbConfig::paper());
+//! assert_eq!(warm.source, ServeSource::CacheHit);
+//! assert_eq!(warm.plan, cold.plan);
+//! # Ok::<(), dsq_core::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod cache;
+
+pub use batch::{optimize_batch, BatchOptions};
+pub use cache::{CacheConfig, CacheStats, PlanCache, ServeSource, ServedPlan};

@@ -1,0 +1,275 @@
+//! Drifting-statistics request streams for the serving layer.
+//!
+//! Federated query traffic is dominated by *repeated* queries whose cost
+//! and selectivity statistics drift slowly between optimizations (fresh
+//! cardinality estimates, load-dependent service latencies). A
+//! [`DriftStream`] models exactly that: a small set of base queries
+//! (fixed topology — the hosts do not move between requests) cycled
+//! round-robin, each carrying per-service cost/selectivity values that
+//! follow a multiplicative **mean-reverting** random walk from request
+//! to request: fresh noise arrives every occurrence, while the
+//! accumulated offset decays toward the base value, the way load-driven
+//! statistics fluctuate around slowly-changing baselines (a free random
+//! walk would wander without bound and eventually describe a different
+//! query, not a drifting one). It is the workload the `dsq-service` plan
+//! cache is designed for, and what experiment E13 and the
+//! `service_throughput` bench measure.
+//!
+//! Deterministic in the seed, like every generator in this crate.
+
+use crate::families::{generate, Family};
+use dsq_core::{CommMatrix, QueryInstance, Service};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a [`DriftStream`]. Passive struct; fields are public.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Family the base queries are drawn from.
+    pub family: Family,
+    /// Services per query.
+    pub n: usize,
+    /// Stream seed (bases and walks are deterministic in it).
+    pub seed: u64,
+    /// Number of distinct base queries cycled round-robin.
+    pub queries: usize,
+    /// Total requests the stream yields.
+    pub requests: usize,
+    /// Per-request relative drift magnitude of each selectivity: every
+    /// occurrence multiplies `σ_i` by `1 + rate · u`, `u ∈ [-1, 1]`,
+    /// after decaying the accumulated offset by [`reversion`](Self::reversion).
+    pub selectivity_rate: f64,
+    /// Per-request relative drift magnitude of each processing cost.
+    pub cost_rate: f64,
+    /// Mean-reversion factor in `[0, 1]`: the fraction of the
+    /// accumulated (logarithmic) offset retained per occurrence. `0`
+    /// re-jitters the base values independently each time; values close
+    /// to `1` approach a free random walk.
+    pub reversion: f64,
+}
+
+impl DriftConfig {
+    /// A stream of `requests` requests over `n`-service queries: 8 base
+    /// queries, 0.5% selectivity and 0.25% cost drift per occurrence —
+    /// slow enough that most re-optimizations are redundant, fast enough
+    /// that entries eventually go stale.
+    pub fn new(family: Family, n: usize, seed: u64, requests: usize) -> Self {
+        DriftConfig {
+            family,
+            n,
+            seed,
+            queries: 8,
+            requests,
+            selectivity_rate: 0.005,
+            cost_rate: 0.0025,
+            reversion: 0.9,
+        }
+    }
+}
+
+/// One drifting base query: the fixed network, the baseline statistics,
+/// and the current multiplicative offsets of the walk.
+#[derive(Debug, Clone)]
+struct BaseQuery {
+    costs: Vec<f64>,
+    selectivities: Vec<f64>,
+    /// Current multiplicative offset per cost (starts at 1.0).
+    cost_offsets: Vec<f64>,
+    /// Current multiplicative offset per selectivity.
+    selectivity_offsets: Vec<f64>,
+    comm: CommMatrix,
+}
+
+/// Iterator over the requests of a drifting workload stream (see the
+/// [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use dsq_workloads::{DriftConfig, DriftStream, Family};
+///
+/// let config = DriftConfig::new(Family::Correlated, 6, 7, 20);
+/// let requests: Vec<_> = DriftStream::new(config.clone()).collect();
+/// assert_eq!(requests.len(), 20);
+/// // Deterministic in the seed...
+/// let again: Vec<_> = DriftStream::new(config).collect();
+/// assert_eq!(requests, again);
+/// // ...and occurrence 8 revisits base query 0, slightly drifted.
+/// assert_eq!(requests[8].comm(), requests[0].comm());
+/// assert_ne!(requests[8], requests[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    config: DriftConfig,
+    bases: Vec<BaseQuery>,
+    rng: StdRng,
+    emitted: usize,
+}
+
+impl DriftStream {
+    /// Builds the stream (generates the base queries eagerly, yields
+    /// requests lazily).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `queries == 0`, a drift rate is negative,
+    /// non-finite, or `≥ 1` (a rate of 1 could zero out a parameter).
+    pub fn new(config: DriftConfig) -> Self {
+        assert!(config.n > 0, "queries need at least one service");
+        assert!(config.queries > 0, "a stream needs at least one base query");
+        for rate in [config.selectivity_rate, config.cost_rate] {
+            assert!(
+                rate.is_finite() && (0.0..1.0).contains(&rate),
+                "drift rates must be in [0, 1), got {rate}"
+            );
+        }
+        assert!(
+            config.reversion.is_finite() && (0.0..=1.0).contains(&config.reversion),
+            "reversion must be in [0, 1], got {}",
+            config.reversion
+        );
+        let bases = (0..config.queries)
+            .map(|q| {
+                let inst =
+                    generate(config.family, config.n, config.seed ^ (q as u64).rotate_left(17));
+                BaseQuery {
+                    costs: inst.services().iter().map(Service::cost).collect(),
+                    selectivities: inst.services().iter().map(Service::selectivity).collect(),
+                    cost_offsets: vec![1.0; config.n],
+                    selectivity_offsets: vec![1.0; config.n],
+                    comm: inst.comm().clone(),
+                }
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E3779B97F4A7C15));
+        DriftStream { config, bases, rng, emitted: 0 }
+    }
+
+    /// The configuration the stream was built with.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+}
+
+impl Iterator for DriftStream {
+    type Item = QueryInstance;
+
+    fn next(&mut self) -> Option<QueryInstance> {
+        if self.emitted >= self.config.requests {
+            return None;
+        }
+        let index = self.emitted;
+        let base_index = index % self.bases.len();
+        // Snapshot the base *before* walking it, so request 0 of each
+        // base is the pristine family instance.
+        let base = &mut self.bases[base_index];
+        let instance = QueryInstance::builder()
+            .name(format!(
+                "drift-{}-n{}-q{}-t{}",
+                self.config.family.name(),
+                self.config.n,
+                base_index,
+                index
+            ))
+            .services(
+                base.costs
+                    .iter()
+                    .zip(&base.cost_offsets)
+                    .zip(base.selectivities.iter().zip(&base.selectivity_offsets))
+                    .map(|((&c, &co), (&s, &so))| Service::new(c * co, s * so)),
+            )
+            .comm(base.comm.clone())
+            .build()
+            .expect("drifted parameters stay valid");
+
+        // Mean-reverting multiplicative walk: each occurrence decays the
+        // accumulated (logarithmic) offset and adds fresh relative noise,
+        // so statistics fluctuate around the baseline instead of
+        // wandering without bound.
+        let reversion = self.config.reversion;
+        for offset in &mut base.cost_offsets {
+            *offset = offset.powf(reversion)
+                * (1.0 + self.config.cost_rate * self.rng.gen_range(-1.0..=1.0));
+        }
+        for offset in &mut base.selectivity_offsets {
+            *offset = offset.powf(reversion)
+                * (1.0 + self.config.selectivity_rate * self.rng.gen_range(-1.0..=1.0));
+        }
+
+        self.emitted += 1;
+        Some(instance)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.requests - self.emitted;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for DriftStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_has_the_requested_shape() {
+        let stream = DriftStream::new(DriftConfig::new(Family::Clustered, 7, 3, 25));
+        assert_eq!(stream.len(), 25);
+        assert_eq!(stream.config().queries, 8);
+        let requests: Vec<_> = stream.collect();
+        assert_eq!(requests.len(), 25);
+        for inst in &requests {
+            assert_eq!(inst.len(), 7);
+        }
+        assert!(requests[0].name().starts_with("drift-clustered-n7-q0-t0"));
+    }
+
+    #[test]
+    fn topology_is_fixed_statistics_walk() {
+        let requests: Vec<_> =
+            DriftStream::new(DriftConfig::new(Family::UniformRandom, 6, 5, 24)).collect();
+        // Occurrences of base 2: requests 2, 10, 18.
+        let (a, b, c) = (&requests[2], &requests[10], &requests[18]);
+        assert_eq!(a.comm(), b.comm());
+        assert_eq!(b.comm(), c.comm());
+        // Statistics drift but stay close (≤ 8 steps of ≤ 0.5%).
+        for i in 0..6 {
+            assert_ne!(a.selectivity(i), b.selectivity(i));
+            assert!((b.selectivity(i) / a.selectivity(i) - 1.0).abs() < 0.05);
+            assert!((c.cost(i) / a.cost(i) - 1.0).abs() < 0.05);
+        }
+        // The walk compounds: a later occurrence differs from both.
+        assert_ne!(b.services(), c.services());
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let cfg = DriftConfig::new(Family::Correlated, 5, 11, 16);
+        let a: Vec<_> = DriftStream::new(cfg.clone()).collect();
+        let b: Vec<_> = DriftStream::new(cfg.clone()).collect();
+        assert_eq!(a, b);
+        let other: Vec<_> = DriftStream::new(DriftConfig { seed: 12, ..cfg }).collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn distinct_bases_are_distinct_instances() {
+        let requests: Vec<_> =
+            DriftStream::new(DriftConfig::new(Family::Euclidean, 6, 2, 8)).collect();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(requests[i].comm(), requests[j].comm(), "bases {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drift rates must be in [0, 1)")]
+    fn runaway_rates_are_rejected() {
+        DriftStream::new(DriftConfig {
+            selectivity_rate: 1.5,
+            ..DriftConfig::new(Family::Clustered, 4, 0, 4)
+        });
+    }
+}

@@ -175,15 +175,13 @@ fn comm_for(family: Family, n: usize, rng: &mut StdRng, params: &FamilyParams) -
     }
 }
 
-/// Deterministic FNV-1a so the same (family, seed) pair always maps to the
-/// same RNG stream without the family streams colliding.
+/// Deterministic hash (the workspace's shared FNV-1a) so the same
+/// (family, seed) pair always maps to the same RNG stream without the
+/// family streams colliding.
 fn stable_hash(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for b in s.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    let mut h = dsq_core::Fnv1a::new();
+    h.write_str(s);
+    h.finish()
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@
 //!   credit-screening scenario, precedence generators, sweeps;
 //! * [`simulator`] (`dsq-simulator`) — discrete-event pipelined
 //!   execution;
-//! * [`runtime`] (`dsq-runtime`) — threaded in-process execution.
+//! * [`runtime`] (`dsq-runtime`) — threaded in-process execution;
+//! * [`service`] (`dsq-service`) — the serving layer: sharded plan cache
+//!   and batched optimization front-end.
 //!
 //! # Quickstart
 //!
@@ -37,5 +39,6 @@ pub use dsq_baselines as baselines;
 pub use dsq_core as core;
 pub use dsq_netsim as netsim;
 pub use dsq_runtime as runtime;
+pub use dsq_service as service;
 pub use dsq_simulator as simulator;
 pub use dsq_workloads as workloads;

@@ -17,7 +17,10 @@ fn run_by_id(id: &str) -> Vec<dsq_harness::Table> {
 #[test]
 fn registry_is_complete() {
     let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-    assert_eq!(ids, ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"]);
+    assert_eq!(
+        ids,
+        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"]
+    );
 }
 
 #[test]
@@ -76,6 +79,38 @@ fn e9_reduction_always_matches() {
     for line in csv.lines().skip(1) {
         let fields: Vec<&str> = line.split(',').collect();
         assert_eq!(fields[1], fields[2], "B&B must match the BTSP solver: {line}");
+    }
+}
+
+#[test]
+fn e13_cache_serves_fast_and_within_tolerance() {
+    // e13 itself asserts that every served plan's cost stays within the
+    // validation tolerance of a fresh optimum; here we additionally check
+    // the headline numbers point the right way.
+    let tables = run_by_id("e13");
+    let csv = tables[0].to_csv();
+    let rows: Vec<Vec<String>> =
+        csv.lines().skip(1).map(|l| l.split(',').map(str::to_string).collect()).collect();
+    // Rows come in blocks of four per family: cold, then cached w{1,2,4}.
+    assert_eq!(rows.len() % 4, 0);
+    for block in rows.chunks(4) {
+        let cold_rps: f64 = block[0][2].parse().expect("numeric req/s");
+        assert!(cold_rps > 0.0);
+        let hard_family = block[0][0].starts_with("btsp-hard");
+        for cached in &block[1..] {
+            let hit_rate: f64 = cached[4].parse().expect("numeric hit rate");
+            assert!(hit_rate > 0.6, "drifting stream should mostly hit: {cached:?}");
+            let max_dev: f64 = cached[8].parse().expect("numeric deviation");
+            assert!(max_dev <= 0.05 + 1e-9, "served plans out of tolerance: {cached:?}");
+            if hard_family {
+                // Where optimization is expensive, the cache must win
+                // clearly even at quick sizes (full mode shows ≥ 5×; the
+                // margin here is loose because CI machines are noisy).
+                let speedup: f64 =
+                    cached[3].trim_end_matches('×').parse().expect("numeric speedup");
+                assert!(speedup > 1.3, "cache must beat cold on the hard family: {cached:?}");
+            }
+        }
     }
 }
 
