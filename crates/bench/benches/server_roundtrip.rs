@@ -1,0 +1,106 @@
+//! E14's timing series: what the socket path costs on top of the
+//! in-process serving layer — protocol framing + syscalls per request
+//! (`ping`), a validated cache hit through the daemon vs the same hit as
+//! a direct `PlanCache::serve` call, and whole warmed-stream throughput
+//! through one connection vs `optimize_batch`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsq_core::{BnbConfig, Quantization};
+use dsq_server::{Client, ListenAddr, Response, Server, ServerConfig};
+use dsq_service::{optimize_batch, BatchOptions, CacheConfig, PlanCache};
+use dsq_workloads::{DriftConfig, DriftStream, Family};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+const N: usize = 12;
+
+fn cache_config() -> CacheConfig {
+    // Same knobs as experiments E13/E14.
+    CacheConfig { quantization: Quantization::new(0.2), probes: 2, ..CacheConfig::default() }
+}
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_roundtrip");
+    let requests: Vec<dsq_core::QueryInstance> =
+        DriftStream::new(DriftConfig::new(Family::BtspHard, N, 23, 48)).collect();
+    let documents: Vec<String> = requests.iter().map(dsq_core::format_instance).collect();
+
+    // One daemon for the whole suite, one worker (single-core hosts
+    // measure oversubscription, not speedup, beyond that), pre-warmed so
+    // the socket numbers isolate transport + protocol cost over hits.
+    let server = Server::start(
+        &ListenAddr::Tcp("127.0.0.1:0".into()),
+        &ServerConfig {
+            workers: NonZeroUsize::new(1).expect("non-zero"),
+            cache: cache_config(),
+            poll_interval: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bench server starts");
+    let mut client = Client::connect(server.listen_addr()).expect("bench client connects");
+    for document in &documents {
+        client.optimize_text(document).expect("warmup request");
+    }
+
+    // Protocol floor: framing + two syscalls, no optimizer work at all.
+    group.bench_function(BenchmarkId::new("socket_ping", N), |b| {
+        b.iter(|| black_box(client.ping().expect("ping")))
+    });
+
+    // A validated cache hit through the daemon…
+    let mut next = 0usize;
+    group.bench_function(BenchmarkId::new("socket_hit", format!("btsp-n{N}")), |b| {
+        b.iter(|| {
+            let document = &documents[next % documents.len()];
+            next += 1;
+            black_box(client.optimize_text(black_box(document)).expect("hit round trip"))
+        })
+    });
+
+    // …vs the identical hit as a direct library call (the delta is the
+    // per-request cost of being a network service).
+    let cache = PlanCache::new(cache_config());
+    let config = BnbConfig::paper();
+    for inst in &requests {
+        cache.serve(inst, &config);
+    }
+    let mut next = 0usize;
+    group.bench_function(BenchmarkId::new("inprocess_hit", format!("btsp-n{N}")), |b| {
+        b.iter(|| {
+            let inst = &requests[next % requests.len()];
+            next += 1;
+            black_box(cache.serve(black_box(inst), &config))
+        })
+    });
+
+    // Whole warmed-stream throughput, socket vs in-process batch.
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function(BenchmarkId::new("stream_socket", "w1"), |b| {
+        b.iter(|| {
+            for document in &documents {
+                match client.optimize_text(document).expect("stream request") {
+                    Response::Served { .. } => {}
+                    other => panic!("expected served, got {other:?}"),
+                }
+            }
+        })
+    });
+    let options =
+        BatchOptions { workers: NonZeroUsize::new(1).expect("non-zero"), config: config.clone() };
+    group.bench_function(BenchmarkId::new("stream_inprocess", "w1"), |b| {
+        b.iter(|| black_box(optimize_batch(&cache, black_box(&requests), &options)))
+    });
+
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_server
+}
+criterion_main!(benches);

@@ -10,6 +10,8 @@
 //! dsq baselines pipeline.dsq                           # comparison table
 //! dsq simulate pipeline.dsq --tuples 20000 [--plan …]  # discrete-event run
 //! dsq serve-batch queries/ [--workers 4]               # plan-cache batch serve
+//! dsq serve --unix /tmp/dsq.sock [--snapshot s.dsqc]   # long-lived daemon
+//! dsq client --unix /tmp/dsq.sock optimize a.dsq       # drive the daemon
 //! ```
 
 #![warn(missing_docs)]
@@ -22,12 +24,14 @@ use dsq_core::{
     bottleneck_cost, explain, format_instance, optimize_parallel, optimize_with, parse_instance,
     BnbConfig, Plan, Quantization, QueryInstance,
 };
+use dsq_server::{Client, ListenAddr, Response, Server, ServerConfig};
 use dsq_service::{optimize_batch, BatchOptions, CacheConfig, PlanCache};
 use dsq_simulator::{simulate, SimConfig};
 use dsq_workloads::{generate, Family};
 use std::io::Read;
 use std::num::NonZeroUsize;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Error produced by a CLI run: the message printed to stderr.
 pub type CliError = String;
@@ -53,6 +57,8 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("baselines") => baselines_cmd(&mut args, out),
         Some("simulate") => simulate_cmd(&mut args, out),
         Some("serve-batch") => serve_batch_cmd(&mut args, out),
+        Some("serve") => serve_cmd(&mut args, out),
+        Some("client") => client_cmd(&mut args, out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -69,10 +75,19 @@ const USAGE: &str = "usage:
   dsq simulate FILE [--plan I,J,...] [--tuples N] [--block B]
   dsq serve-batch DIR|-  [--workers T] [--config NAME] [--shards S]
                          [--capacity C] [--resolution R] [--tolerance X]
+                         [--probes P] [--snapshot-in FILE] [--snapshot-out FILE]
+  dsq serve  --unix PATH | --tcp ADDR                 long-lived plan-serving daemon
+             [--workers T] [--config NAME] [--shards S] [--capacity C]
+             [--resolution R] [--tolerance X] [--probes P] [--queue Q]
+             [--retry-ms N] [--snapshot FILE] [--snapshot-interval-secs S]
+  dsq client --unix PATH | --tcp ADDR  COMMAND        drive a running daemon
+             COMMAND = optimize FILE... [--repeat N] | stats | ping | shutdown
 families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
 configs:  paper incumbent-only no-epsilon-bar no-backjump extended
 FILE may be `-` for stdin; serve-batch reads every *.dsq in DIR (sorted) or a
-concatenated instance stream from stdin and serves it through the plan cache";
+concatenated instance stream from stdin and serves it through the plan cache;
+serve drains gracefully on stdin EOF (tty/pipe stdin; ignored for /dev/null)
+or a client `shutdown` request";
 
 fn io_err(e: std::io::Error) -> CliError {
     format!("I/O error: {e}")
@@ -300,6 +315,73 @@ fn split_instance_stream(text: &str) -> Vec<String> {
     documents
 }
 
+/// Parses one of the cache flags shared by `serve-batch` and `serve`
+/// (`--shards`, `--capacity`, `--resolution`, `--tolerance`,
+/// `--probes`); `Ok(false)` when `arg` is none of them (nothing
+/// consumed).
+fn parse_cache_flag<'a, I: Iterator<Item = &'a str>>(
+    arg: &str,
+    args: &mut I,
+    cache: &mut CacheConfig,
+) -> Result<bool, CliError> {
+    match arg {
+        "--shards" => {
+            cache.shards = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v > 0)
+                .ok_or("--shards needs a positive integer")?
+        }
+        "--capacity" => {
+            cache.capacity_per_shard = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or("--capacity needs a non-negative integer")?
+        }
+        "--resolution" => {
+            let value: f64 = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|v| (0.0..1.0).contains(v) && *v > 0.0)
+                .ok_or("--resolution needs a number in (0, 1)")?;
+            cache.quantization = Quantization::new(value);
+        }
+        "--tolerance" => {
+            cache.validation_tolerance = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                .ok_or("--tolerance needs a non-negative number")?
+        }
+        "--probes" => {
+            cache.probes = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v == 1 || v == 2)
+                .ok_or("--probes must be 1 or 2")?
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// Parses `--unix PATH` / `--tcp ADDR`; `Ok(None)` when `arg` is
+/// neither.
+fn parse_addr_flag<'a, I: Iterator<Item = &'a str>>(
+    arg: &str,
+    args: &mut I,
+) -> Result<Option<ListenAddr>, CliError> {
+    match arg {
+        "--unix" => {
+            Ok(Some(ListenAddr::Unix(PathBuf::from(args.next().ok_or("--unix needs a path")?))))
+        }
+        "--tcp" => {
+            Ok(Some(ListenAddr::Tcp(args.next().ok_or("--tcp needs an address")?.to_string())))
+        }
+        _ => Ok(None),
+    }
+}
+
 fn serve_batch_cmd<'a>(
     args: &mut impl Iterator<Item = &'a str>,
     out: &mut dyn std::io::Write,
@@ -308,7 +390,12 @@ fn serve_batch_cmd<'a>(
     let mut workers = 4usize;
     let mut config = BnbConfig::paper();
     let mut cache_config = CacheConfig::default();
+    let mut snapshot_in: Option<&str> = None;
+    let mut snapshot_out: Option<&str> = None;
     while let Some(arg) = args.next() {
+        if parse_cache_flag(arg, args, &mut cache_config)? {
+            continue;
+        }
         match arg {
             "--workers" => {
                 workers = args
@@ -318,33 +405,9 @@ fn serve_batch_cmd<'a>(
                     .ok_or("--workers needs a positive integer")?
             }
             "--config" => config = parse_config(args.next().ok_or("--config needs a value")?)?,
-            "--shards" => {
-                cache_config.shards = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&v| v > 0)
-                    .ok_or("--shards needs a positive integer")?
-            }
-            "--capacity" => {
-                cache_config.capacity_per_shard = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--capacity needs a non-negative integer")?
-            }
-            "--resolution" => {
-                let value: f64 = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|v| (0.0..1.0).contains(v) && *v > 0.0)
-                    .ok_or("--resolution needs a number in (0, 1)")?;
-                cache_config.quantization = Quantization::new(value);
-            }
-            "--tolerance" => {
-                cache_config.validation_tolerance = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|v: &f64| v.is_finite() && *v >= 0.0)
-                    .ok_or("--tolerance needs a non-negative number")?
+            "--snapshot-in" => snapshot_in = Some(args.next().ok_or("--snapshot-in needs a file")?),
+            "--snapshot-out" => {
+                snapshot_out = Some(args.next().ok_or("--snapshot-out needs a file")?)
             }
             other if path.is_none() => path = Some(other),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -394,6 +457,14 @@ fn serve_batch_cmd<'a>(
     }
 
     let cache = PlanCache::new(cache_config);
+    if let Some(snapshot_path) = snapshot_in {
+        let text = std::fs::read_to_string(snapshot_path)
+            .map_err(|e| format!("cannot read {snapshot_path}: {e}"))?;
+        let restored = cache
+            .restore_from_text(&text)
+            .map_err(|e| format!("cannot restore snapshot {snapshot_path}: {e}"))?;
+        writeln!(out, "restored {restored} cached plans from {snapshot_path}").map_err(io_err)?;
+    }
     let options =
         BatchOptions { workers: NonZeroUsize::new(workers).expect("checked > 0"), config };
     let started = Instant::now();
@@ -431,7 +502,240 @@ fn serve_batch_cmd<'a>(
         stats.entries,
         stats.evictions,
     )
-    .map_err(io_err)
+    .map_err(io_err)?;
+    if let Some(snapshot_path) = snapshot_out {
+        let snapshot = cache.snapshot();
+        std::fs::write(snapshot_path, snapshot.to_text())
+            .map_err(|e| format!("cannot write {snapshot_path}: {e}"))?;
+        writeln!(out, "wrote snapshot ({} entries) to {snapshot_path}", snapshot.entries.len())
+            .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn serve_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut addr: Option<ListenAddr> = None;
+    let mut config = ServerConfig::default();
+    while let Some(arg) = args.next() {
+        if parse_cache_flag(arg, args, &mut config.cache)? {
+            continue;
+        }
+        if let Some(parsed) = parse_addr_flag(arg, args)? {
+            addr = Some(parsed);
+            continue;
+        }
+        match arg {
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .and_then(NonZeroUsize::new)
+                    .ok_or("--workers needs a positive integer")?
+            }
+            "--config" => config.bnb = parse_config(args.next().ok_or("--config needs a value")?)?,
+            "--queue" => {
+                config.queue_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--queue needs a positive integer")?
+            }
+            "--retry-ms" => {
+                config.retry_after_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--retry-ms needs a non-negative integer")?
+            }
+            "--snapshot" => {
+                config.snapshot_path =
+                    Some(PathBuf::from(args.next().ok_or("--snapshot needs a file")?))
+            }
+            "--snapshot-interval-secs" => {
+                config.snapshot_interval = Duration::from_secs(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v| v > 0)
+                        .ok_or("--snapshot-interval-secs needs a positive integer")?,
+                )
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("serve requires --unix PATH or --tcp ADDR")?;
+    let server = Server::start(&addr, &config).map_err(|e| format!("cannot start server: {e}"))?;
+    let stats = server.stats();
+    if stats.restored_entries > 0 {
+        writeln!(out, "restored {} cached plans from snapshot", stats.restored_entries)
+            .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "listening on {} ({} workers, queue {}, {} probes)",
+        server.listen_addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache.probes,
+    )
+    .map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+
+    // Graceful shutdown on stdin EOF (the foreground idiom: Ctrl-D, or
+    // closing the pipe a supervisor holds) or on a client's `shutdown`
+    // request; whichever arrives first. The EOF watcher is skipped when
+    // stdin is a non-terminal character device (`< /dev/null`, the
+    // daemonized idiom) — there EOF is immediate and means "no
+    // controlling input", not "drain now".
+    if stdin_signals_shutdown() {
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 4096];
+            let mut stdin = std::io::stdin();
+            loop {
+                match stdin.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            handle.request_shutdown();
+        });
+    }
+    server.wait_shutdown_requested();
+    writeln!(out, "shutdown requested; draining in-flight requests").map_err(io_err)?;
+    let stats = server.shutdown();
+    writeln!(out, "{stats}").map_err(io_err)?;
+    writeln!(out, "drained cleanly").map_err(io_err)
+}
+
+/// Whether `dsq serve` should treat stdin EOF as a drain request.
+///
+/// True for terminals (Ctrl-D) and pipes/FIFOs/files (a supervisor
+/// closing its end); false for non-terminal character devices — i.e.
+/// `dsq serve < /dev/null &`, where EOF arrives instantly and shutting
+/// down on it would kill the daemon before its first request.
+fn stdin_signals_shutdown() -> bool {
+    use std::io::IsTerminal;
+    use std::os::unix::fs::FileTypeExt;
+    if std::io::stdin().is_terminal() {
+        return true;
+    }
+    // Linux: stat what fd 0 actually points at.
+    std::fs::metadata("/proc/self/fd/0").map(|m| !m.file_type().is_char_device()).unwrap_or(false)
+}
+
+fn client_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut addr: Option<ListenAddr> = None;
+    let mut repeat = 1usize;
+    let mut command: Option<&str> = None;
+    let mut files: Vec<&str> = Vec::new();
+    while let Some(arg) = args.next() {
+        if let Some(parsed) = parse_addr_flag(arg, args)? {
+            addr = Some(parsed);
+            continue;
+        }
+        match arg {
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--repeat needs a positive integer")?
+            }
+            other if command.is_none() => command = Some(other),
+            other => files.push(other),
+        }
+    }
+    let addr = addr.ok_or("client requires --unix PATH or --tcp ADDR")?;
+    let command = command.ok_or("client requires a command (optimize|stats|ping|shutdown)")?;
+    // Validate the request before dialing, so usage errors do not depend
+    // on a live server.
+    if !matches!(command, "optimize" | "stats" | "ping" | "shutdown") {
+        return Err(format!("unknown client command `{command}`"));
+    }
+    if command == "optimize" && files.is_empty() {
+        return Err("client optimize requires at least one instance file".into());
+    }
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let transport = |e: std::io::Error| format!("request failed: {e}");
+    match command {
+        "optimize" => {
+            // (name, document) pairs; `-` expands to the concatenated
+            // stdin stream, like serve-batch.
+            let mut requests: Vec<(String, String)> = Vec::new();
+            for file in files {
+                if file == "-" {
+                    let mut buffer = String::new();
+                    std::io::stdin().read_to_string(&mut buffer).map_err(io_err)?;
+                    let documents = split_instance_stream(&buffer);
+                    if documents.is_empty() {
+                        return Err("stdin contained no instances".into());
+                    }
+                    for (index, text) in documents.into_iter().enumerate() {
+                        requests.push((format!("stdin[{index}]"), text));
+                    }
+                } else {
+                    let text = std::fs::read_to_string(file)
+                        .map_err(|e| format!("cannot read {file}: {e}"))?;
+                    requests.push((file.to_string(), text));
+                }
+            }
+            for _ in 0..repeat {
+                for (name, text) in &requests {
+                    match client.optimize_text(text).map_err(transport)? {
+                        Response::Served { source, cost, plan, .. } => {
+                            let plan = Plan::new(plan).map_err(|e| e.to_string())?;
+                            writeln!(
+                                out,
+                                "{name:<28} {:<5} cost {cost:<12.6} plan {plan}",
+                                source.name()
+                            )
+                            .map_err(io_err)?;
+                        }
+                        Response::Busy { retry_after_ms } => {
+                            writeln!(out, "{name:<28} busy  retry-after-ms {retry_after_ms}")
+                                .map_err(io_err)?;
+                        }
+                        Response::Error { message } => {
+                            return Err(format!("server error for {name}: {message}"))
+                        }
+                        other => return Err(format!("unexpected response: {other:?}")),
+                    }
+                }
+            }
+            Ok(())
+        }
+        "stats" => match client.stats().map_err(transport)? {
+            Response::Stats(s) => writeln!(
+                out,
+                "requests {} hits {} probe2 {} warm {} cold {} busy {} hit-rate {:.1}% entries {}",
+                s.requests,
+                s.hits,
+                s.probe2_hits,
+                s.warm_starts,
+                s.cold,
+                s.busy_rejections,
+                s.hit_rate * 100.0,
+                s.entries,
+            )
+            .map_err(io_err),
+            other => Err(format!("unexpected response: {other:?}")),
+        },
+        "ping" => match client.ping().map_err(transport)? {
+            Response::Pong => writeln!(out, "pong").map_err(io_err),
+            other => Err(format!("unexpected response: {other:?}")),
+        },
+        "shutdown" => match client.shutdown_server().map_err(transport)? {
+            Response::Draining => writeln!(out, "server draining").map_err(io_err),
+            other => Err(format!("unexpected response: {other:?}")),
+        },
+        _ => unreachable!("command validated above"),
+    }
 }
 
 #[cfg(test)]
@@ -570,7 +874,96 @@ mod tests {
         );
         let missing = run_err(&["serve-batch", "/nonexistent-dsq-dir"]);
         assert!(missing.starts_with("cannot read /nonexistent-dsq-dir:"), "{missing}");
+        // serve / client argument errors.
+        assert_eq!(run_err(&["serve"]), "serve requires --unix PATH or --tcp ADDR");
+        assert_eq!(run_err(&["serve", "--unix"]), "--unix needs a path");
+        assert_eq!(run_err(&["serve", "--tcp", "x", "--probes", "3"]), "--probes must be 1 or 2");
+        assert_eq!(
+            run_err(&["serve", "--tcp", "x", "--queue", "0"]),
+            "--queue needs a positive integer"
+        );
+        assert_eq!(run_err(&["serve", "--tcp", "x", "--bogus"]), "unknown serve flag `--bogus`");
+        assert_eq!(run_err(&["client", "stats"]), "client requires --unix PATH or --tcp ADDR");
+        assert_eq!(
+            run_err(&["client", "--unix", "/tmp/x.sock"]),
+            "client requires a command (optimize|stats|ping|shutdown)"
+        );
+        assert_eq!(
+            run_err(&["client", "--unix", "/tmp/x.sock", "reboot"]),
+            "unknown client command `reboot`"
+        );
+        assert_eq!(
+            run_err(&["client", "--unix", "/tmp/x.sock", "optimize"]),
+            "client optimize requires at least one instance file"
+        );
+        let unreachable = run_err(&["client", "--unix", "/nonexistent/dsq.sock", "ping"]);
+        assert!(
+            unreachable.starts_with("cannot connect to unix:///nonexistent/dsq.sock:"),
+            "{unreachable}"
+        );
+        assert_eq!(
+            run_err(&["serve-batch", "/tmp", "--snapshot-in"]),
+            "--snapshot-in needs a file"
+        );
         std::fs::remove_file(path).ok();
+    }
+
+    /// `serve-batch --snapshot-out/--snapshot-in`: warm plans cross
+    /// processes through the snapshot file — a second batch run starts at
+    /// a 100% hit rate.
+    #[test]
+    fn serve_batch_snapshots_carry_warm_plans_across_runs() {
+        let dir = std::env::temp_dir().join(format!("dsq-snap-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create batch dir");
+        for (name, seed) in [("a.dsq", 31u64), ("b.dsq", 32), ("c.dsq", 33)] {
+            let text = run_ok(&[
+                "generate",
+                "--family",
+                "clustered",
+                "-n",
+                "6",
+                "--seed",
+                &seed.to_string(),
+            ]);
+            std::fs::write(dir.join(name), text).expect("write instance");
+        }
+        let dir_arg = dir.to_str().expect("utf8");
+        let snapshot = dir.join("plans.dsqc");
+        let snapshot_arg = snapshot.to_str().expect("utf8");
+
+        let first =
+            run_ok(&["serve-batch", dir_arg, "--workers", "1", "--snapshot-out", snapshot_arg]);
+        assert!(first.contains("cache: 0 hits, 0 warm starts, 3 cold"), "{first}");
+        assert!(
+            first.contains(&format!("wrote snapshot (3 entries) to {snapshot_arg}")),
+            "{first}"
+        );
+        assert!(snapshot.exists());
+
+        let second =
+            run_ok(&["serve-batch", dir_arg, "--workers", "1", "--snapshot-in", snapshot_arg]);
+        assert!(
+            second.contains(&format!("restored 3 cached plans from {snapshot_arg}")),
+            "{second}"
+        );
+        assert!(second.contains("cache: 3 hits, 0 warm starts, 0 cold"), "{second}");
+
+        // A resolution mismatch is rejected with the restore error.
+        let mismatch = run_err(&[
+            "serve-batch",
+            dir_arg,
+            "--snapshot-in",
+            snapshot_arg,
+            "--resolution",
+            "0.1",
+        ]);
+        assert_eq!(
+            mismatch,
+            format!(
+                "cannot restore snapshot {snapshot_arg}: snapshot resolution 0.05 does not match cache resolution 0.1"
+            )
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -134,6 +134,28 @@ impl CanonicalKey {
     /// Canonicalizes and fingerprints an instance under the given
     /// quantization.
     pub fn new(instance: &QueryInstance, quantization: &Quantization) -> Self {
+        Self::with_phase(instance, quantization, 0.0)
+    }
+
+    /// Like [`CanonicalKey::new`], but with the bucket grid shifted by
+    /// `phase` buckets (in log space): the bucket of a positive value
+    /// becomes `round(ln v / ln(1 + r) − phase)`.
+    ///
+    /// A value drifting across a boundary of the unshifted grid sits at
+    /// the **center** of the grid shifted by `0.5`, so a cache that
+    /// probes both grids keeps a stable key for a parameter that walks
+    /// back and forth over one boundary (multi-probe lookup). Keys with
+    /// different phases never share a fingerprint: the phase is hashed
+    /// in, giving each grid its own keyspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `phase` is finite and in `[0, 1)`.
+    pub fn with_phase(instance: &QueryInstance, quantization: &Quantization, phase: f64) -> Self {
+        assert!(
+            phase.is_finite() && (0.0..1.0).contains(&phase),
+            "grid phase must be in [0, 1), got {phase}"
+        );
         let n = instance.len();
         // Quantize every parameter exactly once into flat arrays: the
         // `ln` behind each bucket dominates the fingerprint cost on the
@@ -146,7 +168,7 @@ impl CanonicalKey {
             if value == 0.0 {
                 i64::MIN
             } else {
-                (value.ln() * inv_ln_step).round() as i64
+                (value.ln() * inv_ln_step - phase).round() as i64
             }
         };
         let scalars: Vec<i64> = (0..n)
@@ -195,8 +217,10 @@ impl CanonicalKey {
         // FNV-1a over the quantized parameters in canonical order.
         let mut h = Fnv1a::new();
         h.write_u64(n as u64);
-        // Different resolutions must not share a keyspace.
+        // Different resolutions (and grid phases) must not share a
+        // keyspace.
         h.write_u64(quantization.resolution.to_bits());
+        h.write_u64(phase.to_bits());
         for &o in &from_canonical {
             let o = o as usize;
             h.write_i64(scalars[3 * o]);
@@ -418,6 +442,55 @@ mod tests {
             CanonicalKey::new(&constrained, &q).fingerprint(),
             CanonicalKey::new(&inst, &q).fingerprint()
         );
+    }
+
+    #[test]
+    fn phases_partition_the_keyspace() {
+        let inst = demo_instance();
+        let q = Quantization::default();
+        let primary = CanonicalKey::with_phase(&inst, &q, 0.0);
+        assert_eq!(primary, CanonicalKey::new(&inst, &q), "phase 0 is the default grid");
+        let shifted = CanonicalKey::with_phase(&inst, &q, 0.5);
+        assert_ne!(primary.fingerprint(), shifted.fingerprint());
+    }
+
+    #[test]
+    fn shifted_grid_is_stable_across_a_primary_boundary() {
+        // Place one cost exactly on a boundary of the primary grid
+        // (half-integer position in log-bucket space) and oscillate it:
+        // the primary fingerprint must flip, the 0.5-shifted one must
+        // not.
+        let q = Quantization::new(0.05);
+        let step = 1.05f64;
+        let at = |offset: f64| {
+            QueryInstance::builder()
+                .services(vec![
+                    Service::new(step.powf(3.5 + offset), 0.5),
+                    Service::new(2.5, 0.9),
+                    Service::new(0.3, 0.2),
+                ])
+                .comm(CommMatrix::uniform(3, 0.4))
+                .build()
+                .unwrap()
+        };
+        let below = at(-0.1);
+        let above = at(0.1);
+        assert_ne!(
+            CanonicalKey::new(&below, &q).fingerprint(),
+            CanonicalKey::new(&above, &q).fingerprint(),
+            "the walk crosses a primary bucket boundary"
+        );
+        assert_eq!(
+            CanonicalKey::with_phase(&below, &q, 0.5).fingerprint(),
+            CanonicalKey::with_phase(&above, &q, 0.5).fingerprint(),
+            "the boundary sits at the center of the shifted grid"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "grid phase must be in [0, 1)")]
+    fn out_of_range_phases_are_rejected() {
+        CanonicalKey::with_phase(&demo_instance(), &Quantization::default(), 1.0);
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod io;
 mod plan;
 mod precedence;
 mod service;
+mod snapshot;
 
 pub mod bnb;
 
@@ -86,3 +87,4 @@ pub use io::{format_instance, parse_instance, ParseInstanceError};
 pub use plan::Plan;
 pub use precedence::PrecedenceDag;
 pub use service::{Service, ServiceId};
+pub use snapshot::{PlanSnapshot, SnapshotEntry, SnapshotError, SNAPSHOT_HEADER};

@@ -65,6 +65,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         crate::experiments::e11_anytime::experiment(),
         crate::experiments::e12_latency::experiment(),
         crate::experiments::e13_service::experiment(),
+        crate::experiments::e14_server::experiment(),
     ]
 }
 
@@ -109,7 +110,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let experiments = all_experiments();
-        assert_eq!(experiments.len(), 13);
+        assert_eq!(experiments.len(), 14);
         for (i, e) in experiments.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", i + 1), "registry order");
             assert!(!e.title.is_empty());

@@ -1,0 +1,97 @@
+//! A blocking client for the plan-serving daemon — what `dsq client`
+//! wraps, and what tests and the harness drive the socket path with.
+
+use crate::net::{ListenAddr, Stream};
+use crate::protocol::{ProtocolError, Response, REQUEST_END};
+use dsq_core::{format_instance, QueryInstance};
+use std::io::{self, BufRead, BufReader, Write};
+
+/// A connected client. One request is in flight at a time (the protocol
+/// is strictly request/response per connection).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<Stream>,
+}
+
+fn protocol_err(e: ProtocolError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection-level I/O errors.
+    pub fn connect(addr: &ListenAddr) -> io::Result<Client> {
+        Ok(Client { reader: BufReader::new(Stream::connect(addr)?) })
+    }
+
+    fn round_trip(&mut self, request: &str) -> io::Result<Response> {
+        self.reader.get_mut().write_all(request.as_bytes())?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        Response::parse(&line).map_err(protocol_err)
+    }
+
+    /// Sends instance text (the `dsq-instance v1` document) and returns
+    /// the server's response. Blocks until the server replies — with a
+    /// full admission queue that is an immediate
+    /// [`Response::Busy`](crate::Response), never an indefinite stall.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` for an unparseable response line.
+    pub fn optimize_text(&mut self, instance_text: &str) -> io::Result<Response> {
+        let mut request = String::with_capacity(instance_text.len() + 8);
+        request.push_str(instance_text);
+        if !request.ends_with('\n') {
+            request.push('\n');
+        }
+        request.push_str(REQUEST_END);
+        request.push('\n');
+        self.round_trip(&request)
+    }
+
+    /// [`optimize_text`](Self::optimize_text) for an in-memory instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`optimize_text`](Self::optimize_text).
+    pub fn optimize(&mut self, instance: &QueryInstance) -> io::Result<Response> {
+        self.optimize_text(&format_instance(instance))
+    }
+
+    /// Requests the serving counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`optimize_text`](Self::optimize_text).
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.round_trip("stats\n")
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`optimize_text`](Self::optimize_text).
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.round_trip("ping\n")
+    }
+
+    /// Asks the server to drain and exit (the embedder decides when; see
+    /// [`Server::wait_shutdown_requested`](crate::Server)).
+    ///
+    /// # Errors
+    ///
+    /// See [`optimize_text`](Self::optimize_text).
+    pub fn shutdown_server(&mut self) -> io::Result<Response> {
+        self.round_trip("shutdown\n")
+    }
+}

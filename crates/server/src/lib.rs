@@ -1,0 +1,55 @@
+//! The plan-serving daemon: a long-lived server in front of the
+//! `dsq-service` plan cache, for workloads where the optimizer is a
+//! network service rather than a library call.
+//!
+//! The batch front-end (`dsq_service::optimize_batch`) amortizes
+//! optimization across a *pre-filled* queue; production traffic instead
+//! arrives one request at a time, indefinitely, from many clients. This
+//! crate adds the three pieces that turn the cache into a service:
+//!
+//! * **A newline-framed socket protocol** ([`protocol`]) over TCP or
+//!   Unix-domain sockets (`std::net` / `std::os::unix::net`; no async
+//!   runtime): clients write a `dsq-instance v1` document terminated by
+//!   `end` and read back a single response line carrying the plan, its
+//!   exact-instance cost, the serve source, and the cache fingerprint.
+//! * **Admission control with backpressure** ([`Server`]): a bounded
+//!   queue in front of the worker pool. A request arriving while the
+//!   queue is full is answered `busy retry-after-ms N` *immediately* —
+//!   the accept loop never stalls — and each connection reads its next
+//!   request only after the current reply is written, so a client cannot
+//!   buffer unbounded work into the server.
+//! * **Cache persistence** (via `dsq_service::PlanCache::snapshot`): the
+//!   cache is restored from a snapshot file at startup (warm restart), a
+//!   background thread rewrites the file periodically (atomic
+//!   temp-file-and-rename), and a graceful shutdown — protocol verb or
+//!   embedder signal — drains in-flight requests and writes a final
+//!   snapshot. A restarted server answers at its pre-restart hit rate
+//!   instead of cold.
+//!
+//! ```no_run
+//! use dsq_server::{Client, ListenAddr, Response, Server, ServerConfig};
+//!
+//! let addr = ListenAddr::Tcp("127.0.0.1:0".into());
+//! let server = Server::start(&addr, &ServerConfig::default())?;
+//! let mut client = Client::connect(server.listen_addr())?;
+//! let instance = dsq_workloads::generate(dsq_workloads::Family::Clustered, 8, 7);
+//! match client.optimize(&instance)? {
+//!     Response::Served { cost, plan, .. } => println!("cost {cost} plan {plan:?}"),
+//!     other => println!("{other:?}"),
+//! }
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod net;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use net::ListenAddr;
+pub use protocol::{ProtocolError, Response, StatsLine};
+pub use server::{Server, ServerConfig, ServerStats, ShutdownHandle};

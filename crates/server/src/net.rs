@@ -1,0 +1,180 @@
+//! The tiny transport abstraction: one listener / stream pair covering
+//! TCP and Unix-domain sockets, so the rest of the crate is
+//! transport-agnostic. `std::net` / `std::os::unix::net` only — the
+//! daemon deliberately has no async runtime dependency.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a server listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP address like `127.0.0.1:7878` (port `0` picks a free port;
+    /// see [`Server::listen_addr`](crate::Server::listen_addr) for the
+    /// resolved one).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListenAddr::Tcp(addr) => write!(f, "tcp://{addr}"),
+            ListenAddr::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+/// A bound, non-blocking listener over either transport.
+#[derive(Debug)]
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Binds `addr` and switches the listener to non-blocking accepts
+    /// (the accept loop polls so it can observe the shutdown flag).
+    ///
+    /// A Unix path that is already bound by a **dead** server (connect
+    /// refused) is unlinked and rebound; a live one is reported as
+    /// "address in use".
+    pub(crate) fn bind(addr: &ListenAddr) -> io::Result<Listener> {
+        match addr {
+            ListenAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Tcp(listener))
+            }
+            ListenAddr::Unix(path) => {
+                let listener = match UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+                        if UnixStream::connect(path).is_ok() {
+                            return Err(io::Error::new(
+                                io::ErrorKind::AddrInUse,
+                                format!("{} is in use by a live server", path.display()),
+                            ));
+                        }
+                        std::fs::remove_file(path)?;
+                        UnixListener::bind(path)?
+                    }
+                    Err(e) => return Err(e),
+                };
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+        }
+    }
+
+    /// One non-blocking accept attempt; `Ok(None)` when no client is
+    /// waiting.
+    pub(crate) fn try_accept(&self) -> io::Result<Option<Stream>> {
+        let stream = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Tcp(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+            Listener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Unix(s)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                Err(e) => return Err(e),
+            },
+        };
+        // Accepted sockets must block (with a read timeout) even though
+        // the listener does not; inheritance differs across platforms,
+        // so set it explicitly.
+        if let Some(s) = &stream {
+            s.set_nonblocking(false)?;
+        }
+        Ok(stream)
+    }
+
+    /// The resolved local address (TCP port `0` becomes the real port).
+    pub(crate) fn local_addr(&self) -> io::Result<ListenAddr> {
+        match self {
+            Listener::Tcp(l) => Ok(ListenAddr::Tcp(l.local_addr()?.to_string())),
+            Listener::Unix(_, path) => Ok(ListenAddr::Unix(path.clone())),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A connected stream over either transport.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn connect(addr: &ListenAddr) -> io::Result<Stream> {
+        match addr {
+            ListenAddr::Tcp(spec) => {
+                let addrs: Vec<SocketAddr> =
+                    std::net::ToSocketAddrs::to_socket_addrs(spec)?.collect();
+                TcpStream::connect(&addrs[..]).map(Stream::Tcp)
+            }
+            ListenAddr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The newline-framed wire protocol.
+//!
+//! Requests are plain text. A client sends either a single-line verb or
+//! an instance document terminated by `end`:
+//!
+//! ```text
+//! request   = instance-doc | "stats" | "ping" | "shutdown"
+//! instance-doc = "dsq-instance v1" LF …instance lines… "end" LF
+//! ```
+//!
+//! Every request earns exactly one single-line response:
+//!
+//! ```text
+//! response  = "ok source " SRC " cost " F64 " fingerprint " HEX16 " plan " I ("," I)*
+//!           | "ok stats requests " N " hits " N " probe2 " N " warm " N " cold " N
+//!                 " busy " N " hit-rate " F64 " entries " N
+//!           | "ok pong"
+//!           | "ok draining"
+//!           | "busy retry-after-ms " N
+//!           | "error " MESSAGE          ; one line, never empty
+//! SRC       = "hit" | "warm" | "cold"
+//! ```
+//!
+//! Costs and rates are Rust `f64` `Display` output, which round-trips
+//! bit-exactly through `parse`; fingerprints are zero-padded lowercase
+//! hex. [`Response::to_line`] and [`Response::parse`] are exact inverses
+//! for every value the server emits.
+
+use dsq_service::ServeSource;
+use std::fmt;
+
+/// End-of-request marker terminating an instance document.
+pub const REQUEST_END: &str = "end";
+
+/// Error raised by [`Response::parse`]: the offending line, verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed protocol line: `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The serving-counter snapshot reported by the `stats` verb. Passive
+/// struct; fields are public.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsLine {
+    /// Requests served through the cache (hits + warm starts + colds).
+    pub requests: u64,
+    /// Validated cache hits.
+    pub hits: u64,
+    /// The subset of hits found by the second (shifted-grid) probe.
+    pub probe2_hits: u64,
+    /// Out-of-tolerance hits that warm-started a search.
+    pub warm_starts: u64,
+    /// Cold optimizations.
+    pub cold: u64,
+    /// Requests rejected by admission control.
+    pub busy_rejections: u64,
+    /// `hits / requests` (0 before any request).
+    pub hit_rate: f64,
+    /// Cache entries currently resident (probe aliases included).
+    pub entries: u64,
+}
+
+/// One parsed server response. See the [module docs](self) for the
+/// grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A served plan, in the request instance's own service labels.
+    Served {
+        /// How the plan was obtained.
+        source: ServeSource,
+        /// Bottleneck cost on the exact request instance.
+        cost: f64,
+        /// The request's primary cache fingerprint.
+        fingerprint: u64,
+        /// The plan as service indices.
+        plan: Vec<usize>,
+    },
+    /// The admission queue was full; retry after the given hint.
+    Busy {
+        /// Server-suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request failed; the message is a single line.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `stats`.
+    Stats(StatsLine),
+    /// Reply to `shutdown`: the server is draining.
+    Draining,
+}
+
+fn parse_source(name: &str) -> Option<ServeSource> {
+    match name {
+        "hit" => Some(ServeSource::CacheHit),
+        "warm" => Some(ServeSource::WarmStart),
+        "cold" => Some(ServeSource::Cold),
+        _ => None,
+    }
+}
+
+impl Response {
+    /// Renders the response as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Served { source, cost, fingerprint, plan } => {
+                let plan =
+                    plan.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+                format!(
+                    "ok source {} cost {cost} fingerprint {fingerprint:016x} plan {plan}",
+                    source.name()
+                )
+            }
+            Response::Busy { retry_after_ms } => format!("busy retry-after-ms {retry_after_ms}"),
+            Response::Error { message } => {
+                // The frame is one line; a multi-line message would
+                // desynchronize the stream.
+                format!("error {}", message.replace('\n', "; "))
+            }
+            Response::Pong => "ok pong".into(),
+            Response::Stats(s) => format!(
+                "ok stats requests {} hits {} probe2 {} warm {} cold {} busy {} hit-rate {} entries {}",
+                s.requests,
+                s.hits,
+                s.probe2_hits,
+                s.warm_starts,
+                s.cold,
+                s.busy_rejections,
+                s.hit_rate,
+                s.entries,
+            ),
+            Response::Draining => "ok draining".into(),
+        }
+    }
+
+    /// Parses a wire line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] carrying the line when it matches no response
+    /// form.
+    pub fn parse(line: &str) -> Result<Response, ProtocolError> {
+        let line = line.trim_end();
+        let err = || ProtocolError(line.to_string());
+        if let Some(message) = line.strip_prefix("error ") {
+            return Ok(Response::Error { message: message.to_string() });
+        }
+        if let Some(rest) = line.strip_prefix("busy retry-after-ms ") {
+            let retry_after_ms = rest.trim().parse().map_err(|_| err())?;
+            return Ok(Response::Busy { retry_after_ms });
+        }
+        match line {
+            "ok pong" => return Ok(Response::Pong),
+            "ok draining" => return Ok(Response::Draining),
+            _ => {}
+        }
+        if let Some(rest) = line.strip_prefix("ok source ") {
+            let mut fields = rest.split_whitespace();
+            let source = fields.next().and_then(parse_source).ok_or_else(err)?;
+            let cost: f64 = match (fields.next(), fields.next()) {
+                (Some("cost"), Some(v)) => v.parse().map_err(|_| err())?,
+                _ => return Err(err()),
+            };
+            let fingerprint = match (fields.next(), fields.next()) {
+                (Some("fingerprint"), Some(v)) => u64::from_str_radix(v, 16).map_err(|_| err())?,
+                _ => return Err(err()),
+            };
+            let plan: Vec<usize> = match (fields.next(), fields.next()) {
+                (Some("plan"), Some(spec)) => spec
+                    .split(',')
+                    .map(|f| f.parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| err())?,
+                _ => return Err(err()),
+            };
+            if fields.next().is_some() {
+                return Err(err());
+            }
+            return Ok(Response::Served { source, cost, fingerprint, plan });
+        }
+        if let Some(rest) = line.strip_prefix("ok stats ") {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            let labels =
+                ["requests", "hits", "probe2", "warm", "cold", "busy", "hit-rate", "entries"];
+            if fields.len() != 2 * labels.len() {
+                return Err(err());
+            }
+            let mut values = [0f64; 8];
+            for (k, label) in labels.iter().enumerate() {
+                if fields[2 * k] != *label {
+                    return Err(err());
+                }
+                values[k] = fields[2 * k + 1].parse().map_err(|_| err())?;
+            }
+            return Ok(Response::Stats(StatsLine {
+                requests: values[0] as u64,
+                hits: values[1] as u64,
+                probe2_hits: values[2] as u64,
+                warm_starts: values[3] as u64,
+                cold: values[4] as u64,
+                busy_rejections: values[5] as u64,
+                hit_rate: values[6],
+                entries: values[7] as u64,
+            }));
+        }
+        Err(err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Served {
+                source: ServeSource::CacheHit,
+                cost: 1.0 / 3.0,
+                fingerprint: 0x00ab_cdef_0123_4567,
+                plan: vec![2, 0, 1],
+            },
+            Response::Served {
+                source: ServeSource::Cold,
+                cost: 7.25,
+                fingerprint: u64::MAX,
+                plan: vec![0],
+            },
+            Response::Busy { retry_after_ms: 50 },
+            Response::Error { message: "cannot parse instance: line 3: bad cost".into() },
+            Response::Pong,
+            Response::Draining,
+            Response::Stats(StatsLine {
+                requests: 240,
+                hits: 232,
+                probe2_hits: 4,
+                warm_starts: 3,
+                cold: 5,
+                busy_rejections: 2,
+                hit_rate: 232.0 / 240.0,
+                entries: 16,
+            }),
+        ];
+        for response in cases {
+            let line = response.to_line();
+            assert!(!line.contains('\n'));
+            assert_eq!(Response::parse(&line).expect("round-trips"), response, "{line}");
+        }
+        // Cost bits survive the text round trip.
+        let served = Response::Served {
+            source: ServeSource::WarmStart,
+            cost: 0.1 + 0.2,
+            fingerprint: 1,
+            plan: vec![0, 1],
+        };
+        match Response::parse(&served.to_line()).expect("parses") {
+            Response::Served { cost, .. } => {
+                assert_eq!(cost.to_bits(), (0.1f64 + 0.2).to_bits())
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiline_error_messages_are_flattened() {
+        let response = Response::Error { message: "line 1\nline 2".into() };
+        assert_eq!(response.to_line(), "error line 1; line 2");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for line in [
+            "",
+            "ok",
+            "ok source hot cost 1 fingerprint 0 plan 0",
+            "ok source hit cost x fingerprint 0 plan 0",
+            "ok source hit cost 1 fingerprint zz plan 0",
+            "ok source hit cost 1 fingerprint 0 plan 0,x",
+            "ok source hit cost 1 fingerprint 0 plan 0 extra",
+            "busy retry-after-ms soon",
+            "ok stats requests 1",
+            "ok stats requests 1 hits 1 probe2 0 warm 0 cold 0 busy 0 hit-rate 1 misc 3",
+        ] {
+            assert!(Response::parse(line).is_err(), "{line:?} should not parse");
+        }
+        let err = Response::parse("ok").unwrap_err();
+        assert_eq!(err.to_string(), "malformed protocol line: `ok`");
+    }
+}

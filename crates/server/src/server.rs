@@ -1,0 +1,637 @@
+//! The daemon itself: accept loop, per-connection request framing,
+//! admission control, the worker pool, and background cache snapshots.
+
+use crate::net::{ListenAddr, Listener, Stream};
+use crate::protocol::{Response, StatsLine, REQUEST_END};
+use crossbeam::channel::{self, TrySendError};
+use dsq_core::{parse_instance, BnbConfig, QueryInstance};
+use dsq_service::{CacheConfig, CacheStats, PlanCache, ServedPlan};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Requests larger than this are rejected and the connection closed (the
+/// stream position after an oversized document is unknowable).
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Configuration of a [`Server`]. Passive struct; fields are public.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: NonZeroUsize,
+    /// Bound of the admission queue: requests waiting for a worker.
+    /// A request arriving while the queue is full is answered `busy`
+    /// immediately instead of being buffered (so total in-flight work is
+    /// bounded by `queue_capacity + workers`).
+    pub queue_capacity: usize,
+    /// Backoff hint attached to `busy` responses, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Optimizer configuration for every search (cold or warm).
+    pub bnb: BnbConfig,
+    /// Plan-cache configuration (shards, capacity, quantization,
+    /// validation tolerance, probes).
+    pub cache: CacheConfig,
+    /// Snapshot file for cache persistence: restored at startup when it
+    /// exists (warm restart), rewritten every
+    /// [`snapshot_interval`](Self::snapshot_interval) and once more on
+    /// shutdown. `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
+    /// Period of the background snapshot writer.
+    pub snapshot_interval: Duration,
+    /// Granularity at which blocking accepts/reads re-check the shutdown
+    /// flag; also the upper bound on drain latency per blocking call.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    /// One worker (scale explicitly on multi-core hosts), a 64-slot
+    /// admission queue, 50 ms retry hint, paper optimizer configuration,
+    /// the default cache with **two probes** (the daemon faces drifting
+    /// traffic, where multi-probe lookup pays for itself), no
+    /// persistence, 30 s snapshot period.
+    fn default() -> Self {
+        ServerConfig {
+            workers: NonZeroUsize::new(1).expect("non-zero literal"),
+            queue_capacity: 64,
+            retry_after_ms: 50,
+            bnb: BnbConfig::paper(),
+            cache: CacheConfig { probes: 2, ..CacheConfig::default() },
+            snapshot_path: None,
+            snapshot_interval: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Aggregate serving counters, cache statistics included.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests rejected with `busy` by admission control.
+    pub busy_rejections: u64,
+    /// Requests answered with `error` (unparseable instances, unknown
+    /// verbs, oversized documents).
+    pub protocol_errors: u64,
+    /// Entries restored from the snapshot file at startup.
+    pub restored_entries: u64,
+    /// Background + final snapshots written successfully.
+    pub snapshots_written: u64,
+    /// Snapshot writes that failed (I/O errors are counted, not fatal).
+    pub snapshot_errors: u64,
+    /// The plan cache's own counters.
+    pub cache: CacheStats,
+}
+
+impl ServerStats {
+    /// The wire-format stats payload (see
+    /// [`protocol`](crate::protocol)).
+    pub fn stats_line(&self) -> StatsLine {
+        StatsLine {
+            requests: self.cache.requests(),
+            hits: self.cache.hits,
+            probe2_hits: self.cache.probe2_hits,
+            warm_starts: self.cache.warm_starts,
+            cold: self.cache.misses,
+            busy_rejections: self.busy_rejections,
+            hit_rate: self.cache.hit_rate(),
+            entries: self.cache.entries as u64,
+        }
+    }
+}
+
+impl fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {} requests over {} connections: {} hits ({} via probe 2), {} warm starts, {} cold ({:.1}% hit-rate)",
+            self.cache.requests(),
+            self.connections,
+            self.cache.hits,
+            self.cache.probe2_hits,
+            self.cache.warm_starts,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+        )?;
+        write!(
+            f,
+            "admission: {} admitted, {} busy rejections, {} protocol errors; cache: {} entries, {} evictions; snapshots: {} restored, {} written, {} errors",
+            self.admitted,
+            self.busy_rejections,
+            self.protocol_errors,
+            self.cache.entries,
+            self.cache.evictions,
+            self.restored_entries,
+            self.snapshots_written,
+            self.snapshot_errors,
+        )
+    }
+}
+
+/// One admitted unit of work: the parsed instance plus the rendezvous
+/// channel its connection blocks on.
+struct Job {
+    instance: QueryInstance,
+    reply: channel::Sender<ServedPlan>,
+}
+
+/// State shared by every thread of the server.
+struct Inner {
+    cache: PlanCache,
+    bnb: BnbConfig,
+    retry_after_ms: u64,
+    poll_interval: Duration,
+    /// Hard-stop flag: accept loop, connection readers, and the snapshot
+    /// thread exit at their next poll.
+    shutdown: AtomicBool,
+    /// Soft signal set by the protocol `shutdown` verb (or the embedder):
+    /// observable via [`Server::wait_shutdown_requested`], it does not by
+    /// itself stop anything — the embedder decides when to drain.
+    shutdown_requested: Mutex<bool>,
+    signal: Condvar,
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    busy_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+    restored_entries: AtomicU64,
+    snapshots_written: AtomicU64,
+    snapshot_errors: AtomicU64,
+}
+
+impl Inner {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            restored_entries: self.restored_entries.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn request_shutdown(&self) {
+        let mut requested = self.shutdown_requested.lock().expect("signal lock");
+        *requested = true;
+        self.signal.notify_all();
+    }
+
+    /// Writes one snapshot atomically (temp file + rename), counting the
+    /// outcome instead of unwinding: persistence failures must not take
+    /// the serving path down.
+    fn write_snapshot(&self, path: &std::path::Path) {
+        let text = self.cache.snapshot().to_text();
+        let tmp = path.with_extension("tmp");
+        let result = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path));
+        match result {
+            Ok(()) => self.snapshots_written.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.snapshot_errors.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// A running plan-serving daemon. See the [crate docs](crate) for the
+/// protocol and an end-to-end example; construction is
+/// [`Server::start`], teardown is [`Server::shutdown`] (graceful drain).
+pub struct Server {
+    inner: Arc<Inner>,
+    listen_addr: ListenAddr,
+    snapshot_path: Option<PathBuf>,
+    /// Master sender keeping the admission queue open; dropped during
+    /// shutdown so the workers drain and exit.
+    job_tx: Option<channel::Sender<Job>>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    snapshot_handle: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server").field("listen_addr", &self.listen_addr).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `addr`, restores the snapshot file if one exists (warm
+    /// restart), and spawns the accept loop, worker pool, and snapshot
+    /// writer.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding, or a snapshot file that exists but fails
+    /// to parse/restore (reported as `InvalidData` — a corrupt snapshot
+    /// is refused loudly rather than silently served cold).
+    pub fn start(addr: &ListenAddr, config: &ServerConfig) -> io::Result<Server> {
+        assert!(config.queue_capacity > 0, "the admission queue needs at least one slot");
+        let listener = Listener::bind(addr)?;
+        let listen_addr = listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            cache: PlanCache::new(config.cache.clone()),
+            bnb: config.bnb.clone(),
+            retry_after_ms: config.retry_after_ms,
+            poll_interval: config.poll_interval,
+            shutdown: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            signal: Condvar::new(),
+            connections: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            restored_entries: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
+        });
+
+        if let Some(path) = &config.snapshot_path {
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let restored = inner.cache.restore_from_text(&text).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("cannot restore snapshot {}: {e}", path.display()),
+                        )
+                    })?;
+                    inner.restored_entries.store(restored as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {} // cold start
+                Err(e) => return Err(e),
+            }
+        }
+
+        let (job_tx, job_rx) = channel::bounded::<Job>(config.queue_capacity);
+        // The vendored crossbeam receiver is single-consumer; the mutex
+        // turns it into the shared queue the pool drains (held only for
+        // the pop, never during an optimization).
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..config.workers.get())
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || worker_loop(&inner, &job_rx))
+            })
+            .collect();
+
+        let accept_handle = {
+            let inner = Arc::clone(&inner);
+            let job_tx = job_tx.clone();
+            std::thread::spawn(move || accept_loop(listener, &inner, &job_tx))
+        };
+
+        let snapshot_handle = config.snapshot_path.as_ref().map(|path| {
+            let inner = Arc::clone(&inner);
+            let path = path.clone();
+            let interval = config.snapshot_interval;
+            std::thread::spawn(move || snapshot_loop(&inner, &path, interval))
+        });
+
+        Ok(Server {
+            inner,
+            listen_addr,
+            snapshot_path: config.snapshot_path.clone(),
+            job_tx: Some(job_tx),
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            snapshot_handle,
+        })
+    }
+
+    /// The resolved listen address (TCP port `0` becomes the real port).
+    pub fn listen_addr(&self) -> &ListenAddr {
+        &self.listen_addr
+    }
+
+    /// A snapshot of the serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Signals that a shutdown was requested (also triggered by the
+    /// protocol `shutdown` verb). Purely advisory: the embedder observes
+    /// it via [`wait_shutdown_requested`](Self::wait_shutdown_requested)
+    /// and decides when to call [`shutdown`](Self::shutdown).
+    pub fn request_shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        *self.inner.shutdown_requested.lock().expect("signal lock")
+    }
+
+    /// A cloneable handle that can request a shutdown from another
+    /// thread (e.g. a stdin-EOF watcher) while the embedder blocks in
+    /// [`wait_shutdown_requested`](Self::wait_shutdown_requested).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Blocks until a shutdown is requested (protocol verb or
+    /// [`request_shutdown`](Self::request_shutdown)).
+    pub fn wait_shutdown_requested(&self) {
+        let mut requested = self.inner.shutdown_requested.lock().expect("signal lock");
+        while !*requested {
+            requested = self.inner.signal.wait(requested).expect("signal lock");
+        }
+    }
+
+    /// Graceful drain: stop accepting, let every connection finish its
+    /// in-flight request, run the queue dry, write a final snapshot, and
+    /// return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.request_shutdown();
+        // The accept loop joins every connection thread before exiting,
+        // so after this join no new jobs can be submitted…
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // …dropping the master sender lets the workers drain what is
+        // queued and exit.
+        self.job_tx = None;
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.snapshot_handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.snapshot_path {
+            self.inner.write_snapshot(path);
+        }
+        self.inner.stats()
+    }
+}
+
+/// A detached handle to a [`Server`]'s shutdown-request signal; see
+/// [`Server::shutdown_handle`].
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShutdownHandle").finish_non_exhaustive()
+    }
+}
+
+impl ShutdownHandle {
+    /// Equivalent to [`Server::request_shutdown`].
+    pub fn request_shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+}
+
+fn accept_loop(listener: Listener, inner: &Arc<Inner>, job_tx: &channel::Sender<Job>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.try_accept() {
+            Ok(Some(stream)) => {
+                inner.connections.fetch_add(1, Ordering::Relaxed);
+                let inner = Arc::clone(inner);
+                let job_tx = job_tx.clone();
+                connections
+                    .push(std::thread::spawn(move || handle_connection(stream, &inner, &job_tx)));
+            }
+            Ok(None) => std::thread::sleep(inner.poll_interval),
+            // Accept errors (e.g. a client that vanished between the
+            // kernel queue and us) are per-connection, not fatal.
+            Err(_) => std::thread::sleep(inner.poll_interval),
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+    // Drain: every connection finishes its in-flight request and closes.
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
+    loop {
+        // Holding the lock while blocked is fine: a worker that receives
+        // a job releases it before optimizing, so pickup is serialized
+        // but execution is parallel.
+        let job = match job_rx.lock().expect("queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: drained, exit
+        };
+        let served = inner.cache.serve(&job.instance, &inner.bnb);
+        // A connection that died while waiting just drops the reply.
+        let _ = job.reply.send(served);
+    }
+}
+
+fn snapshot_loop(inner: &Inner, path: &std::path::Path, interval: Duration) {
+    loop {
+        let requested = inner.shutdown_requested.lock().expect("signal lock");
+        let (_guard, _timeout) =
+            inner.signal.wait_timeout(requested, interval).expect("signal lock");
+        if inner.shutdown.load(Ordering::SeqCst) {
+            // The final snapshot is written by `shutdown()` once the
+            // workers are quiescent.
+            return;
+        }
+        inner.write_snapshot(path);
+    }
+}
+
+/// Reads one `\n`-terminated line (with timeout-based shutdown polling)
+/// into `line`, which must arrive cleared. Raw bytes, not `read_line`:
+/// a read timeout can land in the middle of a multi-byte UTF-8
+/// character, and `read_line`'s validity guard would discard the
+/// already-consumed partial bytes on retry — `read_until` keeps them.
+/// Returns `false` when the connection should close (EOF, hard error,
+/// or drain).
+fn read_line_polling(reader: &mut BufReader<Stream>, line: &mut Vec<u8>, inner: &Inner) -> bool {
+    loop {
+        match reader.read_until(b'\n', line) {
+            // Delimiter found, or EOF terminating a final unterminated
+            // line (the next call reports the EOF as `Ok(0)`).
+            Ok(n) if n > 0 || !line.is_empty() => return true,
+            Ok(_) => return false, // clean client EOF
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Partial bytes stay appended to `line`; retrying
+                // continues the same line.
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+}
+
+fn write_response(reader: &mut BufReader<Stream>, response: &Response) -> bool {
+    let mut line = response.to_line();
+    line.push('\n');
+    reader.get_mut().write_all(line.as_bytes()).is_ok()
+}
+
+fn handle_connection(stream: Stream, inner: &Inner, job_tx: &channel::Sender<Job>) {
+    if stream.set_read_timeout(Some(inner.poll_interval)).is_err()
+        || stream.set_write_timeout(Some(Duration::from_secs(1))).is_err()
+    {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        if !read_line_polling(&mut reader, &mut line, inner) {
+            return;
+        }
+        let text = String::from_utf8_lossy(&line);
+        let verb = text.trim();
+        let ok = match verb {
+            "" => true, // blank keep-alive line
+            "ping" => write_response(&mut reader, &Response::Pong),
+            "stats" => write_response(&mut reader, &Response::Stats(inner.stats().stats_line())),
+            "shutdown" => {
+                inner.request_shutdown();
+                write_response(&mut reader, &Response::Draining)
+            }
+            _ if verb.starts_with("dsq-instance") => {
+                let header = line.clone();
+                match read_document(&mut reader, header, &mut line, inner) {
+                    DocumentRead::Complete(document) => {
+                        if !serve_document(&mut reader, &document, inner, job_tx) {
+                            return;
+                        }
+                        true
+                    }
+                    DocumentRead::TooLarge => {
+                        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        write_response(
+                            &mut reader,
+                            &Response::Error {
+                                message: format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+                            },
+                        );
+                        return; // stream position unknown: close
+                    }
+                    DocumentRead::Closed => return,
+                }
+            }
+            other => {
+                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    &mut reader,
+                    &Response::Error { message: format!("unknown request `{other}`") },
+                )
+            }
+        };
+        if !ok || inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+enum DocumentRead {
+    Complete(Vec<u8>),
+    TooLarge,
+    Closed,
+}
+
+/// Accumulates an instance document (starting from its already-read
+/// `header` line) up to its `end` marker, reusing `line` as the
+/// per-line scratch buffer.
+fn read_document(
+    reader: &mut BufReader<Stream>,
+    header: Vec<u8>,
+    line: &mut Vec<u8>,
+    inner: &Inner,
+) -> DocumentRead {
+    let mut document = header;
+    loop {
+        line.clear();
+        if !read_line_polling(reader, line, inner) {
+            return DocumentRead::Closed;
+        }
+        if String::from_utf8_lossy(line).trim() == REQUEST_END {
+            return DocumentRead::Complete(document);
+        }
+        document.extend_from_slice(line);
+        if document.len() > MAX_REQUEST_BYTES {
+            return DocumentRead::TooLarge;
+        }
+    }
+}
+
+/// Parses and serves one instance document: admission (`busy` when the
+/// queue is full), then a blocking wait for the worker's reply — the
+/// per-connection backpressure. Returns `false` when the connection
+/// should close.
+fn serve_document(
+    reader: &mut BufReader<Stream>,
+    document: &[u8],
+    inner: &Inner,
+    job_tx: &channel::Sender<Job>,
+) -> bool {
+    let protocol_error = |reader: &mut BufReader<Stream>, inner: &Inner, message: String| {
+        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        write_response(reader, &Response::Error { message })
+    };
+    let text = match std::str::from_utf8(document) {
+        Ok(text) => text,
+        Err(_) => {
+            return protocol_error(reader, inner, "instance text is not valid UTF-8".into());
+        }
+    };
+    let instance = match parse_instance(text) {
+        Ok(instance) => instance,
+        Err(e) => {
+            return protocol_error(reader, inner, format!("cannot parse instance: {e}"));
+        }
+    };
+    let (reply_tx, reply_rx) = channel::bounded::<ServedPlan>(1);
+    match job_tx.try_send(Job { instance, reply: reply_tx }) {
+        Ok(()) => {
+            inner.admitted.fetch_add(1, Ordering::Relaxed);
+            match reply_rx.recv() {
+                Ok(served) => write_response(
+                    reader,
+                    &Response::Served {
+                        source: served.source,
+                        cost: served.cost,
+                        fingerprint: served.fingerprint,
+                        plan: served.plan.indices(),
+                    },
+                ),
+                // Worker vanished mid-request (only possible on teardown
+                // races): report and close.
+                Err(_) => {
+                    write_response(
+                        reader,
+                        &Response::Error { message: "server is shutting down".into() },
+                    );
+                    false
+                }
+            }
+        }
+        Err(TrySendError::Full(_)) => {
+            inner.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            write_response(reader, &Response::Busy { retry_after_ms: inner.retry_after_ms })
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            write_response(reader, &Response::Error { message: "server is shutting down".into() });
+            false
+        }
+    }
+}

@@ -150,11 +150,16 @@ mod tests {
             assert_eq!(served.cost.to_bits(), fresh.cost().to_bits());
             assert_eq!(&served.plan, fresh.plan());
         }
-        // 3 distinct shapes → at most 3 cold searches, 9+ cache hits.
+        // 3 distinct shapes across 12 requests. Two workers racing the
+        // same not-yet-cached fingerprint may both pay a cold search
+        // (the shard lock is deliberately not held while optimizing),
+        // so the exact cold count is scheduling-dependent: at least one
+        // per shape, at most one per worker per shape.
         let stats = cache.stats();
         assert_eq!(stats.requests(), 12);
-        assert_eq!(stats.misses, 3);
-        assert_eq!(stats.hits, 9);
+        assert!((3..=6).contains(&stats.misses), "misses: {}", stats.misses);
+        assert_eq!(stats.hits + stats.misses, 12);
+        assert!(stats.hits >= 6, "repeats must mostly hit: {}", stats.hits);
     }
 
     #[test]

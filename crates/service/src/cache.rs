@@ -1,11 +1,17 @@
 //! The sharded, concurrent plan cache.
 
 use dsq_core::{
-    bottleneck_cost, optimize_with, BnbConfig, CanonicalKey, Plan, Quantization, QueryInstance,
-    SearchStats,
+    bottleneck_cost, format_instance, optimize_with, parse_instance, BnbConfig, CanonicalKey, Plan,
+    PlanSnapshot, Quantization, QueryInstance, SearchStats, SnapshotEntry, SnapshotError,
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Grid phase of the second probe: a parameter walking across a
+/// boundary of the primary grid sits at the center of this one.
+const PROBE_PHASE: f64 = 0.5;
 
 /// Configuration of a [`PlanCache`]. Passive struct; fields are public.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,17 +32,27 @@ pub struct CacheConfig {
     /// `(1 + tolerance) ×` the cached cost (or less than the mirror
     /// bound) is treated as stale and warm-starts a fresh search.
     pub validation_tolerance: f64,
+    /// Fingerprint probes per lookup: `1` probes the primary quantization
+    /// grid only; `2` additionally probes a half-bucket-shifted grid on a
+    /// primary miss, so a parameter that slowly walks across one bucket
+    /// boundary (flipping the primary fingerprint between two keys) still
+    /// finds its entry. With two probes every write-back stores a second,
+    /// shifted-grid alias entry, so each logical plan occupies two cache
+    /// slots.
+    pub probes: usize,
 }
 
 impl Default for CacheConfig {
     /// 8 shards × 128 entries, default quantization, 5% validation
-    /// tolerance (matching the default quantization resolution).
+    /// tolerance (matching the default quantization resolution),
+    /// single-probe lookup.
     fn default() -> Self {
         CacheConfig {
             shards: 8,
             capacity_per_shard: 128,
             quantization: Quantization::default(),
             validation_tolerance: 0.05,
+            probes: 1,
         }
     }
 }
@@ -87,6 +103,10 @@ pub struct ServedPlan {
 pub struct CacheStats {
     /// Validated fingerprint hits (no search ran).
     pub hits: u64,
+    /// The subset of [`hits`](Self::hits) that missed the primary grid
+    /// and were found by the second, shifted-grid probe (always `0` with
+    /// `probes: 1`).
+    pub probe2_hits: u64,
     /// Fingerprint hits whose plan failed exact-instance validation and
     /// warm-started a search.
     pub warm_starts: u64,
@@ -122,10 +142,19 @@ impl CacheStats {
 /// the same fingerprint can use it regardless of its service labels.
 #[derive(Debug)]
 struct Entry {
+    /// The plan in the canonical space of the grid this entry is keyed
+    /// under (primary grid for primary entries, shifted grid for probe-2
+    /// aliases).
     canonical_plan: Vec<u32>,
     /// Bottleneck cost of the plan on the instance that produced it —
     /// the reference value a bucket-hit validates against.
     cost: f64,
+    /// The representative instance in `dsq-instance` text form: what
+    /// snapshots persist, so a restored cache can re-verify fingerprints
+    /// and re-derive probe aliases.
+    instance: String,
+    /// `true` for primary-grid entries (the ones snapshots serialize).
+    primary: bool,
     /// Recency stamp; must match the newest queue slot for this key.
     tick: u64,
 }
@@ -143,6 +172,7 @@ struct Shard {
     order: VecDeque<(u64, u64)>,
     tick: u64,
     hits: u64,
+    probe2_hits: u64,
     warm_starts: u64,
     misses: u64,
     evictions: u64,
@@ -159,10 +189,11 @@ impl Shard {
         }
     }
 
-    fn insert(&mut self, fingerprint: u64, canonical_plan: Vec<u32>, cost: f64, capacity: usize) {
+    fn insert(&mut self, fingerprint: u64, entry: PendingEntry, capacity: usize) {
         self.tick += 1;
         let tick = self.tick;
-        self.map.insert(fingerprint, Entry { canonical_plan, cost, tick });
+        let PendingEntry { canonical_plan, cost, instance, primary } = entry;
+        self.map.insert(fingerprint, Entry { canonical_plan, cost, instance, primary, tick });
         self.order.push_back((fingerprint, tick));
         self.insertions += 1;
         while self.map.len() > capacity {
@@ -176,6 +207,69 @@ impl Shard {
                 None => break,
             }
         }
+    }
+}
+
+/// The fields of an [`Entry`] minus the recency stamp (assigned by the
+/// shard at insertion).
+struct PendingEntry {
+    canonical_plan: Vec<u32>,
+    cost: f64,
+    instance: String,
+    primary: bool,
+}
+
+/// Error raised by [`PlanCache::restore`] /
+/// [`PlanCache::restore_from_text`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// The snapshot text failed to parse (bad header/version, malformed
+    /// line, or truncation).
+    Snapshot(SnapshotError),
+    /// The snapshot was taken under a different quantization resolution;
+    /// its fingerprints mean nothing to this cache.
+    ResolutionMismatch {
+        /// Resolution recorded in the snapshot.
+        snapshot: f64,
+        /// Resolution this cache fingerprints with.
+        cache: f64,
+    },
+    /// An entry failed verification (unparseable instance, fingerprint
+    /// that does not match the instance, or an invalid canonical plan).
+    InvalidEntry {
+        /// 0-based index of the entry in the snapshot.
+        index: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Snapshot(e) => write!(f, "cannot parse snapshot: {e}"),
+            RestoreError::ResolutionMismatch { snapshot, cache } => {
+                write!(f, "snapshot resolution {snapshot} does not match cache resolution {cache}")
+            }
+            RestoreError::InvalidEntry { index, reason } => {
+                write!(f, "snapshot entry {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for RestoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RestoreError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for RestoreError {
+    fn from(e: SnapshotError) -> Self {
+        RestoreError::Snapshot(e)
     }
 }
 
@@ -202,11 +296,64 @@ impl PlanCache {
             config.validation_tolerance.is_finite() && config.validation_tolerance >= 0.0,
             "validation tolerance must be finite and non-negative"
         );
+        assert!(
+            config.probes == 1 || config.probes == 2,
+            "probes must be 1 (primary grid) or 2 (primary + shifted grid)"
+        );
         // Re-validate through the constructor so an invalid hand-rolled
         // resolution fails here rather than deep inside a request.
         let _ = Quantization::new(config.quantization.resolution);
         let shards = (0..config.shards).map(|_| Mutex::new(Shard::default())).collect();
         PlanCache { shards, config }
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<Shard> {
+        &self.shards[(fingerprint % self.shards.len() as u64) as usize]
+    }
+
+    /// Clones the transportable pieces of the entry under `key`'s
+    /// fingerprint, if present and shaped like this instance.
+    fn probe(&self, key: &CanonicalKey) -> Option<(Plan, f64)> {
+        let guard = self.shard(key.fingerprint()).lock();
+        guard.map.get(&key.fingerprint()).and_then(|entry| {
+            // A malformed transport (fingerprint collision with a
+            // different-sized instance) degrades to a miss.
+            key.plan_from_canonical(&entry.canonical_plan).map(|p| (p, entry.cost))
+        })
+    }
+
+    /// Writes `plan` back under the primary fingerprint and, with two
+    /// probes configured, under the shifted-grid alias. `shifted` is
+    /// reused when the lookup already computed it.
+    fn write_back(
+        &self,
+        instance: &QueryInstance,
+        primary: &CanonicalKey,
+        shifted: Option<CanonicalKey>,
+        plan: &Plan,
+        cost: f64,
+    ) {
+        let text = format_instance(instance);
+        let capacity = self.config.capacity_per_shard;
+        let pending = PendingEntry {
+            canonical_plan: primary.plan_to_canonical(plan),
+            cost,
+            instance: text.clone(),
+            primary: true,
+        };
+        self.shard(primary.fingerprint()).lock().insert(primary.fingerprint(), pending, capacity);
+        if self.config.probes == 2 {
+            let shifted = shifted.unwrap_or_else(|| {
+                CanonicalKey::with_phase(instance, &self.config.quantization, PROBE_PHASE)
+            });
+            let alias = PendingEntry {
+                canonical_plan: shifted.plan_to_canonical(plan),
+                cost,
+                instance: text,
+                primary: false,
+            };
+            self.shard(shifted.fingerprint()).lock().insert(shifted.fingerprint(), alias, capacity);
+        }
     }
 
     /// The configuration this cache was built with.
@@ -224,16 +371,19 @@ impl PlanCache {
     pub fn serve(&self, instance: &QueryInstance, config: &BnbConfig) -> ServedPlan {
         let key = CanonicalKey::new(instance, &self.config.quantization);
         let fingerprint = key.fingerprint();
-        let shard = &self.shards[(fingerprint % self.shards.len() as u64) as usize];
 
-        let cached: Option<(Plan, f64)> = {
-            let guard = shard.lock();
-            guard.map.get(&fingerprint).and_then(|entry| {
-                // A malformed transport (fingerprint collision with a
-                // different-sized instance) degrades to a miss.
-                key.plan_from_canonical(&entry.canonical_plan).map(|p| (p, entry.cost))
-            })
-        };
+        // Primary-grid probe, then (with `probes: 2`) the shifted grid.
+        // The hot validated-hit path computes a single fingerprint; the
+        // second one is only derived after a primary miss.
+        let mut cached = self.probe(&key);
+        let mut shifted: Option<CanonicalKey> = None;
+        let mut via_probe2 = false;
+        if cached.is_none() && self.config.probes == 2 {
+            let alias = CanonicalKey::with_phase(instance, &self.config.quantization, PROBE_PHASE);
+            cached = self.probe(&alias);
+            via_probe2 = cached.is_some();
+            shifted = Some(alias);
+        }
 
         if let Some((plan, cached_cost)) = cached {
             let feasible = instance.precedence().is_none_or(|dag| plan.satisfies(dag));
@@ -241,9 +391,19 @@ impl PlanCache {
                 let exact = bottleneck_cost(instance, &plan);
                 let spread = (exact - cached_cost).abs();
                 if spread <= self.config.validation_tolerance * exact.abs().max(cached_cost.abs()) {
-                    let mut guard = shard.lock();
+                    // Bump the recency of the entry that answered. A
+                    // probe-2 hit deliberately does NOT write a fresh
+                    // primary entry ("healing"): a walking parameter
+                    // flips its primary bucket every few requests, so
+                    // per-flip inserts would double the write traffic
+                    // and age the stable alias — the one slot that keeps
+                    // answering — out of a loaded LRU shard.
+                    let answered =
+                        shifted.as_ref().map_or(fingerprint, |alias| alias.fingerprint());
+                    let mut guard = self.shard(answered).lock();
                     guard.hits += 1;
-                    guard.touch(fingerprint);
+                    guard.probe2_hits += u64::from(via_probe2);
+                    guard.touch(answered);
                     return ServedPlan {
                         plan,
                         cost: exact,
@@ -256,15 +416,8 @@ impl PlanCache {
                 // plan (its cost is near-optimal, so ρ prunes hard).
                 let warm_config = config.clone().with_initial_incumbent(plan);
                 let result = optimize_with(instance, &warm_config);
-                let canonical_plan = key.plan_to_canonical(result.plan());
-                let mut guard = shard.lock();
-                guard.warm_starts += 1;
-                guard.insert(
-                    fingerprint,
-                    canonical_plan,
-                    result.cost(),
-                    self.config.capacity_per_shard,
-                );
+                self.write_back(instance, &key, shifted, result.plan(), result.cost());
+                self.shard(fingerprint).lock().warm_starts += 1;
                 return ServedPlan {
                     plan: result.plan().clone(),
                     cost: result.cost(),
@@ -276,10 +429,8 @@ impl PlanCache {
         }
 
         let result = optimize_with(instance, config);
-        let canonical_plan = key.plan_to_canonical(result.plan());
-        let mut guard = shard.lock();
-        guard.misses += 1;
-        guard.insert(fingerprint, canonical_plan, result.cost(), self.config.capacity_per_shard);
+        self.write_back(instance, &key, shifted, result.plan(), result.cost());
+        self.shard(fingerprint).lock().misses += 1;
         ServedPlan {
             plan: result.plan().clone(),
             cost: result.cost(),
@@ -295,6 +446,7 @@ impl PlanCache {
         for shard in &self.shards {
             let guard = shard.lock();
             total.hits += guard.hits;
+            total.probe2_hits += guard.probe2_hits;
             total.warm_starts += guard.warm_starts;
             total.misses += guard.misses;
             total.evictions += guard.evictions;
@@ -302,6 +454,77 @@ impl PlanCache {
             total.entries += guard.map.len();
         }
         total
+    }
+
+    /// Serializes the resident primary-grid entries (shifted-grid probe
+    /// aliases are derived state and re-created on restore). Entries are
+    /// ordered by fingerprint, so equal caches produce byte-identical
+    /// snapshots regardless of insertion order.
+    pub fn snapshot(&self) -> PlanSnapshot {
+        let mut entries: Vec<SnapshotEntry> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            for (&fingerprint, entry) in guard.map.iter().filter(|(_, e)| e.primary) {
+                entries.push(SnapshotEntry {
+                    fingerprint,
+                    cost: entry.cost,
+                    canonical_plan: entry.canonical_plan.clone(),
+                    instance: entry.instance.clone(),
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.fingerprint);
+        PlanSnapshot::new(&self.config.quantization, entries)
+    }
+
+    /// Loads a snapshot into this cache (on top of whatever is already
+    /// resident), returning the number of logical entries restored. Every
+    /// entry is re-verified before insertion: its instance text must
+    /// parse, must hash back to the recorded fingerprint under this
+    /// cache's quantization, and the canonical plan must transport onto
+    /// it. With `probes: 2`, shifted-grid aliases are re-derived from the
+    /// instance text.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::ResolutionMismatch`] when the snapshot was taken
+    /// under a different quantization resolution, or
+    /// [`RestoreError::InvalidEntry`] naming the first corrupt entry.
+    /// Entries restored before the failure remain in the cache.
+    pub fn restore(&self, snapshot: &PlanSnapshot) -> Result<usize, RestoreError> {
+        if snapshot.resolution.to_bits() != self.config.quantization.resolution.to_bits() {
+            return Err(RestoreError::ResolutionMismatch {
+                snapshot: snapshot.resolution,
+                cache: self.config.quantization.resolution,
+            });
+        }
+        for (index, entry) in snapshot.entries.iter().enumerate() {
+            let invalid = |reason: String| RestoreError::InvalidEntry { index, reason };
+            let instance = parse_instance(&entry.instance)
+                .map_err(|e| invalid(format!("instance does not parse: {e}")))?;
+            let key = CanonicalKey::new(&instance, &self.config.quantization);
+            if key.fingerprint() != entry.fingerprint {
+                return Err(invalid("fingerprint mismatch".into()));
+            }
+            let plan = key
+                .plan_from_canonical(&entry.canonical_plan)
+                .ok_or_else(|| invalid("invalid canonical plan".into()))?;
+            if !entry.cost.is_finite() {
+                return Err(invalid("non-finite cost".into()));
+            }
+            self.write_back(&instance, &key, None, &plan, entry.cost);
+        }
+        Ok(snapshot.entries.len())
+    }
+
+    /// Parses snapshot text and [`restore`](Self::restore)s it.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Snapshot`] for unparseable text, plus everything
+    /// [`restore`](Self::restore) rejects.
+    pub fn restore_from_text(&self, text: &str) -> Result<usize, RestoreError> {
+        self.restore(&PlanSnapshot::parse(text)?)
     }
 
     /// Drops every cached entry (counters are kept).
@@ -523,5 +746,152 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         PlanCache::new(CacheConfig { shards: 0, ..CacheConfig::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "probes must be 1")]
+    fn probe_counts_beyond_two_rejected() {
+        PlanCache::new(CacheConfig { probes: 3, ..CacheConfig::default() });
+    }
+
+    /// Two occurrences of a query whose one parameter sits on opposite
+    /// sides of a primary bucket boundary: single-probe caches treat them
+    /// as strangers, the second probe finds the entry via the shifted
+    /// grid.
+    fn boundary_pair() -> (QueryInstance, QueryInstance) {
+        let step = 1.05f64;
+        let at = |offset: f64| {
+            QueryInstance::builder()
+                .services(vec![
+                    Service::new(step.powf(3.5 + offset), step.powi(-6)),
+                    Service::new(step.powi(12), step.powi(-2)),
+                    Service::new(step.powi(-4), step.powi(-9)),
+                ])
+                .comm(CommMatrix::uniform(3, step.powi(-3)))
+                .build()
+                .unwrap()
+        };
+        (at(-0.1), at(0.1))
+    }
+
+    #[test]
+    fn second_probe_bridges_a_boundary_crossing() {
+        let (below, above) = boundary_pair();
+
+        let single = PlanCache::new(CacheConfig::default());
+        single.serve(&below, &BnbConfig::paper());
+        assert_eq!(
+            single.serve(&above, &BnbConfig::paper()).source,
+            ServeSource::Cold,
+            "one probe: the crossing flips the fingerprint to a cold key"
+        );
+
+        let dual = PlanCache::new(CacheConfig { probes: 2, ..CacheConfig::default() });
+        dual.serve(&below, &BnbConfig::paper());
+        let served = dual.serve(&above, &BnbConfig::paper());
+        assert_eq!(served.source, ServeSource::CacheHit, "probe 2 finds the shifted-grid alias");
+        let stats = dual.stats();
+        assert_eq!((stats.hits, stats.probe2_hits, stats.misses), (1, 1, 1));
+        // Probe-2 hits touch the alias but never write new entries (see
+        // `serve`): the same side keeps answering through the alias and
+        // the cache stays at its two slots.
+        let again = dual.serve(&above, &BnbConfig::paper());
+        assert_eq!(again.source, ServeSource::CacheHit);
+        assert_eq!(dual.stats().probe2_hits, 2, "the stable alias keeps answering");
+        assert_eq!(dual.stats().entries, 2, "no write amplification from probe-2 hits");
+        // Quality: identical to a fresh optimum within validation.
+        let fresh = optimize(&above);
+        assert!(served.cost <= fresh.cost() * 1.05 + 1e-12);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_entries_and_behavior() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let instances: Vec<QueryInstance> = (0..4).map(|s| instance(40 + s, 6)).collect();
+        let cold: Vec<ServedPlan> =
+            instances.iter().map(|i| cache.serve(i, &BnbConfig::paper())).collect();
+
+        let snapshot = cache.snapshot();
+        assert_eq!(snapshot.entries.len(), 4);
+        assert!(
+            snapshot.entries.windows(2).all(|w| w[0].fingerprint < w[1].fingerprint),
+            "deterministic order"
+        );
+
+        let restored = PlanCache::new(CacheConfig::default());
+        assert_eq!(restored.restore(&snapshot).expect("restores"), 4);
+        assert_eq!(restored.stats().entries, 4);
+        for (inst, first) in instances.iter().zip(&cold) {
+            let served = restored.serve(inst, &BnbConfig::paper());
+            assert_eq!(served.source, ServeSource::CacheHit, "warm restart must hit");
+            assert_eq!(served.plan, first.plan);
+            assert_eq!(served.cost.to_bits(), first.cost.to_bits());
+            assert_eq!(served.fingerprint, first.fingerprint);
+        }
+        // Text round-trip: parse(to_text) feeds restore_from_text too.
+        let text = snapshot.to_text();
+        let from_text = PlanCache::new(CacheConfig::default());
+        assert_eq!(from_text.restore_from_text(&text).expect("parses and restores"), 4);
+        assert_eq!(from_text.snapshot().to_text(), text, "snapshot of a restore is identical");
+    }
+
+    #[test]
+    fn restore_rederives_probe_aliases() {
+        let (below, above) = boundary_pair();
+        let dual = PlanCache::new(CacheConfig { probes: 2, ..CacheConfig::default() });
+        dual.serve(&below, &BnbConfig::paper());
+        let snapshot = dual.snapshot();
+        assert_eq!(snapshot.entries.len(), 1, "aliases are not serialized");
+
+        let restored = PlanCache::new(CacheConfig { probes: 2, ..CacheConfig::default() });
+        restored.restore(&snapshot).expect("restores");
+        assert_eq!(restored.stats().entries, 2, "primary + re-derived alias");
+        assert_eq!(
+            restored.serve(&above, &BnbConfig::paper()).source,
+            ServeSource::CacheHit,
+            "the re-derived alias bridges the boundary after restart"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_resolution_mismatch_with_the_exact_message() {
+        let cache = PlanCache::new(CacheConfig {
+            quantization: Quantization::new(0.1),
+            ..CacheConfig::default()
+        });
+        cache.serve(&instance(50, 5), &BnbConfig::paper());
+        let snapshot = cache.snapshot();
+        let other = PlanCache::new(CacheConfig::default());
+        let err = other.restore(&snapshot).expect_err("resolutions differ");
+        assert_eq!(err.to_string(), "snapshot resolution 0.1 does not match cache resolution 0.05");
+        assert_eq!(other.stats().entries, 0, "nothing restored");
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_entries() {
+        let cache = PlanCache::new(CacheConfig::default());
+        cache.serve(&instance(51, 5), &BnbConfig::paper());
+        let good = cache.snapshot();
+
+        let mut tampered = good.clone();
+        tampered.entries[0].fingerprint ^= 1;
+        let err = PlanCache::new(CacheConfig::default())
+            .restore(&tampered)
+            .expect_err("fingerprint no longer matches the instance");
+        assert_eq!(err.to_string(), "snapshot entry 0: fingerprint mismatch");
+
+        let mut tampered = good.clone();
+        tampered.entries[0].canonical_plan = vec![0, 0, 1, 2, 3];
+        let err = PlanCache::new(CacheConfig::default())
+            .restore(&tampered)
+            .expect_err("not a permutation");
+        assert_eq!(err.to_string(), "snapshot entry 0: invalid canonical plan");
+
+        let mut tampered = good.clone();
+        tampered.entries[0].instance = "dsq-instance v1\nname broken\nn 2\n".into();
+        let err = PlanCache::new(CacheConfig::default())
+            .restore(&tampered)
+            .expect_err("instance truncated");
+        assert!(err.to_string().starts_with("snapshot entry 0: instance does not parse:"), "{err}");
     }
 }

@@ -20,6 +20,18 @@
 //! * [`optimize_batch`] — drains a request queue across a crossbeam
 //!   worker pool sharing one cache, returning results in **request
 //!   order** regardless of worker scheduling.
+//! * **Multi-probe lookup** ([`CacheConfig::probes`]) — with two probes,
+//!   a primary-grid miss additionally probes a half-bucket-shifted
+//!   quantization grid, so a parameter walking across one bucket
+//!   boundary (which flips the primary fingerprint on every crossing)
+//!   keeps a single stable alias key.
+//! * **Persistence** ([`PlanCache::snapshot`] / [`PlanCache::restore`])
+//!   — the resident entries serialize to the versioned
+//!   [`PlanSnapshot`](dsq_core::PlanSnapshot) text format (fingerprint,
+//!   canonical plan, reference cost, and the representative instance
+//!   text per entry), and restore re-verifies every fingerprint, so a
+//!   restarted process — or a whole fleet — starts warm instead of
+//!   cold. The `dsq-server` daemon builds its warm restarts on this.
 //!
 //! ```
 //! use dsq_core::{BnbConfig, CommMatrix, QueryInstance, Service};
@@ -45,4 +57,4 @@ mod batch;
 mod cache;
 
 pub use batch::{optimize_batch, BatchOptions};
-pub use cache::{CacheConfig, CacheStats, PlanCache, ServeSource, ServedPlan};
+pub use cache::{CacheConfig, CacheStats, PlanCache, RestoreError, ServeSource, ServedPlan};

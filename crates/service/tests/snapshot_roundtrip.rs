@@ -1,0 +1,82 @@
+//! Property-based coverage of the cache snapshot format: for arbitrary
+//! filled caches, `restore(snapshot(cache))` preserves fingerprints,
+//! plans, reference costs, and the serve-time validation behavior —
+//! through the in-memory [`PlanSnapshot`] and through its text form.
+
+use dsq_core::{BnbConfig, CommMatrix, PlanSnapshot, QueryInstance, Service};
+use dsq_service::{CacheConfig, PlanCache, ServeSource};
+use proptest::prelude::*;
+
+/// Strategy: a batch of small arbitrary instances (strictly positive
+/// parameters — the serving path quantizes them).
+fn arb_batch(max_n: usize, max_count: usize) -> impl Strategy<Value = Vec<QueryInstance>> {
+    proptest::collection::vec(
+        (2..=max_n).prop_flat_map(|n| {
+            let services = proptest::collection::vec((0.05f64..4.0, 0.05f64..2.5), n..=n);
+            let comm = proptest::collection::vec(0.05f64..3.0, n * n..=n * n);
+            (services, comm).prop_map(move |(sv, cm)| {
+                QueryInstance::builder()
+                    .name("snapshot-prop")
+                    .services(sv.into_iter().map(|(c, s)| Service::new(c, s)))
+                    .comm(CommMatrix::from_fn(n, |i, j| if i == j { 0.0 } else { cm[i * n + j] }))
+                    .build()
+                    .expect("generated instances are valid")
+            })
+        }),
+        1..=max_count,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// restore(snapshot(cache)) is lossless: every request that hits the
+    /// original cache hits the restored one with the same plan, cost
+    /// bits, and fingerprint — and the re-snapshot is byte-identical.
+    #[test]
+    fn snapshot_restore_preserves_serving_behavior(
+        batch in arb_batch(6, 6),
+        probes in 1usize..=2,
+    ) {
+        let config = CacheConfig { probes, ..CacheConfig::default() };
+        let cache = PlanCache::new(config.clone());
+        let first: Vec<_> =
+            batch.iter().map(|inst| cache.serve(inst, &BnbConfig::paper())).collect();
+
+        let text = cache.snapshot().to_text();
+        let parsed = PlanSnapshot::parse(&text).expect("snapshot text parses");
+        let restored = PlanCache::new(config);
+        restored.restore(&parsed).expect("snapshot restores");
+
+        for (inst, original) in batch.iter().zip(&first) {
+            let served = restored.serve(inst, &BnbConfig::paper());
+            prop_assert_eq!(served.source, ServeSource::CacheHit);
+            prop_assert_eq!(&served.plan, &original.plan);
+            prop_assert_eq!(served.cost.to_bits(), original.cost.to_bits());
+            prop_assert_eq!(served.fingerprint, original.fingerprint);
+        }
+        prop_assert_eq!(restored.snapshot().to_text(), text);
+    }
+
+    /// Truncating snapshot text anywhere strictly inside the document
+    /// never yields a silently-partial restore: it is either a parse
+    /// error or (for cuts inside a trailing comment-free line) rejected
+    /// by restore verification.
+    #[test]
+    fn truncated_snapshot_text_never_partially_restores(
+        batch in arb_batch(5, 3),
+        frac in 0.05f64..0.95,
+    ) {
+        let cache = PlanCache::new(CacheConfig::default());
+        for inst in &batch {
+            cache.serve(inst, &BnbConfig::paper());
+        }
+        let text = cache.snapshot().to_text();
+        let cut = ((text.len() as f64 * frac) as usize).min(text.len() - 1);
+        let truncated = &text[..cut];
+        prop_assert!(truncated.len() < text.len());
+        let fresh = PlanCache::new(CacheConfig::default());
+        prop_assert!(fresh.restore_from_text(truncated).is_err());
+        prop_assert_eq!(fresh.stats().entries, 0);
+    }
+}

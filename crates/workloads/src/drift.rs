@@ -46,6 +46,52 @@ pub struct DriftConfig {
     /// re-jitters the base values independently each time; values close
     /// to `1` approach a free random walk.
     pub reversion: f64,
+    /// Adversarial variant: pin one parameter per base query onto a
+    /// quantization bucket **boundary** and oscillate it across (see
+    /// [`BoundaryWalk`]). `None` for plain mean-reverting drift.
+    pub boundary: Option<BoundaryWalk>,
+}
+
+/// The boundary-walking variant: each base query's first service cost is
+/// re-pinned to sit exactly on a bucket boundary of the given
+/// quantization grid and oscillates across it as a triangle wave. Every
+/// crossing flips the primary fingerprint between two adjacent keys —
+/// the adversarial case for a single-probe plan cache (the ROADMAP's
+/// "slowly walking parameter") — while the half-bucket-shifted grid of a
+/// two-probe cache sees one stable key throughout, because the
+/// oscillation never strays more than [`amplitude`](Self::amplitude)
+/// `< 0.5` buckets from the boundary, which is that grid's bucket
+/// center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryWalk {
+    /// Resolution of the quantization grid whose boundary is straddled
+    /// (match the target cache's fingerprint resolution).
+    pub resolution: f64,
+    /// Oscillation amplitude in buckets, in `(0, 0.5)`: strictly less
+    /// than half a bucket so the shifted grid stays stable.
+    pub amplitude: f64,
+    /// Occurrences (per base query) of one full oscillation; `2` makes
+    /// every consecutive occurrence land on the opposite side.
+    pub period: usize,
+}
+
+impl Default for BoundaryWalk {
+    /// 5% grid (the cache default), 0.2-bucket amplitude, alternating
+    /// sides every occurrence.
+    fn default() -> Self {
+        BoundaryWalk { resolution: 0.05, amplitude: 0.2, period: 2 }
+    }
+}
+
+impl BoundaryWalk {
+    /// Position of occurrence `occurrence` in bucket units relative to
+    /// the straddled boundary: a triangle wave in
+    /// `[-amplitude, +amplitude]` starting at the negative extreme.
+    fn offset(&self, occurrence: usize) -> f64 {
+        let phase = (occurrence % self.period) as f64 / self.period as f64;
+        let triangle = if phase < 0.5 { 4.0 * phase - 1.0 } else { 3.0 - 4.0 * phase };
+        self.amplitude * triangle
+    }
 }
 
 impl DriftConfig {
@@ -63,6 +109,27 @@ impl DriftConfig {
             selectivity_rate: 0.005,
             cost_rate: 0.0025,
             reversion: 0.9,
+            boundary: None,
+        }
+    }
+
+    /// A boundary-walking stream (see [`BoundaryWalk`]): like
+    /// [`new`](Self::new) but with every base query's first cost
+    /// oscillating across a bucket boundary of the `resolution` grid and
+    /// the background noise switched off, so the fingerprint churn is
+    /// exactly the walked parameter's.
+    pub fn boundary_walk(
+        family: Family,
+        n: usize,
+        seed: u64,
+        requests: usize,
+        resolution: f64,
+    ) -> Self {
+        DriftConfig {
+            selectivity_rate: 0.0,
+            cost_rate: 0.0,
+            boundary: Some(BoundaryWalk { resolution, ..BoundaryWalk::default() }),
+            ..DriftConfig::new(family, n, seed, requests)
         }
     }
 }
@@ -128,6 +195,19 @@ impl DriftStream {
             "reversion must be in [0, 1], got {}",
             config.reversion
         );
+        if let Some(walk) = &config.boundary {
+            assert!(
+                walk.resolution.is_finite() && walk.resolution > 0.0 && walk.resolution < 1.0,
+                "boundary resolution must be in (0, 1), got {}",
+                walk.resolution
+            );
+            assert!(
+                walk.amplitude.is_finite() && walk.amplitude > 0.0 && walk.amplitude < 0.5,
+                "boundary amplitude must be in (0, 0.5), got {}",
+                walk.amplitude
+            );
+            assert!(walk.period >= 2, "boundary period must be at least 2");
+        }
         let bases = (0..config.queries)
             .map(|q| {
                 let inst =
@@ -160,9 +240,30 @@ impl Iterator for DriftStream {
         }
         let index = self.emitted;
         let base_index = index % self.bases.len();
+        let occurrence = index / self.bases.len();
         // Snapshot the base *before* walking it, so request 0 of each
         // base is the pristine family instance.
         let base = &mut self.bases[base_index];
+        let mut services: Vec<Service> = base
+            .costs
+            .iter()
+            .zip(&base.cost_offsets)
+            .zip(base.selectivities.iter().zip(&base.selectivity_offsets))
+            .map(|((&c, &co), (&s, &so))| Service::new(c * co, s * so))
+            .collect();
+        if let Some(walk) = &self.config.boundary {
+            // Re-pin the first cost onto the bucket boundary nearest its
+            // base magnitude and place this occurrence `offset` buckets
+            // past it (in log space). A base whose first cost is zero
+            // (e.g. the pure-transfer btsp-hard reduction) is anchored
+            // at magnitude 1 instead: the zero bucket is a sentinel with
+            // no boundary to walk.
+            let step = 1.0 + walk.resolution;
+            let anchor = if base.costs[0] > f64::MIN_POSITIVE { base.costs[0] } else { 1.0 };
+            let boundary = (anchor.ln() / step.ln()).floor() + 0.5;
+            let cost = step.powf(boundary + walk.offset(occurrence));
+            services[0] = Service::new(cost, services[0].selectivity());
+        }
         let instance = QueryInstance::builder()
             .name(format!(
                 "drift-{}-n{}-q{}-t{}",
@@ -171,13 +272,7 @@ impl Iterator for DriftStream {
                 base_index,
                 index
             ))
-            .services(
-                base.costs
-                    .iter()
-                    .zip(&base.cost_offsets)
-                    .zip(base.selectivities.iter().zip(&base.selectivity_offsets))
-                    .map(|((&c, &co), (&s, &so))| Service::new(c * co, s * so)),
-            )
+            .services(services)
             .comm(base.comm.clone())
             .build()
             .expect("drifted parameters stay valid");
@@ -269,6 +364,58 @@ mod tests {
     fn runaway_rates_are_rejected() {
         DriftStream::new(DriftConfig {
             selectivity_rate: 1.5,
+            ..DriftConfig::new(Family::Clustered, 4, 0, 4)
+        });
+    }
+
+    #[test]
+    fn boundary_walk_flips_the_primary_grid_but_not_the_shifted_one() {
+        use dsq_core::{CanonicalKey, Quantization};
+        let resolution = 0.05;
+        let config = DriftConfig {
+            queries: 2,
+            ..DriftConfig::boundary_walk(Family::Clustered, 6, 9, 24, resolution)
+        };
+        let requests: Vec<_> = DriftStream::new(config).collect();
+        let q = Quantization::new(resolution);
+        // Occurrences of base 0: indices 0, 2, 4, …
+        let primary: Vec<u64> =
+            (0..12).map(|k| CanonicalKey::new(&requests[2 * k], &q).fingerprint()).collect();
+        let shifted: Vec<u64> = (0..12)
+            .map(|k| CanonicalKey::with_phase(&requests[2 * k], &q, 0.5).fingerprint())
+            .collect();
+        // The primary fingerprint alternates between exactly two keys —
+        // every occurrence crosses the boundary…
+        assert_ne!(primary[0], primary[1], "consecutive occurrences straddle the boundary");
+        for (k, &fingerprint) in primary.iter().enumerate() {
+            assert_eq!(fingerprint, primary[k % 2], "period-2 alternation at occurrence {k}");
+        }
+        // …while the shifted grid sees one stable key throughout.
+        for &fingerprint in &shifted {
+            assert_eq!(fingerprint, shifted[0], "the walk stays inside one shifted bucket");
+        }
+    }
+
+    #[test]
+    fn boundary_walk_streams_stay_deterministic() {
+        let config = DriftConfig::boundary_walk(Family::BtspHard, 5, 3, 16, 0.2);
+        let a: Vec<_> = DriftStream::new(config.clone()).collect();
+        let b: Vec<_> = DriftStream::new(config).collect();
+        assert_eq!(a, b);
+        // Occurrences 0 and 1 of base 0 sit on opposite sides of the
+        // boundary; everything else is pinned (zero rates). The zero
+        // btsp-hard base cost is re-anchored at magnitude ~1.
+        assert_ne!(a[0].cost(0), a[8].cost(0));
+        assert!(a[0].cost(0) > 0.5 && a[0].cost(0) < 2.0, "anchored near 1, got {}", a[0].cost(0));
+        assert_eq!(a[0].selectivity(0), a[8].selectivity(0));
+        assert_eq!(a[0].cost(1), a[8].cost(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "boundary amplitude must be in (0, 0.5)")]
+    fn half_bucket_amplitudes_are_rejected() {
+        DriftStream::new(DriftConfig {
+            boundary: Some(BoundaryWalk { amplitude: 0.5, ..BoundaryWalk::default() }),
             ..DriftConfig::new(Family::Clustered, 4, 0, 4)
         });
     }

@@ -21,7 +21,7 @@ mod precedence_gen;
 mod scenario;
 mod sweep;
 
-pub use drift::{DriftConfig, DriftStream};
+pub use drift::{BoundaryWalk, DriftConfig, DriftStream};
 pub use families::{generate, generate_with, Family, FamilyParams};
 pub use precedence_gen::{chain_dag, diamond_dag, random_dag};
 pub use scenario::{credit_pipeline, federated_join, sensor_fusion};

@@ -5,9 +5,9 @@
 #
 # Usage: scripts/bench_snapshot.sh [OUTPUT.json]
 #
-#   OUTPUT.json             snapshot destination (default BENCH_PR3.json)
+#   OUTPUT.json             snapshot destination (default BENCH_PR4.json)
 #   DSQ_SNAPSHOT_BENCHES    space-separated bench targets to run
-#                           (default: the optimizer-centric set)
+#                           (default: the optimizer + serving set)
 #
 # The vendored criterion writes one JSON object per benchmark to the file
 # named by DSQ_BENCH_JSON (see vendor/criterion); this script wraps those
@@ -15,8 +15,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
-benches="${DSQ_SNAPSHOT_BENCHES:-cost_eval bounds_eval pruning_ablation optimizer_scaling service_throughput}"
+out="${1:-BENCH_PR4.json}"
+benches="${DSQ_SNAPSHOT_BENCHES:-cost_eval bounds_eval pruning_ablation optimizer_scaling service_throughput server_roundtrip}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# CI smoke of the plan-serving daemon through the real binary: start
+# `dsq serve` on a Unix socket, drive it with `dsq client`, check the
+# hit-rate summary, then close the daemon's stdin and assert a clean
+# EOF-triggered drain. Mirrors crates/cli/tests/server_smoke.rs, but
+# through the same shell path an operator would use.
+#
+# Usage: scripts/server_smoke.sh [DSQ_BINARY]
+#   DSQ_BINARY   defaults to target/release/dsq (built by the CI release
+#                build step)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="${1:-target/release/dsq}"
+if ! [ -x "$bin" ]; then
+    echo "server_smoke: $bin not built (run cargo build --release first)" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+sock="$workdir/dsq.sock"
+snapshot="$workdir/plans.dsqc"
+server_log="$workdir/server.log"
+fifo="$workdir/stdin.fifo"
+server_pid=""
+cleanup() {
+    exec 3>&- 2>/dev/null || true
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$bin" generate --family clustered -n 7 --seed 11 > "$workdir/q.dsq"
+
+# Hold the daemon's stdin open on a FIFO; closing fd 3 later is the
+# graceful-shutdown signal (single worker: the single-core CI container
+# measures oversubscription, not speedup, beyond that).
+mkfifo "$fifo"
+"$bin" serve --unix "$sock" --workers 1 --snapshot "$snapshot" < "$fifo" > "$server_log" &
+server_pid=$!
+exec 3>"$fifo"
+
+for _ in $(seq 1 300); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "server_smoke: socket never appeared" >&2; cat "$server_log" >&2; exit 1; }
+
+"$bin" client --unix "$sock" ping | grep -qx "pong"
+"$bin" client --unix "$sock" optimize "$workdir/q.dsq" --repeat 3 > "$workdir/served.out"
+grep -q " cold " "$workdir/served.out"
+grep -q " hit " "$workdir/served.out"
+"$bin" client --unix "$sock" stats | tee "$workdir/stats.out"
+grep -q "requests 3 hits 2" "$workdir/stats.out"
+grep -q "hit-rate 66.7%" "$workdir/stats.out"
+
+# Close stdin: the daemon must drain and exit 0 on its own.
+exec 3>&-
+wait "$server_pid"
+server_pid=""
+grep -q "served 3 requests" "$server_log"
+grep -q "hit-rate" "$server_log"
+grep -q "drained cleanly" "$server_log"
+[ -f "$snapshot" ] || { echo "server_smoke: no final snapshot" >&2; exit 1; }
+[ -e "$sock" ] && { echo "server_smoke: socket not unlinked" >&2; exit 1; }
+
+echo "server_smoke: OK (clean drain, snapshot persisted)" >&2

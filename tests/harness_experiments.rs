@@ -19,7 +19,7 @@ fn registry_is_complete() {
     let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
     assert_eq!(
         ids,
-        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"]
+        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"]
     );
 }
 
@@ -112,6 +112,26 @@ fn e13_cache_serves_fast_and_within_tolerance() {
             }
         }
     }
+}
+
+#[test]
+fn e14_daemon_soak_asserts_hold_and_report_the_right_shape() {
+    // e14 bakes its own asserts in (tolerance of every socket-served
+    // plan, warm-restart hit rate within 5 points, busy-not-stall under
+    // a burst, boundary-walk hit-rate recovery); running it at quick
+    // sizes is the regression guard. Check the table shapes on top.
+    let tables = run_by_id("e14");
+    assert_eq!(tables.len(), 3);
+    // E14a: pre-restart and warm-restart rows.
+    assert_eq!(tables[0].row_count(), 2);
+    // E14c: the two-probe hit rate (row 1) beats single-probe (row 0).
+    let csv = tables[2].to_csv();
+    let hit_rates: Vec<f64> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(5).expect("hit-rate column").parse().expect("numeric"))
+        .collect();
+    assert!(hit_rates[1] > hit_rates[0] + 0.5, "multi-probe recovery: {hit_rates:?}");
 }
 
 #[test]

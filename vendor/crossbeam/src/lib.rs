@@ -9,7 +9,7 @@
 
 /// Multi-producer single-consumer bounded channels.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
 
     /// The sending half of a bounded channel. Clonable.
     #[derive(Debug)]
@@ -26,6 +26,14 @@ pub mod channel {
         /// Returns `Err` if the receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Non-blocking send: `Err(TrySendError::Full)` when the channel
+        /// is at capacity instead of blocking (the admission-control
+        /// primitive), `Err(TrySendError::Disconnected)` once the
+        /// receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 
@@ -97,5 +105,17 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded(1);
+        assert!(tx.try_send(1).is_ok());
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
     }
 }
