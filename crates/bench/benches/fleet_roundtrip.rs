@@ -1,0 +1,106 @@
+//! E15's timing series: what fingerprint routing costs on top of a
+//! single daemon — a warmed hit through the 2-server fleet vs the same
+//! hit through one `RemotePlanner`, and whole warmed-stream throughput
+//! through the fleet router (failover machinery engaged but idle).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsq_core::{Quantization, QueryInstance};
+use dsq_server::{ListenAddr, RemotePlanner, Server, ServerConfig};
+use dsq_service::{CacheConfig, FleetPlanner, Planner};
+use dsq_workloads::{DriftConfig, DriftStream, Family};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+const N: usize = 12;
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: NonZeroUsize::new(1).expect("non-zero"), // single-core hosts
+        cache: CacheConfig {
+            quantization: Quantization::new(0.2), // the e13/e14/e15 serving knobs
+            probes: 2,
+            ..CacheConfig::default()
+        },
+        poll_interval: Duration::from_millis(1),
+        ..ServerConfig::default()
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_roundtrip");
+    let requests: Vec<QueryInstance> =
+        DriftStream::new(DriftConfig::new(Family::BtspHard, N, 23, 48)).collect();
+
+    let server_a =
+        Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &server_config()).expect("a starts");
+    let server_b =
+        Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &server_config()).expect("b starts");
+
+    // The single-backend reference: one RemotePlanner, pre-warmed.
+    let single = RemotePlanner::new(server_a.listen_addr().clone());
+    for inst in &requests {
+        single.plan(inst).expect("warmup request");
+    }
+    let mut next = 0usize;
+    group.bench_function(BenchmarkId::new("single_hit", format!("btsp-n{N}")), |b| {
+        b.iter(|| {
+            let inst = &requests[next % requests.len()];
+            next += 1;
+            black_box(single.plan(black_box(inst)).expect("hit round trip"))
+        })
+    });
+
+    // The fleet: routing + the same socket hit on whichever backend the
+    // fingerprint picks (server A is already warm; warm B too).
+    let backends: Vec<Box<dyn Planner>> = vec![
+        Box::new(RemotePlanner::new(server_a.listen_addr().clone())),
+        Box::new(RemotePlanner::new(server_b.listen_addr().clone())),
+    ];
+    let fleet = FleetPlanner::new(backends, Quantization::new(0.2));
+    for inst in &requests {
+        fleet.plan(inst).expect("warmup request");
+    }
+    let mut next = 0usize;
+    group.bench_function(BenchmarkId::new("fleet_hit", format!("btsp-n{N}")), |b| {
+        b.iter(|| {
+            let inst = &requests[next % requests.len()];
+            next += 1;
+            black_box(fleet.plan(black_box(inst)).expect("hit round trip"))
+        })
+    });
+
+    // Routing alone: the canonicalization + fingerprint the router adds
+    // in front of every request.
+    let mut next = 0usize;
+    group.bench_function(BenchmarkId::new("route_only", format!("btsp-n{N}")), |b| {
+        b.iter(|| {
+            let inst = &requests[next % requests.len()];
+            next += 1;
+            black_box(fleet.route(black_box(inst)))
+        })
+    });
+
+    // Whole warmed-stream throughput through the router.
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function(BenchmarkId::new("stream_fleet", "w1"), |b| {
+        b.iter(|| {
+            for inst in &requests {
+                black_box(fleet.plan(inst).expect("stream request"));
+            }
+        })
+    });
+
+    group.finish();
+    drop(single);
+    drop(fleet);
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_fleet
+}
+criterion_main!(benches);

@@ -12,7 +12,13 @@
 //! dsq serve-batch queries/ [--workers 4]               # plan-cache batch serve
 //! dsq serve --unix /tmp/dsq.sock [--snapshot s.dsqc]   # long-lived daemon
 //! dsq client --unix /tmp/dsq.sock optimize a.dsq       # drive the daemon
+//! dsq client --fleet unix:///tmp/a.sock,unix:///tmp/b.sock optimize a.dsq
 //! ```
+//!
+//! Every serving path — one-shot `optimize`, `serve-batch` (local cache
+//! or `--remote` fleet), the daemon's workers, and `client --fleet` —
+//! routes through the `dsq_service::Planner` trait, so they share one
+//! dispatch implementation.
 
 #![warn(missing_docs)]
 
@@ -21,11 +27,14 @@ use dsq_baselines::{
     uniform_reference_plan, AnnealingConfig, BeamConfig, LocalSearchConfig,
 };
 use dsq_core::{
-    bottleneck_cost, explain, format_instance, optimize_parallel, optimize_with, parse_instance,
-    BnbConfig, Plan, Quantization, QueryInstance,
+    bottleneck_cost, explain, format_instance, parse_instance, BnbConfig, Plan, Quantization,
+    QueryInstance,
 };
-use dsq_server::{Client, ListenAddr, Response, Server, ServerConfig};
-use dsq_service::{optimize_batch, BatchOptions, CacheConfig, PlanCache};
+use dsq_server::{Client, ListenAddr, RemotePlanner, Response, Server, ServerConfig, SnapshotLock};
+use dsq_service::{
+    plan_batch, CacheConfig, CachedPlanner, ColdPlanner, FleetPlanner, PlanCache, Planner,
+    ServedPlan,
+};
 use dsq_simulator::{simulate, SimConfig};
 use dsq_workloads::{generate, Family};
 use std::io::Read;
@@ -76,18 +85,22 @@ const USAGE: &str = "usage:
   dsq serve-batch DIR|-  [--workers T] [--config NAME] [--shards S]
                          [--capacity C] [--resolution R] [--tolerance X]
                          [--probes P] [--snapshot-in FILE] [--snapshot-out FILE]
+                         [--remote ADDRS]             serve through remote daemons
   dsq serve  --unix PATH | --tcp ADDR                 long-lived plan-serving daemon
              [--workers T] [--config NAME] [--shards S] [--capacity C]
              [--resolution R] [--tolerance X] [--probes P] [--queue Q]
              [--retry-ms N] [--snapshot FILE] [--snapshot-interval-secs S]
-  dsq client --unix PATH | --tcp ADDR  COMMAND        drive a running daemon
+  dsq client --unix PATH | --tcp ADDR | --fleet ADDRS [--resolution R]  COMMAND
              COMMAND = optimize FILE... [--repeat N] | stats | ping | shutdown
 families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
 configs:  paper incumbent-only no-epsilon-bar no-backjump extended
 FILE may be `-` for stdin; serve-batch reads every *.dsq in DIR (sorted) or a
 concatenated instance stream from stdin and serves it through the plan cache;
 serve drains gracefully on stdin EOF (tty/pipe stdin; ignored for /dev/null)
-or a client `shutdown` request";
+or a client `shutdown` request; ADDRS is a comma-separated backend list
+(unix://PATH or tcp://HOST:PORT) — --fleet/--remote shard requests across the
+backends by canonical fingerprint, fail over between replicas, and fall back
+to a local cold optimization when every backend is busy or down";
 
 fn io_err(e: std::io::Error) -> CliError {
     format!("I/O error: {e}")
@@ -187,15 +200,17 @@ fn optimize_cmd<'a>(
         }
     }
     let instance = load_instance(file.ok_or("optimize requires an instance file")?)?;
-    let result = if threads > 1 {
-        optimize_parallel(&instance, &config, NonZeroUsize::new(threads).expect("checked > 0"))
-    } else {
-        optimize_with(&instance, &config)
-    };
-    writeln!(out, "plan      {}", result.plan()).map_err(io_err)?;
-    writeln!(out, "cost      {:.6}", result.cost()).map_err(io_err)?;
-    writeln!(out, "optimal   {}", result.is_proven_optimal()).map_err(io_err)?;
-    writeln!(out, "{}", result.stats()).map_err(io_err)
+    // Even the one-shot CLI path goes through the Planner seam: the same
+    // entry point `serve-batch --remote`'s fallback and the fleet router
+    // use.
+    let planner =
+        ColdPlanner::new(config).with_threads(NonZeroUsize::new(threads).expect("checked > 0"));
+    let served = planner.plan(&instance).map_err(|e| e.to_string())?;
+    let stats = served.search.as_ref().expect("cold planners always run a search");
+    writeln!(out, "plan      {}", served.plan).map_err(io_err)?;
+    writeln!(out, "cost      {:.6}", served.cost).map_err(io_err)?;
+    writeln!(out, "optimal   {}", stats.proven_optimal).map_err(io_err)?;
+    writeln!(out, "{stats}").map_err(io_err)
 }
 
 fn explain_cmd<'a>(
@@ -365,6 +380,65 @@ fn parse_cache_flag<'a, I: Iterator<Item = &'a str>>(
     Ok(true)
 }
 
+/// Parses a comma-separated fleet backend list. Each entry is
+/// `unix://PATH`, `tcp://ADDR`, a bare path (contains `/` → Unix
+/// socket), or a bare `host:port` (→ TCP).
+fn parse_fleet_spec(spec: &str) -> Result<Vec<ListenAddr>, CliError> {
+    let mut addrs = Vec::new();
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err(format!("empty backend address in `{spec}`"));
+        }
+        addrs.push(if let Some(path) = entry.strip_prefix("unix://") {
+            ListenAddr::Unix(PathBuf::from(path))
+        } else if let Some(addr) = entry.strip_prefix("tcp://") {
+            ListenAddr::Tcp(addr.to_string())
+        } else if entry.contains('/') {
+            ListenAddr::Unix(PathBuf::from(entry))
+        } else {
+            ListenAddr::Tcp(entry.to_string())
+        });
+    }
+    Ok(addrs)
+}
+
+/// The fleet router `--remote` / `--fleet` serve through: one
+/// `RemotePlanner` per backend (busy retry/backoff built in), requests
+/// sharded by canonical fingerprint, failover to the next replica, and
+/// a local cold-optimize fallback so the stream completes even with
+/// every backend down.
+fn build_fleet(
+    addrs: &[ListenAddr],
+    quantization: Quantization,
+    config: BnbConfig,
+) -> FleetPlanner<'static> {
+    let backends: Vec<Box<dyn Planner>> = addrs
+        .iter()
+        .map(|addr| Box::new(RemotePlanner::new(addr.clone())) as Box<dyn Planner>)
+        .collect();
+    FleetPlanner::new(backends, quantization).with_fallback(Box::new(ColdPlanner::new(config)))
+}
+
+/// One fleet summary line: per-backend request counts plus the failover
+/// and local-fallback tallies.
+fn write_fleet_summary(
+    out: &mut dyn std::io::Write,
+    fleet: &FleetPlanner<'_>,
+) -> Result<(), CliError> {
+    let stats = fleet.fleet_stats();
+    let per_backend = stats.per_backend.iter().map(u64::to_string).collect::<Vec<_>>().join("/");
+    writeln!(
+        out,
+        "fleet: {} backends served {} requests ({per_backend}), {} failovers, {} local fallbacks",
+        stats.per_backend.len(),
+        stats.per_backend.iter().sum::<u64>(),
+        stats.failovers,
+        stats.fallbacks,
+    )
+    .map_err(io_err)
+}
+
 /// Parses `--unix PATH` / `--tcp ADDR`; `Ok(None)` when `arg` is
 /// neither.
 fn parse_addr_flag<'a, I: Iterator<Item = &'a str>>(
@@ -392,6 +466,7 @@ fn serve_batch_cmd<'a>(
     let mut cache_config = CacheConfig::default();
     let mut snapshot_in: Option<&str> = None;
     let mut snapshot_out: Option<&str> = None;
+    let mut remote: Option<&str> = None;
     while let Some(arg) = args.next() {
         if parse_cache_flag(arg, args, &mut cache_config)? {
             continue;
@@ -409,11 +484,17 @@ fn serve_batch_cmd<'a>(
             "--snapshot-out" => {
                 snapshot_out = Some(args.next().ok_or("--snapshot-out needs a file")?)
             }
+            "--remote" => {
+                remote = Some(args.next().ok_or("--remote needs a comma-separated address list")?)
+            }
             other if path.is_none() => path = Some(other),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let path = path.ok_or("serve-batch requires a directory or `-` for stdin")?;
+    if remote.is_some() && (snapshot_in.is_some() || snapshot_out.is_some()) {
+        return Err("--remote backends own their caches; drop --snapshot-in/--snapshot-out".into());
+    }
 
     // Gather the request stream: every *.dsq under a directory (sorted
     // for deterministic request order) or a concatenated stdin stream.
@@ -456,6 +537,36 @@ fn serve_batch_cmd<'a>(
         }
     }
 
+    let workers = NonZeroUsize::new(workers).expect("checked > 0");
+
+    // Remote mode: the same request stream, served through a
+    // fingerprint-sharded fleet of daemons instead of an in-process
+    // cache (the backends keep their own caches and snapshots).
+    if let Some(spec) = remote {
+        let addrs = parse_fleet_spec(spec)?;
+        let fleet = build_fleet(&addrs, cache_config.quantization, config);
+        let started = Instant::now();
+        let results = plan_batch(&fleet, &instances, workers);
+        let elapsed = started.elapsed();
+        write_served_lines(out, &names, &results)?;
+        writeln!(
+            out,
+            "served {} requests in {:.1} ms ({:.0} req/s) with {} workers",
+            results.len(),
+            elapsed.as_secs_f64() * 1e3,
+            results.len() as f64 / elapsed.as_secs_f64(),
+            workers,
+        )
+        .map_err(io_err)?;
+        return write_fleet_summary(out, &fleet);
+    }
+
+    // Hold the snapshot lock across the whole run, so a concurrent
+    // `serve --snapshot` (or second batch run) on the same path cannot
+    // interleave last-writer-wins renames with ours.
+    let _snapshot_lock = snapshot_out
+        .map(|p| SnapshotLock::acquire(std::path::Path::new(p)).map_err(|e| e.to_string()))
+        .transpose()?;
     let cache = PlanCache::new(cache_config);
     if let Some(snapshot_path) = snapshot_in {
         let text = std::fs::read_to_string(snapshot_path)
@@ -465,23 +576,12 @@ fn serve_batch_cmd<'a>(
             .map_err(|e| format!("cannot restore snapshot {snapshot_path}: {e}"))?;
         writeln!(out, "restored {restored} cached plans from {snapshot_path}").map_err(io_err)?;
     }
-    let options =
-        BatchOptions { workers: NonZeroUsize::new(workers).expect("checked > 0"), config };
+    let planner = CachedPlanner::new(&cache, config);
     let started = Instant::now();
-    let results = optimize_batch(&cache, &instances, &options);
+    let results = plan_batch(&planner, &instances, workers);
     let elapsed = started.elapsed();
 
-    for (name, served) in names.iter().zip(&results) {
-        writeln!(
-            out,
-            "{:<28} {:<5} cost {:<12.6} plan {}",
-            name,
-            served.source.name(),
-            served.cost,
-            served.plan
-        )
-        .map_err(io_err)?;
-    }
+    write_served_lines(out, &names, &results)?;
     let stats = cache.stats();
     writeln!(
         out,
@@ -509,6 +609,29 @@ fn serve_batch_cmd<'a>(
             .map_err(|e| format!("cannot write {snapshot_path}: {e}"))?;
         writeln!(out, "wrote snapshot ({} entries) to {snapshot_path}", snapshot.entries.len())
             .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Writes one `name  source  cost  plan` line per served request,
+/// surfacing the first planner error (local planners never produce one;
+/// a fleet with a cold fallback only fails if the fallback itself does).
+fn write_served_lines(
+    out: &mut dyn std::io::Write,
+    names: &[String],
+    results: &[Result<ServedPlan, dsq_service::PlanError>],
+) -> Result<(), CliError> {
+    for (name, result) in names.iter().zip(results) {
+        let served = result.as_ref().map_err(|e| format!("request {name} failed: {e}"))?;
+        writeln!(
+            out,
+            "{:<28} {:<5} cost {:<12.6} plan {}",
+            name,
+            served.source.name(),
+            served.cost,
+            served.plan
+        )
+        .map_err(io_err)?;
     }
     Ok(())
 }
@@ -625,11 +748,37 @@ fn stdin_signals_shutdown() -> bool {
     std::fs::metadata("/proc/self/fd/0").map(|m| !m.file_type().is_char_device()).unwrap_or(false)
 }
 
+/// `(name, document)` request pairs for `client optimize`; `-` expands
+/// to the concatenated stdin stream, like serve-batch.
+fn gather_client_requests(files: &[&str]) -> Result<Vec<(String, String)>, CliError> {
+    let mut requests: Vec<(String, String)> = Vec::new();
+    for file in files {
+        if *file == "-" {
+            let mut buffer = String::new();
+            std::io::stdin().read_to_string(&mut buffer).map_err(io_err)?;
+            let documents = split_instance_stream(&buffer);
+            if documents.is_empty() {
+                return Err("stdin contained no instances".into());
+            }
+            for (index, text) in documents.into_iter().enumerate() {
+                requests.push((format!("stdin[{index}]"), text));
+            }
+        } else {
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            requests.push((file.to_string(), text));
+        }
+    }
+    Ok(requests)
+}
+
 fn client_cmd<'a>(
     args: &mut impl Iterator<Item = &'a str>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), CliError> {
     let mut addr: Option<ListenAddr> = None;
+    let mut fleet_spec: Option<&str> = None;
+    let mut routing = Quantization::default();
     let mut repeat = 1usize;
     let mut command: Option<&str> = None;
     let mut files: Vec<&str> = Vec::new();
@@ -646,11 +795,29 @@ fn client_cmd<'a>(
                     .filter(|&v| v > 0)
                     .ok_or("--repeat needs a positive integer")?
             }
+            "--fleet" => {
+                fleet_spec =
+                    Some(args.next().ok_or("--fleet needs a comma-separated address list")?)
+            }
+            // Routing quantization for --fleet: must match the backends'
+            // cache --resolution, or a query drifting inside one backend
+            // bucket can still flip its routing fingerprint and smear
+            // the key across both backends.
+            "--resolution" => {
+                let value: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v| (0.0..1.0).contains(v) && *v > 0.0)
+                    .ok_or("--resolution needs a number in (0, 1)")?;
+                routing = Quantization::new(value);
+            }
             other if command.is_none() => command = Some(other),
             other => files.push(other),
         }
     }
-    let addr = addr.ok_or("client requires --unix PATH or --tcp ADDR")?;
+    if addr.is_none() && fleet_spec.is_none() {
+        return Err("client requires --unix PATH or --tcp ADDR".into());
+    }
     let command = command.ok_or("client requires a command (optimize|stats|ping|shutdown)")?;
     // Validate the request before dialing, so usage errors do not depend
     // on a live server.
@@ -660,31 +827,52 @@ fn client_cmd<'a>(
     if command == "optimize" && files.is_empty() {
         return Err("client optimize requires at least one instance file".into());
     }
+
+    // Fleet mode: shard the requests across the backends by canonical
+    // fingerprint, with failover and a local cold fallback.
+    if let Some(spec) = fleet_spec {
+        if addr.is_some() {
+            return Err("--fleet replaces --unix/--tcp; give one or the other".into());
+        }
+        if command != "optimize" {
+            return Err(format!("--fleet only supports the optimize command, not `{command}`"));
+        }
+        let addrs = parse_fleet_spec(spec)?;
+        let fleet = build_fleet(&addrs, routing, BnbConfig::paper());
+        // Parse once, before any request goes out: a bad document is an
+        // up-front usage error, not a mid-stream failure on repeat 1.
+        let requests: Vec<(String, QueryInstance)> = gather_client_requests(&files)?
+            .into_iter()
+            .map(|(name, text)| {
+                parse_instance(&text)
+                    .map(|instance| (name.clone(), instance))
+                    .map_err(|e| format!("cannot parse {name}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
+        for _ in 0..repeat {
+            for (name, instance) in &requests {
+                let served =
+                    fleet.plan(instance).map_err(|e| format!("request {name} failed: {e}"))?;
+                writeln!(
+                    out,
+                    "{name:<28} {:<5} cost {:<12.6} plan {}",
+                    served.source.name(),
+                    served.cost,
+                    served.plan
+                )
+                .map_err(io_err)?;
+            }
+        }
+        return write_fleet_summary(out, &fleet);
+    }
+
+    let addr = addr.expect("checked above");
     let mut client =
         Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let transport = |e: std::io::Error| format!("request failed: {e}");
     match command {
         "optimize" => {
-            // (name, document) pairs; `-` expands to the concatenated
-            // stdin stream, like serve-batch.
-            let mut requests: Vec<(String, String)> = Vec::new();
-            for file in files {
-                if file == "-" {
-                    let mut buffer = String::new();
-                    std::io::stdin().read_to_string(&mut buffer).map_err(io_err)?;
-                    let documents = split_instance_stream(&buffer);
-                    if documents.is_empty() {
-                        return Err("stdin contained no instances".into());
-                    }
-                    for (index, text) in documents.into_iter().enumerate() {
-                        requests.push((format!("stdin[{index}]"), text));
-                    }
-                } else {
-                    let text = std::fs::read_to_string(file)
-                        .map_err(|e| format!("cannot read {file}: {e}"))?;
-                    requests.push((file.to_string(), text));
-                }
-            }
+            let requests = gather_client_requests(&files)?;
             for _ in 0..repeat {
                 for (name, text) in &requests {
                     match client.optimize_text(text).map_err(transport)? {
@@ -1017,6 +1205,180 @@ mod tests {
         assert_eq!(parse_instance(&documents[1]).expect("second parses").len(), 5);
         assert!(split_instance_stream("").is_empty());
         assert!(split_instance_stream("  \n\nnoise without a header\n").is_empty());
+    }
+
+    #[test]
+    fn fleet_spec_parsing_covers_all_forms() {
+        let addrs = parse_fleet_spec("unix:///tmp/a.sock, tcp://127.0.0.1:7878,/tmp/b.sock,host:9")
+            .expect("parses");
+        assert_eq!(
+            addrs,
+            vec![
+                ListenAddr::Unix("/tmp/a.sock".into()),
+                ListenAddr::Tcp("127.0.0.1:7878".into()),
+                ListenAddr::Unix("/tmp/b.sock".into()),
+                ListenAddr::Tcp("host:9".into()),
+            ]
+        );
+        assert_eq!(
+            parse_fleet_spec("a,,b").expect_err("empty entry"),
+            "empty backend address in `a,,b`"
+        );
+    }
+
+    #[test]
+    fn fleet_flag_errors_are_exact() {
+        assert_eq!(run_err(&["client", "--fleet"]), "--fleet needs a comma-separated address list");
+        assert_eq!(
+            run_err(&["client", "--fleet", "tcp://x", "stats"]),
+            "--fleet only supports the optimize command, not `stats`"
+        );
+        assert_eq!(
+            run_err(&["client", "--unix", "/tmp/x.sock", "--fleet", "tcp://x", "optimize", "f"]),
+            "--fleet replaces --unix/--tcp; give one or the other"
+        );
+        assert_eq!(
+            run_err(&["client", "--fleet", "tcp://x"]),
+            "client requires a command (optimize|stats|ping|shutdown)"
+        );
+        assert_eq!(
+            run_err(&["client", "--fleet", "tcp://x", "--resolution", "7", "optimize", "f"]),
+            "--resolution needs a number in (0, 1)"
+        );
+        assert_eq!(
+            run_err(&["serve-batch", "/tmp", "--remote"]),
+            "--remote needs a comma-separated address list"
+        );
+        assert_eq!(
+            run_err(&["serve-batch", "/tmp", "--remote", "tcp://x", "--snapshot-out", "s"]),
+            "--remote backends own their caches; drop --snapshot-in/--snapshot-out"
+        );
+    }
+
+    /// `client --fleet` against two live in-process daemons: requests
+    /// shard deterministically, repeats hit the backends' caches, and a
+    /// dead replica in the list is ridden over by failover (with the
+    /// local cold fallback as the last resort).
+    #[test]
+    fn client_fleet_shards_and_rides_over_a_dead_backend() {
+        use dsq_server::{Server, ServerConfig};
+        let quick = ServerConfig {
+            poll_interval: std::time::Duration::from_millis(2),
+            ..ServerConfig::default()
+        };
+        let server_a =
+            Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &quick).expect("a starts");
+        let server_b =
+            Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &quick).expect("b starts");
+        let spec = format!("{},{}", server_a.listen_addr(), server_b.listen_addr());
+
+        let dir = std::env::temp_dir().join(format!("dsq-fleet-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let mut files: Vec<String> = Vec::new();
+        for seed in 0..4u64 {
+            let text = run_ok(&[
+                "generate",
+                "--family",
+                "clustered",
+                "-n",
+                "6",
+                "--seed",
+                &seed.to_string(),
+            ]);
+            let path = dir.join(format!("q{seed}.dsq"));
+            std::fs::write(&path, text).expect("write instance");
+            files.push(path.to_str().expect("utf8").to_string());
+        }
+
+        let mut args =
+            vec!["client".to_string(), "--fleet".into(), spec.clone(), "optimize".into()];
+        args.extend(files.iter().cloned());
+        args.extend(["--repeat".to_string(), "2".into()]);
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("fleet optimize succeeds");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains(" cold "), "first pass is cold:\n{text}");
+        assert!(text.contains(" hit "), "second pass hits the backend caches:\n{text}");
+        assert!(text.contains("fleet: 2 backends served 8 requests"), "{text}");
+        assert!(text.contains("0 failovers, 0 local fallbacks"), "{text}");
+
+        // Kill replica B: the same stream must still complete, riding
+        // over the dead backend.
+        let b_addr = server_b.listen_addr().clone();
+        server_b.shutdown();
+        let spec = format!("{},{b_addr}", server_a.listen_addr());
+        let mut args = vec!["client".to_string(), "--fleet".into(), spec, "optimize".into()];
+        args.extend(files.iter().cloned());
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("fleet optimize survives a dead replica");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("fleet: 2 backends served 4 requests"), "{text}");
+        server_a.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `serve-batch --remote`: the batch front-end over a remote
+    /// backend instead of an in-process cache.
+    #[test]
+    fn serve_batch_remote_serves_through_a_daemon() {
+        use dsq_server::{Server, ServerConfig};
+        let quick = ServerConfig {
+            poll_interval: std::time::Duration::from_millis(2),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &quick).expect("starts");
+        let dir = std::env::temp_dir().join(format!("dsq-remote-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create dir");
+        for (name, seed) in [("a.dsq", 3u64), ("b.dsq", 3), ("c.dsq", 4)] {
+            let text = run_ok(&[
+                "generate",
+                "--family",
+                "clustered",
+                "-n",
+                "6",
+                "--seed",
+                &seed.to_string(),
+            ]);
+            std::fs::write(dir.join(name), text).expect("write instance");
+        }
+        let out = run_ok(&[
+            "serve-batch",
+            dir.to_str().expect("utf8"),
+            "--workers",
+            "1",
+            "--remote",
+            &server.listen_addr().to_string(),
+        ]);
+        for needle in ["a.dsq", "b.dsq", "c.dsq", "served 3 requests"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+        assert!(out.contains("fleet: 1 backends served 3 requests (3), 0 failovers"), "{out}");
+        // The duplicate shape hit the daemon's cache, not a local one.
+        let stats = server.shutdown();
+        assert_eq!(stats.cache.requests(), 3);
+        assert_eq!(stats.cache.hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `serve-batch --snapshot-out` refuses a path another live process
+    /// (here: this one) holds the lock for.
+    #[test]
+    fn serve_batch_refuses_a_locked_snapshot_path() {
+        let dir = std::env::temp_dir().join(format!("dsq-lockout-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let text = run_ok(&["generate", "--family", "clustered", "-n", "5", "--seed", "1"]);
+        std::fs::write(dir.join("q.dsq"), text).expect("write instance");
+        let snapshot = dir.join("plans.dsqc");
+        let _held = SnapshotLock::acquire(&snapshot).expect("this process takes the lock");
+        let message = run_err(&[
+            "serve-batch",
+            dir.to_str().expect("utf8"),
+            "--snapshot-out",
+            snapshot.to_str().expect("utf8"),
+        ]);
+        assert!(message.contains("locked by live process"), "{message}");
+        drop(_held);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

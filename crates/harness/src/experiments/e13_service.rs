@@ -6,8 +6,10 @@
 
 use crate::runner::{Experiment, ExperimentContext};
 use crate::table::{cell_f64, Table};
-use dsq_core::{optimize_with, BnbConfig, Quantization};
-use dsq_service::{optimize_batch, BatchOptions, CacheConfig, PlanCache, ServeSource};
+use dsq_core::{BnbConfig, Quantization};
+use dsq_service::{
+    optimize_batch, BatchOptions, CacheConfig, ColdPlanner, PlanCache, Planner, ServeSource,
+};
 use dsq_workloads::{DriftConfig, DriftStream, Family};
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -42,11 +44,15 @@ fn run(ctx: &ExperimentContext) -> Vec<Table> {
     for family in [Family::BtspHard, Family::Correlated] {
         let stream: Vec<_> = DriftStream::new(DriftConfig::new(family, n, 23, requests)).collect();
 
-        // Cold reference: every request pays a full optimization. Also
-        // the ground truth the served plans are validated against below.
+        // Cold reference: every request pays a full optimization,
+        // through the same Planner seam the cached modes use. Also the
+        // ground truth the served plans are validated against below.
+        let cold_planner = ColdPlanner::new(config.clone());
         let started = Instant::now();
-        let cold_costs: Vec<f64> =
-            stream.iter().map(|inst| optimize_with(inst, &config).cost()).collect();
+        let cold_costs: Vec<f64> = stream
+            .iter()
+            .map(|inst| cold_planner.plan(inst).expect("cold planners are infallible").cost)
+            .collect();
         let cold_elapsed = started.elapsed();
         let cold_rps = requests as f64 / cold_elapsed.as_secs_f64();
         table.push_row([

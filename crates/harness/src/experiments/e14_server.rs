@@ -10,8 +10,8 @@
 use crate::runner::{Experiment, ExperimentContext};
 use crate::table::{cell_f64, Table};
 use dsq_core::{optimize_with, BnbConfig, Quantization};
-use dsq_server::{Client, ListenAddr, Response, Server, ServerConfig};
-use dsq_service::{CacheConfig, PlanCache, ServeSource};
+use dsq_server::{load_aware_retry_ms, Client, ListenAddr, Response, Server, ServerConfig};
+use dsq_service::{CacheConfig, CachedPlanner, PlanCache, Planner, ServeSource};
 use dsq_workloads::{DriftConfig, DriftStream, Family};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
@@ -196,7 +196,12 @@ fn admission(ctx: &ExperimentContext, dir: &std::path::Path) -> Table {
                 served += 1;
             }
             Response::Busy { retry_after_ms } => {
-                assert_eq!(*retry_after_ms, 25);
+                // The hint is load-aware: scaled up from the 25 ms base
+                // by the queue backlog, never below it, capped at 16×.
+                assert!(
+                    (25..=load_aware_retry_ms(25, usize::MAX, 1)).contains(retry_after_ms),
+                    "hint {retry_after_ms} outside the load-aware envelope"
+                );
                 busy += 1;
             }
             other => panic!("expected busy or served, got {other:?}"),
@@ -258,9 +263,10 @@ fn boundary_recovery(ctx: &ExperimentContext) -> Table {
             probes,
             ..CacheConfig::default()
         });
-        let config = BnbConfig::paper();
+        // Through the Planner seam, like every other serve path.
+        let planner = CachedPlanner::new(&cache, BnbConfig::paper());
         for inst in &stream {
-            cache.serve(inst, &config);
+            planner.plan(inst).expect("local planners are infallible");
         }
         let stats = cache.stats();
         hit_rates[row] = stats.hit_rate();

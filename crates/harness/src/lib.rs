@@ -21,6 +21,8 @@
 //! | e11 | anytime quality of the budgeted search (extension) |
 //! | e12 | tuple latency under sub-saturation load (extension) |
 //! | e13 | plan-cache batch throughput on drifting statistics (extension) |
+//! | e14 | plan-serving daemon: socket soak, warm restart, admission (extension) |
+//! | e15 | fingerprint-sharded fleet: partitioning, failover, fallback (extension) |
 //!
 //! Run everything with `cargo run --release -p dsq-harness -- all`, a
 //! subset with `… -- e3 e4`, and halve the sizes with `--quick`.

@@ -5,6 +5,46 @@ use crate::net::{ListenAddr, Stream};
 use crate::protocol::{ProtocolError, Response, REQUEST_END};
 use dsq_core::{format_instance, QueryInstance};
 use std::io::{self, BufRead, BufReader, Write};
+use std::time::Duration;
+
+/// Client-side retry policy for `busy` responses: capped exponential
+/// backoff **seeded from the server's `retry-after-ms` hint**, so a
+/// loaded server (which scales its hint with queue occupancy) slows its
+/// clients down proportionally. Passive struct; fields are public.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total request attempts, the first one included (≥ 1). The final
+    /// attempt's `busy` response is returned to the caller instead of
+    /// being retried.
+    pub max_attempts: u32,
+    /// Floor on any backoff sleep (also the seed when the server hints
+    /// `retry-after-ms 0`).
+    pub min_backoff: Duration,
+    /// Cap on any backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Five attempts, 1 ms floor, 1 s cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            min_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retrying after the `busy_replies`-th consecutive
+    /// `busy` (0-based): `hint × 2^busy_replies`, floored at
+    /// [`min_backoff`](Self::min_backoff) and capped at
+    /// [`max_backoff`](Self::max_backoff).
+    pub fn backoff(&self, hint_ms: u64, busy_replies: u32) -> Duration {
+        let seed = Duration::from_millis(hint_ms).max(self.min_backoff);
+        seed.saturating_mul(2u32.saturating_pow(busy_replies.min(20))).min(self.max_backoff)
+    }
+}
 
 /// A connected client. One request is in flight at a time (the protocol
 /// is strictly request/response per connection).
@@ -67,6 +107,53 @@ impl Client {
         self.optimize_text(&format_instance(instance))
     }
 
+    /// [`optimize_text`](Self::optimize_text), retrying `busy`
+    /// responses under `policy` (sleeping the policy's capped
+    /// exponential backoff, seeded from each `retry-after-ms` hint).
+    /// Returns the final response — `Served`, or the last `Busy` when
+    /// the attempt budget ran out — together with the number of busy
+    /// replies absorbed.
+    ///
+    /// # Errors
+    ///
+    /// See [`optimize_text`](Self::optimize_text); transport and
+    /// protocol errors are **not** retried (the stream state after one
+    /// is unknown).
+    pub fn optimize_text_with_retry(
+        &mut self,
+        instance_text: &str,
+        policy: &RetryPolicy,
+    ) -> io::Result<(Response, u32)> {
+        let mut busy_replies = 0u32;
+        loop {
+            let response = self.optimize_text(instance_text)?;
+            match response {
+                Response::Busy { retry_after_ms }
+                    if busy_replies.saturating_add(1) < policy.max_attempts =>
+                {
+                    std::thread::sleep(policy.backoff(retry_after_ms, busy_replies));
+                    busy_replies += 1;
+                }
+                other => return Ok((other, busy_replies)),
+            }
+        }
+    }
+
+    /// [`optimize_text_with_retry`](Self::optimize_text_with_retry) for
+    /// an in-memory instance — the ROADMAP's client-side retry/backoff
+    /// helper.
+    ///
+    /// # Errors
+    ///
+    /// See [`optimize_text_with_retry`](Self::optimize_text_with_retry).
+    pub fn request_with_retry(
+        &mut self,
+        instance: &QueryInstance,
+        policy: &RetryPolicy,
+    ) -> io::Result<(Response, u32)> {
+        self.optimize_text_with_retry(&format_instance(instance), policy)
+    }
+
     /// Requests the serving counters.
     ///
     /// # Errors
@@ -93,5 +180,40 @@ impl Client {
     /// See [`optimize_text`](Self::optimize_text).
     pub fn shutdown_server(&mut self) -> io::Result<Response> {
         self.round_trip("shutdown\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_seeded_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            min_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+        };
+        // Seeded from the hint, doubling per consecutive busy.
+        assert_eq!(policy.backoff(10, 0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(10, 1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(10, 2), Duration::from_millis(40));
+        // Capped.
+        assert_eq!(policy.backoff(10, 4), Duration::from_millis(100));
+        assert_eq!(policy.backoff(10, 30), Duration::from_millis(100));
+        // A zero hint falls back to the floor, still exponential.
+        assert_eq!(policy.backoff(0, 0), Duration::from_millis(2));
+        assert_eq!(policy.backoff(0, 3), Duration::from_millis(16));
+        // Monotone in both the hint and the attempt count.
+        for busy_replies in 0..6 {
+            for hint in [0u64, 1, 5, 25, 50] {
+                assert!(
+                    policy.backoff(hint, busy_replies + 1) >= policy.backoff(hint, busy_replies)
+                );
+                assert!(
+                    policy.backoff(hint + 1, busy_replies) >= policy.backoff(hint, busy_replies)
+                );
+            }
+        }
     }
 }

@@ -24,7 +24,18 @@
 //!   temp-file-and-rename), and a graceful shutdown — protocol verb or
 //!   embedder signal — drains in-flight requests and writes a final
 //!   snapshot. A restarted server answers at its pre-restart hit rate
-//!   instead of cold.
+//!   instead of cold. The snapshot path is guarded by an advisory
+//!   [`SnapshotLock`] PID file, so two live servers cannot
+//!   last-writer-wins each other's snapshots.
+//!
+//! The serve path itself is the `dsq_service::Planner` seam: each worker
+//! fronts the shared cache through a `CachedPlanner`, and the crate adds
+//! the client-side counterpart — [`RemotePlanner`], a `Planner` that
+//! speaks this protocol with busy retry/backoff ([`RetryPolicy`],
+//! seeded from the server's **load-aware** `retry-after-ms` hints; see
+//! [`load_aware_retry_ms`]) and typed errors, so a
+//! `dsq_service::FleetPlanner` can shard work across several daemons
+//! with failover and a local cold fallback.
 //!
 //! ```no_run
 //! use dsq_server::{Client, ListenAddr, Response, Server, ServerConfig};
@@ -45,11 +56,15 @@
 #![warn(missing_debug_implementations)]
 
 mod client;
+mod lock;
 mod net;
 pub mod protocol;
+mod remote;
 mod server;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
+pub use lock::{lock_path, SnapshotLock};
 pub use net::ListenAddr;
 pub use protocol::{ProtocolError, Response, StatsLine};
-pub use server::{Server, ServerConfig, ServerStats, ShutdownHandle};
+pub use remote::RemotePlanner;
+pub use server::{load_aware_retry_ms, Server, ServerConfig, ServerStats, ShutdownHandle};

@@ -1,0 +1,179 @@
+//! An advisory PID lock guarding a snapshot file against the
+//! last-writer-wins hazard: two live processes pointed at the same
+//! `--snapshot` / `--snapshot-out` path would silently overwrite each
+//! other's atomic renames, so whoever persists to a snapshot path first
+//! takes `<path>.lock` and everyone else refuses to start.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Lock-file path guarding `snapshot`: the snapshot path with `.lock`
+/// appended (not substituted, so `plans.dsqc` and `plans.tmp` cannot
+/// collide on one lock).
+pub fn lock_path(snapshot: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.lock", snapshot.display()))
+}
+
+/// A held snapshot lock; dropping it releases the lock file.
+///
+/// The lock is **advisory** (nothing stops a process that does not
+/// check it) and PID-based: the file holds the owner's PID, and a lock
+/// whose owner is no longer alive (`/proc/<pid>` gone — a crashed
+/// server) is stale and silently taken over, so an unclean shutdown
+/// never wedges the snapshot path.
+pub struct SnapshotLock {
+    path: PathBuf,
+}
+
+impl fmt::Debug for SnapshotLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotLock").field("path", &self.path).finish()
+    }
+}
+
+fn pid_is_alive(pid: u32) -> bool {
+    if !Path::new("/proc").exists() {
+        // No procfs (non-Linux Unix): liveness cannot be probed, so err
+        // on the safe side — treat every holder as alive and leave
+        // genuinely stale locks to the operator, rather than stealing a
+        // live one and resurrecting the last-writer-wins hazard.
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+impl SnapshotLock {
+    /// Takes the lock guarding `snapshot`.
+    ///
+    /// # Errors
+    ///
+    /// `AddrInUse` naming the holder when a **live** process owns the
+    /// lock (a holder that is this process counts: two servers in one
+    /// process must not share a snapshot path either); other I/O errors
+    /// from creating or stealing the lock file.
+    pub fn acquire(snapshot: &Path) -> io::Result<SnapshotLock> {
+        let path = lock_path(snapshot);
+        // One retry: the first pass may find and steal a stale lock,
+        // the second recreates it. Losing a *race* on the recreate means
+        // another live process took it, which the second pass reports.
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    writeln!(file, "{}", std::process::id())?;
+                    return Ok(SnapshotLock { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    Self::steal_if_stale(snapshot, &path)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AddrInUse,
+            format!("snapshot {} lock was taken while stealing a stale one", snapshot.display()),
+        ))
+    }
+
+    /// Removes the lock file at `path` iff its holder is dead, refusing
+    /// with `AddrInUse` for a live holder. Plain unlink-after-read would
+    /// race two stealers into deleting each other's *fresh* locks, so
+    /// the existing file is first **renamed aside** (atomic — exactly
+    /// one racer wins; the losers see `NotFound` and retry the create)
+    /// and only then inspected: if the rename grabbed a live lock after
+    /// all (the holder recreated it inside our race window), it is
+    /// linked back into place before refusing.
+    fn steal_if_stale(snapshot: &Path, path: &Path) -> io::Result<()> {
+        let aside = PathBuf::from(format!("{}.steal.{}", path.display(), std::process::id()));
+        match std::fs::rename(path, &aside) {
+            Ok(()) => {}
+            // Another racer renamed it first; let the caller's retry
+            // find whatever lock exists now.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        let holder =
+            std::fs::read_to_string(&aside).ok().and_then(|text| text.trim().parse::<u32>().ok());
+        if let Some(pid) = holder {
+            if pid_is_alive(pid) {
+                // `hard_link` restores without clobbering a lock someone
+                // created meanwhile (it fails on an existing target).
+                let _ = std::fs::hard_link(&aside, path);
+                let _ = std::fs::remove_file(&aside);
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!(
+                        "snapshot {} is locked by live process {pid} (lock file {})",
+                        snapshot.display(),
+                        path.display()
+                    ),
+                ));
+            }
+        }
+        // Dead holder or unreadable content: a stale lock from an
+        // unclean shutdown. Discard it.
+        std::fs::remove_file(&aside)
+    }
+}
+
+impl Drop for SnapshotLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_snapshot(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dsq-lock-{tag}-{}.dsqc", std::process::id()))
+    }
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let snapshot = temp_snapshot("roundtrip");
+        let lock = SnapshotLock::acquire(&snapshot).expect("free path locks");
+        assert!(lock_path(&snapshot).exists());
+        let content = std::fs::read_to_string(lock_path(&snapshot)).expect("lock readable");
+        assert_eq!(content.trim(), std::process::id().to_string());
+        drop(lock);
+        assert!(!lock_path(&snapshot).exists(), "drop releases the lock");
+        // Re-acquirable after release.
+        drop(SnapshotLock::acquire(&snapshot).expect("released path relocks"));
+    }
+
+    #[test]
+    fn live_holder_refuses_second_acquire() {
+        let snapshot = temp_snapshot("live");
+        let _held = SnapshotLock::acquire(&snapshot).expect("locks");
+        let err = SnapshotLock::acquire(&snapshot).expect_err("held lock refuses");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        let message = err.to_string();
+        assert!(
+            message.contains(&format!("locked by live process {}", std::process::id())),
+            "{message}"
+        );
+    }
+
+    #[test]
+    fn stale_locks_are_stolen() {
+        let snapshot = temp_snapshot("stale");
+        let lock_file = lock_path(&snapshot);
+        // A PID far above any live one (kernel pid_max caps near 4M) —
+        // the holder is certainly dead.
+        std::fs::write(&lock_file, "999999999\n").expect("plant stale lock");
+        let lock = SnapshotLock::acquire(&snapshot).expect("stale lock is stolen");
+        let content = std::fs::read_to_string(&lock_file).expect("lock readable");
+        assert_eq!(content.trim(), std::process::id().to_string(), "lock now ours");
+        drop(lock);
+    }
+
+    #[test]
+    fn unreadable_locks_count_as_stale() {
+        let snapshot = temp_snapshot("garbage");
+        std::fs::write(lock_path(&snapshot), "not a pid\n").expect("plant garbage lock");
+        drop(SnapshotLock::acquire(&snapshot).expect("garbage lock is stolen"));
+        assert!(!lock_path(&snapshot).exists());
+    }
+}

@@ -1,16 +1,19 @@
 //! The daemon itself: accept loop, per-connection request framing,
 //! admission control, the worker pool, and background cache snapshots.
 
+use crate::lock::SnapshotLock;
 use crate::net::{ListenAddr, Listener, Stream};
 use crate::protocol::{Response, StatsLine, REQUEST_END};
 use crossbeam::channel::{self, TrySendError};
 use dsq_core::{parse_instance, BnbConfig, QueryInstance};
-use dsq_service::{CacheConfig, CacheStats, PlanCache, ServedPlan};
+use dsq_service::{
+    CacheConfig, CacheStats, CachedPlanner, PlanCache, PlanError, Planner, ServedPlan,
+};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -29,7 +32,11 @@ pub struct ServerConfig {
     /// immediately instead of being buffered (so total in-flight work is
     /// bounded by `queue_capacity + workers`).
     pub queue_capacity: usize,
-    /// Backoff hint attached to `busy` responses, in milliseconds.
+    /// **Base** backoff hint attached to `busy` responses, in
+    /// milliseconds; the wire hint is load-aware — scaled by how much
+    /// admitted work is outstanding relative to the queue capacity (see
+    /// [`load_aware_retry_ms`]), so clients back off harder the deeper
+    /// the backlog.
     pub retry_after_ms: u64,
     /// Optimizer configuration for every search (cold or warm).
     pub bnb: BnbConfig,
@@ -135,11 +142,31 @@ impl fmt::Display for ServerStats {
     }
 }
 
+/// Load-aware `busy` hint: the configured base hint scaled by the
+/// admitted-but-unfinished work (queued + executing) relative to the
+/// queue capacity. At exactly a full queue and idle workers the hint is
+/// the base; every additional outstanding request (workers mid-search,
+/// racing admissions) pushes it up by ~`base / capacity`, so clients of
+/// a deeply backlogged server back off proportionally harder. The hint
+/// is monotone non-decreasing in `outstanding`, never below the base,
+/// and capped at 16× the base.
+pub fn load_aware_retry_ms(base_ms: u64, outstanding: usize, queue_capacity: usize) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let capacity = queue_capacity.max(1) as u64;
+    let outstanding = (outstanding as u64).min(u64::MAX / base_ms.max(1)); // overflow guard
+    let scaled = base_ms.saturating_mul(outstanding + 1).div_ceil(capacity + 1);
+    scaled.clamp(base_ms, base_ms.saturating_mul(16))
+}
+
 /// One admitted unit of work: the parsed instance plus the rendezvous
-/// channel its connection blocks on.
+/// channel its connection blocks on. The reply is a [`Result`] so a
+/// planner failure (impossible for the local cached planner, but the
+/// seam is honest) degrades to a protocol `error` instead of a hang.
 struct Job {
     instance: QueryInstance,
-    reply: channel::Sender<ServedPlan>,
+    reply: channel::Sender<Result<ServedPlan, PlanError>>,
 }
 
 /// State shared by every thread of the server.
@@ -147,6 +174,10 @@ struct Inner {
     cache: PlanCache,
     bnb: BnbConfig,
     retry_after_ms: u64,
+    queue_capacity: usize,
+    /// Admitted jobs not yet completed (queued + executing) — what the
+    /// load-aware `busy` hint scales with.
+    outstanding: AtomicUsize,
     poll_interval: Duration,
     /// Hard-stop flag: accept loop, connection readers, and the snapshot
     /// thread exit at their next poll.
@@ -206,6 +237,10 @@ pub struct Server {
     inner: Arc<Inner>,
     listen_addr: ListenAddr,
     snapshot_path: Option<PathBuf>,
+    /// Held for the server's lifetime when persistence is on; guards the
+    /// snapshot path against a second live writer (released on drop at
+    /// the end of [`shutdown`](Self::shutdown)).
+    _snapshot_lock: Option<SnapshotLock>,
     /// Master sender keeping the admission queue open; dropped during
     /// shutdown so the workers drain and exit.
     job_tx: Option<channel::Sender<Job>>,
@@ -227,18 +262,27 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// I/O errors from binding, or a snapshot file that exists but fails
-    /// to parse/restore (reported as `InvalidData` — a corrupt snapshot
-    /// is refused loudly rather than silently served cold).
+    /// I/O errors from binding; `AddrInUse` when another live process
+    /// holds the snapshot path's `.lock` file (two writers would
+    /// last-writer-wins each other's snapshots); or a snapshot file that
+    /// exists but fails to parse/restore (reported as `InvalidData` — a
+    /// corrupt snapshot is refused loudly rather than silently served
+    /// cold).
     pub fn start(addr: &ListenAddr, config: &ServerConfig) -> io::Result<Server> {
         assert!(config.queue_capacity > 0, "the admission queue needs at least one slot");
         let listener = Listener::bind(addr)?;
         let listen_addr = listener.local_addr()?;
+        let snapshot_lock = match &config.snapshot_path {
+            Some(path) => Some(SnapshotLock::acquire(path)?),
+            None => None,
+        };
 
         let inner = Arc::new(Inner {
             cache: PlanCache::new(config.cache.clone()),
             bnb: config.bnb.clone(),
             retry_after_ms: config.retry_after_ms,
+            queue_capacity: config.queue_capacity,
+            outstanding: AtomicUsize::new(0),
             poll_interval: config.poll_interval,
             shutdown: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
@@ -299,6 +343,7 @@ impl Server {
             inner,
             listen_addr,
             snapshot_path: config.snapshot_path.clone(),
+            _snapshot_lock: snapshot_lock,
             job_tx: Some(job_tx),
             accept_handle: Some(accept_handle),
             worker_handles,
@@ -417,6 +462,10 @@ fn accept_loop(listener: Listener, inner: &Arc<Inner>, job_tx: &channel::Sender<
 }
 
 fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
+    // Every worker fronts the shared cache through the same Planner
+    // seam batch serving and the CLI use; the daemon adds admission and
+    // transport around it, not its own serve logic.
+    let planner = CachedPlanner::new(&inner.cache, inner.bnb.clone());
     loop {
         // Holding the lock while blocked is fine: a worker that receives
         // a job releases it before optimizing, so pickup is serialized
@@ -425,7 +474,8 @@ fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders gone: drained, exit
         };
-        let served = inner.cache.serve(&job.instance, &inner.bnb);
+        let served = planner.plan(&job.instance);
+        inner.outstanding.fetch_sub(1, Ordering::Relaxed);
         // A connection that died while waiting just drops the reply.
         let _ = job.reply.send(served);
     }
@@ -600,12 +650,13 @@ fn serve_document(
             return protocol_error(reader, inner, format!("cannot parse instance: {e}"));
         }
     };
-    let (reply_tx, reply_rx) = channel::bounded::<ServedPlan>(1);
+    let (reply_tx, reply_rx) = channel::bounded::<Result<ServedPlan, PlanError>>(1);
     match job_tx.try_send(Job { instance, reply: reply_tx }) {
         Ok(()) => {
             inner.admitted.fetch_add(1, Ordering::Relaxed);
+            inner.outstanding.fetch_add(1, Ordering::Relaxed);
             match reply_rx.recv() {
-                Ok(served) => write_response(
+                Ok(Ok(served)) => write_response(
                     reader,
                     &Response::Served {
                         source: served.source,
@@ -614,6 +665,12 @@ fn serve_document(
                         plan: served.plan.indices(),
                     },
                 ),
+                // A planner failure (unreachable for the local cached
+                // planner) degrades to a protocol error.
+                Ok(Err(e)) => {
+                    inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    write_response(reader, &Response::Error { message: e.to_string() })
+                }
                 // Worker vanished mid-request (only possible on teardown
                 // races): report and close.
                 Err(_) => {
@@ -627,11 +684,50 @@ fn serve_document(
         }
         Err(TrySendError::Full(_)) => {
             inner.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            write_response(reader, &Response::Busy { retry_after_ms: inner.retry_after_ms })
+            let retry_after_ms = load_aware_retry_ms(
+                inner.retry_after_ms,
+                inner.outstanding.load(Ordering::Relaxed),
+                inner.queue_capacity,
+            );
+            write_response(reader, &Response::Busy { retry_after_ms })
         }
         Err(TrySendError::Disconnected(_)) => {
             write_response(reader, &Response::Error { message: "server is shutting down".into() });
             false
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::load_aware_retry_ms;
+
+    #[test]
+    fn retry_hint_is_monotone_in_outstanding_work() {
+        for capacity in [1usize, 4, 64] {
+            let mut previous = 0;
+            for outstanding in 0..=4 * capacity + 8 {
+                let hint = load_aware_retry_ms(50, outstanding, capacity);
+                assert!(hint >= previous, "hint fell {previous} -> {hint} at {outstanding}");
+                assert!(hint >= 50, "never below the base");
+                assert!(hint <= 50 * 16, "capped at 16x the base");
+                previous = hint;
+            }
+        }
+    }
+
+    #[test]
+    fn retry_hint_is_the_base_at_a_just_full_queue_and_scales_past_it() {
+        // outstanding == capacity (queue full, workers idle): the base.
+        assert_eq!(load_aware_retry_ms(50, 64, 64), 50);
+        // Every extra outstanding request pushes the hint up.
+        assert!(load_aware_retry_ms(50, 128, 64) > load_aware_retry_ms(50, 64, 64));
+        // Small queues scale fast: full queue + one executing = 1.5x.
+        assert_eq!(load_aware_retry_ms(50, 2, 1), 75);
+        // A zero base stays zero (hints disabled by configuration).
+        assert_eq!(load_aware_retry_ms(0, 1000, 1), 0);
+        // Degenerate capacities behave.
+        assert_eq!(load_aware_retry_ms(50, 0, 0), 50);
+        assert_eq!(load_aware_retry_ms(u64::MAX, usize::MAX, 1), u64::MAX);
     }
 }

@@ -280,6 +280,26 @@ fn corrupt_snapshots_fail_startup() {
     std::fs::remove_file(&snapshot).ok();
 }
 
+/// Two live servers on one snapshot path would last-writer-wins each
+/// other's atomic renames; the `.lock` PID file makes the second refuse
+/// to start, and a clean shutdown releases the path for the next one.
+#[test]
+fn snapshot_paths_are_locked_against_a_second_live_server() {
+    let snapshot = temp_path("locked");
+    let config = ServerConfig { snapshot_path: Some(snapshot.clone()), ..quick_config() };
+    let first = Server::start(&tcp(), &config).expect("first server starts");
+    let err = Server::start(&tcp(), &config).expect_err("second server must refuse");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    assert!(err.to_string().contains("locked by live process"), "{err}");
+    // Snapshot-free servers are unaffected.
+    Server::start(&tcp(), &quick_config()).expect("no-snapshot server starts").shutdown();
+    first.shutdown();
+    assert!(!dsq_server::lock_path(&snapshot).exists(), "shutdown releases the lock");
+    // The path is reusable once the holder is gone.
+    Server::start(&tcp(), &config).expect("restart after release").shutdown();
+    std::fs::remove_file(&snapshot).ok();
+}
+
 /// The background writer persists without waiting for shutdown.
 #[test]
 fn periodic_snapshots_are_written() {

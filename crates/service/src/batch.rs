@@ -1,9 +1,9 @@
-//! Batched optimization over a worker pool.
+//! Batched optimization: the cache-backed convenience wrapper over the
+//! generic [`plan_batch`](crate::plan_batch) worker pool.
 
 use crate::cache::{PlanCache, ServedPlan};
-use crossbeam::channel;
+use crate::planner::{plan_batch, CachedPlanner};
 use dsq_core::{BnbConfig, QueryInstance};
-use parking_lot::Mutex;
 use std::num::NonZeroUsize;
 
 /// Options of one [`optimize_batch`] run. Passive struct; fields are
@@ -68,56 +68,11 @@ pub fn optimize_batch(
     requests: &[QueryInstance],
     options: &BatchOptions,
 ) -> Vec<ServedPlan> {
-    if requests.is_empty() {
-        return Vec::new();
-    }
-    let workers = options.workers.get().min(requests.len());
-    if workers <= 1 {
-        return requests.iter().map(|inst| cache.serve(inst, &options.config)).collect();
-    }
-
-    let (task_tx, task_rx) = channel::bounded::<(usize, &QueryInstance)>(requests.len());
-    for task in requests.iter().enumerate() {
-        task_tx.send(task).expect("receiver alive while filling the queue");
-    }
-    drop(task_tx);
-    // The vendored crossbeam receiver is single-consumer; a mutex turns
-    // it into the shared work queue the pool drains.
-    let task_rx = Mutex::new(task_rx);
-    let (result_tx, result_rx) = channel::bounded::<(usize, ServedPlan)>(requests.len());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let task_rx = &task_rx;
-            let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                loop {
-                    // Hold the queue lock only for the pop, never during
-                    // the optimization.
-                    let task = task_rx.lock().try_recv();
-                    match task {
-                        Ok((index, inst)) => {
-                            let served = cache.serve(inst, &options.config);
-                            result_tx
-                                .send((index, served))
-                                .expect("main thread keeps the result receiver alive");
-                        }
-                        Err(_) => break, // queue drained
-                    }
-                }
-            });
-        }
-        drop(result_tx);
-
-        let mut results: Vec<Option<ServedPlan>> = (0..requests.len()).map(|_| None).collect();
-        while let Ok((index, served)) = result_rx.recv() {
-            results[index] = Some(served);
-        }
-        results
-            .into_iter()
-            .map(|slot| slot.expect("every request produces exactly one result"))
-            .collect()
-    })
+    let planner = CachedPlanner::new(cache, options.config.clone());
+    plan_batch(&planner, requests, options.workers)
+        .into_iter()
+        .map(|result| result.expect("cached planners are infallible"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -17,8 +17,16 @@
 //!   branch-and-bound via
 //!   [`BnbConfig::initial_incumbent`](dsq_core::BnbConfig), which prunes
 //!   most of the tree while preserving exact optimality.
-//! * [`optimize_batch`] — drains a request queue across a crossbeam
-//!   worker pool sharing one cache, returning results in **request
+//! * [`Planner`] — the one trait every optimize entry point sits
+//!   behind: [`ColdPlanner`] (fresh search per request),
+//!   [`CachedPlanner`] (the cache semantics above), the wire-speaking
+//!   `RemotePlanner` in `dsq-server`, and [`FleetPlanner`], which
+//!   shards requests across N backends by canonical fingerprint (each
+//!   backend's LRU sees a disjoint, stable keyspace), fails over to the
+//!   next replica, and falls back to a local planner when every backend
+//!   is down.
+//! * [`optimize_batch`] / [`plan_batch`] — drain a request queue across
+//!   a worker pool sharing one planner, returning results in **request
 //!   order** regardless of worker scheduling.
 //! * **Multi-probe lookup** ([`CacheConfig::probes`]) — with two probes,
 //!   a primary-grid miss additionally probes a half-bucket-shifted
@@ -55,6 +63,11 @@
 
 mod batch;
 mod cache;
+mod planner;
 
 pub use batch::{optimize_batch, BatchOptions};
 pub use cache::{CacheConfig, CacheStats, PlanCache, RestoreError, ServeSource, ServedPlan};
+pub use planner::{
+    plan_batch, CachedPlanner, ColdPlanner, FleetPlanner, FleetStats, PlanError, Planner,
+    PlannerStats,
+};

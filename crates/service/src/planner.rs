@@ -1,0 +1,679 @@
+//! The `Planner` seam: every way of turning a [`QueryInstance`] into a
+//! served plan — cold optimization, the plan cache, a remote daemon, or
+//! a whole fleet of them — sits behind one trait, so batch fronts,
+//! servers, experiments, and the CLI share a single dispatch path
+//! instead of re-implementing the cache-check → cold-optimize → insert
+//! sequence per entry point.
+//!
+//! Local implementations live here ([`ColdPlanner`], [`CachedPlanner`],
+//! and the fingerprint-routing [`FleetPlanner`]); the wire-speaking
+//! `RemotePlanner` lives in `dsq-server` (it needs the protocol client)
+//! and plugs into [`FleetPlanner`] through the same trait.
+
+use crate::cache::{PlanCache, ServeSource, ServedPlan};
+use dsq_core::{
+    optimize_parallel, optimize_with, BnbConfig, CanonicalKey, Quantization, QueryInstance,
+};
+use parking_lot::Mutex;
+use std::error::Error;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error produced by a [`Planner`] that could not serve a request.
+///
+/// Local planners ([`ColdPlanner`], [`CachedPlanner`]) never fail; the
+/// variants exist for remote and composite planners, and every variant
+/// is a value — a planner must never panic on a malformed peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The backend's admission queue was full and the retry budget is
+    /// exhausted; the hint is the server's last `retry-after-ms`.
+    Busy {
+        /// Backoff suggested by the backend, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The transport failed (connect, read, or write).
+    Transport(String),
+    /// The backend replied with bytes that are not a valid protocol
+    /// response (malformed or truncated line, or a response that cannot
+    /// carry a plan).
+    Protocol(String),
+    /// The backend answered with a protocol-level `error MESSAGE`.
+    Backend(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Busy { retry_after_ms } => {
+                write!(f, "backend busy (retry after {retry_after_ms} ms)")
+            }
+            PlanError::Transport(message) => write!(f, "transport error: {message}"),
+            PlanError::Protocol(message) => write!(f, "protocol error: {message}"),
+            PlanError::Backend(message) => write!(f, "backend error: {message}"),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+/// Aggregate counters every [`Planner`] reports, regardless of how it
+/// obtains plans. Passive struct; fields are public.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Requests that produced a served plan.
+    pub served: u64,
+    /// The subset of [`served`](Self::served) answered by a validated
+    /// cache hit (local or on the remote backend).
+    pub hits: u64,
+    /// The subset answered by a warm-started search.
+    pub warm_starts: u64,
+    /// The subset answered by a cold search.
+    pub cold: u64,
+    /// Requests that ended in a [`PlanError`] (after any internal
+    /// retries and failovers).
+    pub errors: u64,
+    /// Busy replies absorbed by retrying (remote planners).
+    pub retries: u64,
+    /// Requests re-routed to another backend after their home backend
+    /// failed (fleet planners).
+    pub failovers: u64,
+    /// Requests served by the local fallback after every backend failed
+    /// (fleet planners).
+    pub fallbacks: u64,
+}
+
+impl PlannerStats {
+    /// Fraction of served requests answered by a cache hit; `0.0`
+    /// before any request.
+    pub fn hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.served as f64
+        }
+    }
+
+    fn record(&mut self, source: ServeSource) {
+        self.served += 1;
+        match source {
+            ServeSource::CacheHit => self.hits += 1,
+            ServeSource::WarmStart => self.warm_starts += 1,
+            ServeSource::Cold => self.cold += 1,
+        }
+    }
+}
+
+/// One way of turning an instance into a plan. See the [module
+/// docs](self) for the seam this abstracts.
+///
+/// Implementations must be shareable across threads ([`plan_batch`]
+/// drives one planner from a worker pool) and must report failures as
+/// [`PlanError`] values, never panics.
+pub trait Planner: Send + Sync {
+    /// Short stable name for tables and logs (`cold`, `cached`,
+    /// `remote(...)`, `fleet`).
+    fn name(&self) -> &str;
+
+    /// Serves one instance.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when no plan could be produced; local planners are
+    /// infallible and never return one.
+    fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError>;
+
+    /// A snapshot of the planner's counters.
+    fn stats(&self) -> PlannerStats;
+
+    /// Flushes or tears down whatever the planner holds open (remote
+    /// connections, nothing for local planners). Serving may continue
+    /// afterwards; connections re-open lazily.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] when a teardown step fails; the default is a no-op.
+    fn drain(&self) -> Result<(), PlanError> {
+        Ok(())
+    }
+}
+
+impl<P: Planner + ?Sized> Planner for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
+        (**self).plan(instance)
+    }
+
+    fn stats(&self) -> PlannerStats {
+        (**self).stats()
+    }
+
+    fn drain(&self) -> Result<(), PlanError> {
+        (**self).drain()
+    }
+}
+
+/// A [`Planner`] that optimizes every request from scratch — the
+/// cache-off baseline, the CLI `optimize` path, and the local fallback a
+/// [`FleetPlanner`] falls back on when every backend is down.
+#[derive(Debug)]
+pub struct ColdPlanner {
+    config: BnbConfig,
+    threads: NonZeroUsize,
+    quantization: Quantization,
+    served: AtomicU64,
+}
+
+impl ColdPlanner {
+    /// A sequential cold planner with the given optimizer configuration
+    /// and the default fingerprint quantization.
+    pub fn new(config: BnbConfig) -> Self {
+        ColdPlanner {
+            config,
+            threads: NonZeroUsize::new(1).expect("non-zero literal"),
+            quantization: Quantization::default(),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Optimizes with `threads` workers (`optimize_parallel`) instead of
+    /// sequentially.
+    #[must_use]
+    pub fn with_threads(mut self, threads: NonZeroUsize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Fingerprints requests under `quantization` (only the reported
+    /// [`ServedPlan::fingerprint`] changes; plans never depend on it).
+    #[must_use]
+    pub fn with_quantization(mut self, quantization: Quantization) -> Self {
+        self.quantization = quantization;
+        self
+    }
+}
+
+impl Planner for ColdPlanner {
+    fn name(&self) -> &str {
+        "cold"
+    }
+
+    fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
+        let result = if self.threads.get() > 1 {
+            optimize_parallel(instance, &self.config, self.threads)
+        } else {
+            optimize_with(instance, &self.config)
+        };
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Ok(ServedPlan {
+            plan: result.plan().clone(),
+            cost: result.cost(),
+            source: ServeSource::Cold,
+            fingerprint: CanonicalKey::new(instance, &self.quantization).fingerprint(),
+            search: Some(result.stats().clone()),
+        })
+    }
+
+    fn stats(&self) -> PlannerStats {
+        let served = self.served.load(Ordering::Relaxed);
+        PlannerStats { served, cold: served, ..PlannerStats::default() }
+    }
+}
+
+/// A [`Planner`] over a shared [`PlanCache`]: validated hits, warm
+/// starts, and cold searches with write-back — the serving semantics of
+/// [`PlanCache::serve`], behind the trait. This is what `serve-batch`,
+/// the `dsq-server` worker pool, and the harness soak experiments all
+/// route through.
+///
+/// The planner borrows the cache, so several planners (one per worker
+/// thread, say) can front the same cache; counters live in the cache and
+/// are therefore shared too.
+#[derive(Debug)]
+pub struct CachedPlanner<'a> {
+    cache: &'a PlanCache,
+    config: BnbConfig,
+}
+
+impl<'a> CachedPlanner<'a> {
+    /// A planner serving through `cache`, optimizing (cold or warm) with
+    /// `config`.
+    pub fn new(cache: &'a PlanCache, config: BnbConfig) -> Self {
+        CachedPlanner { cache, config }
+    }
+
+    /// The cache this planner serves through.
+    pub fn cache(&self) -> &'a PlanCache {
+        self.cache
+    }
+}
+
+impl Planner for CachedPlanner<'_> {
+    fn name(&self) -> &str {
+        "cached"
+    }
+
+    fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
+        Ok(self.cache.serve(instance, &self.config))
+    }
+
+    fn stats(&self) -> PlannerStats {
+        let cache = self.cache.stats();
+        PlannerStats {
+            served: cache.requests(),
+            hits: cache.hits,
+            warm_starts: cache.warm_starts,
+            cold: cache.misses,
+            ..PlannerStats::default()
+        }
+    }
+}
+
+/// Per-backend routing counters of a [`FleetPlanner`]. Passive struct;
+/// fields are public.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Requests served by each backend, indexed like the constructor's
+    /// backend list.
+    pub per_backend: Vec<u64>,
+    /// Requests that failed on their home backend and were served by
+    /// another replica.
+    pub failovers: u64,
+    /// Requests served by the local fallback after every backend failed.
+    pub fallbacks: u64,
+    /// Requests that failed everywhere (returned a [`PlanError`]).
+    pub errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct FleetCounters {
+    planner: PlannerStats,
+    fleet: FleetStats,
+}
+
+/// A [`Planner`] that shards requests across N backends by canonical
+/// fingerprint and fails over when a backend cannot answer.
+///
+/// Routing is `fingerprint % N`: near-identical queries (same
+/// fingerprint under the routing quantization) always land on the same
+/// backend, so each backend's LRU cache sees a **disjoint, stable
+/// keyspace** — cache partitioning for free, with the aggregate fleet
+/// capacity N× a single backend's. When the home backend fails (busy
+/// after its retry budget, transport error, protocol garbage), the
+/// request walks the remaining replicas in ring order; when every
+/// backend fails it lands on the local fallback planner, if one is
+/// configured.
+pub struct FleetPlanner<'a> {
+    backends: Vec<Box<dyn Planner + 'a>>,
+    fallback: Option<Box<dyn Planner + 'a>>,
+    quantization: Quantization,
+    counters: Mutex<FleetCounters>,
+}
+
+impl fmt::Debug for FleetPlanner<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetPlanner")
+            .field("backends", &self.backends.len())
+            .field("fallback", &self.fallback.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> FleetPlanner<'a> {
+    /// A fleet over `backends`, routing by fingerprints taken under
+    /// `quantization` (use the backends' cache quantization so routing
+    /// and caching agree on which requests are near-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn new(backends: Vec<Box<dyn Planner + 'a>>, quantization: Quantization) -> Self {
+        assert!(!backends.is_empty(), "a fleet needs at least one backend");
+        let per_backend = vec![0; backends.len()];
+        FleetPlanner {
+            backends,
+            fallback: None,
+            quantization,
+            counters: Mutex::new(FleetCounters {
+                fleet: FleetStats { per_backend, ..FleetStats::default() },
+                ..FleetCounters::default()
+            }),
+        }
+    }
+
+    /// Adds a local fallback serving requests no backend could answer
+    /// (typically a [`ColdPlanner`]).
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: Box<dyn Planner + 'a>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// The home backend index a request routes to.
+    pub fn route(&self, instance: &QueryInstance) -> usize {
+        let fingerprint = CanonicalKey::new(instance, &self.quantization).fingerprint();
+        (fingerprint % self.backends.len() as u64) as usize
+    }
+
+    /// Number of backends in the fleet (the fallback not included).
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// A snapshot of the routing counters.
+    pub fn fleet_stats(&self) -> FleetStats {
+        self.counters.lock().fleet.clone()
+    }
+}
+
+impl Planner for FleetPlanner<'_> {
+    fn name(&self) -> &str {
+        "fleet"
+    }
+
+    fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
+        let home = self.route(instance);
+        let mut last_error: Option<PlanError> = None;
+        for hop in 0..self.backends.len() {
+            let backend = (home + hop) % self.backends.len();
+            match self.backends[backend].plan(instance) {
+                Ok(served) => {
+                    let mut counters = self.counters.lock();
+                    counters.planner.record(served.source);
+                    counters.planner.failovers += u64::from(hop > 0);
+                    counters.fleet.per_backend[backend] += 1;
+                    counters.fleet.failovers += u64::from(hop > 0);
+                    return Ok(served);
+                }
+                Err(error) => last_error = Some(error),
+            }
+        }
+        if let Some(fallback) = &self.fallback {
+            match fallback.plan(instance) {
+                Ok(served) => {
+                    let mut counters = self.counters.lock();
+                    counters.planner.record(served.source);
+                    counters.planner.fallbacks += 1;
+                    counters.fleet.fallbacks += 1;
+                    return Ok(served);
+                }
+                Err(error) => last_error = Some(error),
+            }
+        }
+        let mut counters = self.counters.lock();
+        counters.planner.errors += 1;
+        counters.fleet.errors += 1;
+        Err(last_error.expect("at least one backend was tried"))
+    }
+
+    fn stats(&self) -> PlannerStats {
+        self.counters.lock().planner
+    }
+
+    fn drain(&self) -> Result<(), PlanError> {
+        let mut first_error = None;
+        for backend in self.backends.iter().chain(self.fallback.iter()) {
+            if let Err(error) = backend.drain() {
+                first_error.get_or_insert(error);
+            }
+        }
+        match first_error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Serves a batch of instances through any [`Planner`] across a pool of
+/// worker threads, returning one result per request **in request
+/// order**. The queue is a shared index into `requests`, drained until
+/// empty, so an expensive request never blocks the others (no static
+/// partitioning); see [`optimize_batch`](crate::optimize_batch) for the
+/// determinism caveats when the planner is cache-backed.
+pub fn plan_batch<P: Planner + ?Sized>(
+    planner: &P,
+    requests: &[QueryInstance],
+    workers: NonZeroUsize,
+) -> Vec<Result<ServedPlan, PlanError>> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.get().min(requests.len());
+    if workers <= 1 {
+        return requests.iter().map(|instance| planner.plan(instance)).collect();
+    }
+
+    // The work queue is just the next unclaimed request index; a worker
+    // that pops one plans it without holding anything.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<ServedPlan, PlanError>>>> =
+        (0..requests.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(instance) = requests.get(index) else { break };
+                *results[index].lock() = Some(planner.plan(instance));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every request produces exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use dsq_core::optimize;
+    use dsq_workloads::{generate, Family};
+    use std::sync::atomic::AtomicBool;
+
+    fn instance(seed: u64) -> QueryInstance {
+        generate(Family::Clustered, 6, seed)
+    }
+
+    #[test]
+    fn cold_planner_matches_optimize_and_counts() {
+        let planner = ColdPlanner::new(BnbConfig::paper());
+        for seed in 0..3 {
+            let inst = instance(seed);
+            let served = planner.plan(&inst).expect("cold planners are infallible");
+            let fresh = optimize(&inst);
+            assert_eq!(served.cost.to_bits(), fresh.cost().to_bits());
+            assert_eq!(&served.plan, fresh.plan());
+            assert_eq!(served.source, ServeSource::Cold);
+            assert!(served.search.expect("cold runs a search").proven_optimal);
+        }
+        let stats = planner.stats();
+        assert_eq!((stats.served, stats.cold, stats.hits), (3, 3, 0));
+        assert_eq!(planner.name(), "cold");
+        assert!(planner.drain().is_ok());
+    }
+
+    #[test]
+    fn cold_planner_parallel_plans_are_identical() {
+        let inst = instance(9);
+        let sequential = ColdPlanner::new(BnbConfig::paper()).plan(&inst).expect("plans");
+        let parallel = ColdPlanner::new(BnbConfig::paper())
+            .with_threads(NonZeroUsize::new(4).expect("non-zero"))
+            .plan(&inst)
+            .expect("plans");
+        assert_eq!(sequential.plan, parallel.plan);
+        assert_eq!(sequential.cost.to_bits(), parallel.cost.to_bits());
+        assert_eq!(sequential.fingerprint, parallel.fingerprint);
+    }
+
+    #[test]
+    fn cached_planner_serves_through_the_shared_cache() {
+        let cache = PlanCache::new(CacheConfig::default());
+        let planner = CachedPlanner::new(&cache, BnbConfig::paper());
+        let inst = instance(1);
+        let cold = planner.plan(&inst).expect("plans");
+        assert_eq!(cold.source, ServeSource::Cold);
+        let hit = planner.plan(&inst).expect("plans");
+        assert_eq!(hit.source, ServeSource::CacheHit);
+        assert_eq!(hit.plan, cold.plan);
+        let stats = planner.stats();
+        assert_eq!((stats.served, stats.hits, stats.cold), (2, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Counters live in the cache: a second planner over the same
+        // cache sees them.
+        let other = CachedPlanner::new(&cache, BnbConfig::paper());
+        assert_eq!(other.stats(), stats);
+    }
+
+    /// A scripted backend for fleet tests: serves through a cold planner
+    /// unless told to fail.
+    struct Scripted {
+        label: String,
+        inner: ColdPlanner,
+        down: AtomicBool,
+        busy: AtomicBool,
+    }
+
+    impl Scripted {
+        fn new(label: &str) -> Self {
+            Scripted {
+                label: label.to_string(),
+                inner: ColdPlanner::new(BnbConfig::paper()),
+                down: AtomicBool::new(false),
+                busy: AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl Planner for Scripted {
+        fn name(&self) -> &str {
+            &self.label
+        }
+
+        fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
+            if self.down.load(Ordering::Relaxed) {
+                return Err(PlanError::Transport("scripted outage".into()));
+            }
+            if self.busy.load(Ordering::Relaxed) {
+                return Err(PlanError::Busy { retry_after_ms: 10 });
+            }
+            self.inner.plan(instance)
+        }
+
+        fn stats(&self) -> PlannerStats {
+            self.inner.stats()
+        }
+    }
+
+    fn fleet_of<'a>(backends: &'a [Scripted]) -> FleetPlanner<'a> {
+        let boxed: Vec<Box<dyn Planner + 'a>> =
+            backends.iter().map(|b| Box::new(b) as Box<dyn Planner + 'a>).collect();
+        FleetPlanner::new(boxed, Quantization::default())
+    }
+
+    #[test]
+    fn fleet_routes_by_fingerprint_deterministically() {
+        let backends = [Scripted::new("a"), Scripted::new("b")];
+        let fleet = fleet_of(&backends);
+        let requests: Vec<QueryInstance> = (0..12).map(instance).collect();
+        let homes: Vec<usize> = requests.iter().map(|r| fleet.route(r)).collect();
+        for (request, &home) in requests.iter().zip(&homes) {
+            assert_eq!(fleet.route(request), home, "routing is stable");
+            let served = fleet.plan(request).expect("fleet serves");
+            let fresh = optimize(request);
+            assert_eq!(served.cost.to_bits(), fresh.cost().to_bits());
+        }
+        let stats = fleet.fleet_stats();
+        assert_eq!(stats.per_backend.iter().sum::<u64>(), 12);
+        for (backend, &count) in stats.per_backend.iter().enumerate() {
+            let expected = homes.iter().filter(|&&h| h == backend).count() as u64;
+            assert_eq!(count, expected, "backend {backend} serves exactly its partition");
+        }
+        assert_eq!((stats.failovers, stats.fallbacks, stats.errors), (0, 0, 0));
+    }
+
+    #[test]
+    fn fleet_fails_over_to_the_next_replica() {
+        let backends = [Scripted::new("a"), Scripted::new("b")];
+        let fleet = fleet_of(&backends);
+        let request = instance(3);
+        let home = fleet.route(&request);
+        backends[home].down.store(true, Ordering::Relaxed);
+        let served = fleet.plan(&request).expect("the other replica answers");
+        assert_eq!(served.cost.to_bits(), optimize(&request).cost().to_bits());
+        let stats = fleet.fleet_stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.per_backend[home], 0);
+        assert_eq!(stats.per_backend[1 - home], 1);
+        assert_eq!(fleet.stats().failovers, 1);
+    }
+
+    #[test]
+    fn fleet_falls_back_locally_when_every_backend_is_down() {
+        let backends = [Scripted::new("a"), Scripted::new("b")];
+        for backend in &backends {
+            backend.busy.store(true, Ordering::Relaxed);
+        }
+        let boxed: Vec<Box<dyn Planner + '_>> =
+            backends.iter().map(|b| Box::new(b) as Box<dyn Planner + '_>).collect();
+        let fleet = FleetPlanner::new(boxed, Quantization::default())
+            .with_fallback(Box::new(ColdPlanner::new(BnbConfig::paper())));
+        let request = instance(5);
+        let served = fleet.plan(&request).expect("local fallback answers");
+        assert_eq!(served.source, ServeSource::Cold);
+        assert_eq!(served.cost.to_bits(), optimize(&request).cost().to_bits());
+        let stats = fleet.fleet_stats();
+        assert_eq!((stats.fallbacks, stats.errors), (1, 0));
+        assert_eq!(stats.per_backend, vec![0, 0]);
+    }
+
+    #[test]
+    fn fleet_without_fallback_surfaces_the_last_error() {
+        let backends = [Scripted::new("a"), Scripted::new("b")];
+        backends[0].down.store(true, Ordering::Relaxed);
+        backends[1].busy.store(true, Ordering::Relaxed);
+        let fleet = fleet_of(&backends);
+        let request = instance(7);
+        let error = fleet.plan(&request).expect_err("everything is down");
+        // The last replica tried reported busy or transport, depending
+        // on routing; either way it is a typed error, not a panic.
+        assert!(matches!(error, PlanError::Busy { .. } | PlanError::Transport(_)));
+        let stats = fleet.fleet_stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(fleet.stats().errors, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn empty_fleets_are_rejected() {
+        let _ = FleetPlanner::new(Vec::new(), Quantization::default());
+    }
+
+    #[test]
+    fn plan_batch_preserves_request_order_for_any_planner() {
+        let planner = ColdPlanner::new(BnbConfig::paper());
+        let requests: Vec<QueryInstance> = (0..10).map(|s| instance(s % 4)).collect();
+        let results = plan_batch(&planner, &requests, NonZeroUsize::new(4).expect("non-zero"));
+        assert_eq!(results.len(), requests.len());
+        for (request, result) in requests.iter().zip(results) {
+            let served = result.expect("cold planners are infallible");
+            assert_eq!(served.cost.to_bits(), optimize(request).cost().to_bits());
+        }
+        assert!(plan_batch(&planner, &[], NonZeroUsize::new(4).expect("non-zero")).is_empty());
+    }
+
+    #[test]
+    fn plan_error_displays_are_stable() {
+        assert_eq!(
+            PlanError::Busy { retry_after_ms: 40 }.to_string(),
+            "backend busy (retry after 40 ms)"
+        );
+        assert_eq!(PlanError::Transport("refused".into()).to_string(), "transport error: refused");
+        assert_eq!(PlanError::Protocol("bad line".into()).to_string(), "protocol error: bad line");
+        assert_eq!(PlanError::Backend("no".into()).to_string(), "backend error: no");
+    }
+}

@@ -64,4 +64,62 @@ grep -q "drained cleanly" "$server_log"
 [ -f "$snapshot" ] || { echo "server_smoke: no final snapshot" >&2; exit 1; }
 [ -e "$sock" ] && { echo "server_smoke: socket not unlinked" >&2; exit 1; }
 
-echo "server_smoke: OK (clean drain, snapshot persisted)" >&2
+# ---- 2-backend fleet smoke -------------------------------------------
+# Two daemons (1 worker each: single-core container), requests sharded
+# across them by fingerprint via `client --fleet`, repeats hitting the
+# backend caches, then one backend killed and the same stream completing
+# via failover.
+sock_a="$workdir/fleet-a.sock"
+sock_b="$workdir/fleet-b.sock"
+fleet_a_pid=""
+fleet_b_pid=""
+fleet_cleanup() {
+    [ -n "$fleet_a_pid" ] && kill "$fleet_a_pid" 2>/dev/null || true
+    [ -n "$fleet_b_pid" ] && kill "$fleet_b_pid" 2>/dev/null || true
+}
+trap 'fleet_cleanup; cleanup' EXIT
+
+"$bin" serve --unix "$sock_a" --workers 1 < /dev/null > "$workdir/fleet-a.log" &
+fleet_a_pid=$!
+"$bin" serve --unix "$sock_b" --workers 1 < /dev/null > "$workdir/fleet-b.log" &
+fleet_b_pid=$!
+for _ in $(seq 1 300); do
+    [ -S "$sock_a" ] && [ -S "$sock_b" ] && break
+    sleep 0.1
+done
+[ -S "$sock_a" ] && [ -S "$sock_b" ] || { echo "server_smoke: fleet sockets never appeared" >&2; exit 1; }
+
+# A handful of distinct queries so both backends see traffic
+# (fingerprint routing is deterministic in the generator seeds).
+fleet_files=()
+for seed in 21 22 23 24 25 26; do
+    "$bin" generate --family clustered -n 7 --seed "$seed" > "$workdir/fq$seed.dsq"
+    fleet_files+=("$workdir/fq$seed.dsq")
+done
+"$bin" client --fleet "unix://$sock_a,unix://$sock_b" optimize "${fleet_files[@]}" --repeat 2 \
+    > "$workdir/fleet.out"
+grep -q " cold " "$workdir/fleet.out"
+grep -q " hit " "$workdir/fleet.out"
+grep -q "fleet: 2 backends served 12 requests" "$workdir/fleet.out"
+grep -q "0 failovers, 0 local fallbacks" "$workdir/fleet.out"
+# Both partitions carried traffic.
+"$bin" client --unix "$sock_a" stats | grep -vq "^requests 0 " || \
+    { echo "server_smoke: backend a served nothing" >&2; exit 1; }
+"$bin" client --unix "$sock_b" stats | grep -vq "^requests 0 " || \
+    { echo "server_smoke: backend b served nothing" >&2; exit 1; }
+
+# Kill backend B; the same stream must complete by failing over to A
+# (and the summary must say so).
+"$bin" client --unix "$sock_b" shutdown | grep -qx "server draining"
+wait "$fleet_b_pid"
+fleet_b_pid=""
+"$bin" client --fleet "unix://$sock_a,unix://$sock_b" optimize "${fleet_files[@]}" \
+    > "$workdir/failover.out"
+grep -q "fleet: 2 backends served 6 requests" "$workdir/failover.out"
+grep -q "0 local fallbacks" "$workdir/failover.out"
+
+"$bin" client --unix "$sock_a" shutdown | grep -qx "server draining"
+wait "$fleet_a_pid"
+fleet_a_pid=""
+
+echo "server_smoke: OK (clean drain, snapshot persisted, fleet sharding + failover)" >&2

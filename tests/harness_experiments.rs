@@ -19,7 +19,10 @@ fn registry_is_complete() {
     let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
     assert_eq!(
         ids,
-        ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"]
+        [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14", "e15"
+        ]
     );
 }
 
@@ -132,6 +135,25 @@ fn e14_daemon_soak_asserts_hold_and_report_the_right_shape() {
         .map(|l| l.split(',').nth(5).expect("hit-rate column").parse().expect("numeric"))
         .collect();
     assert!(hit_rates[1] > hit_rates[0] + 0.5, "multi-probe recovery: {hit_rates:?}");
+}
+
+#[test]
+fn e15_fleet_partitioning_beats_the_single_server() {
+    // e15 bakes its own asserts in (fleet hit rate ≥ single server,
+    // exact failover accounting, per-request tolerance, fallback
+    // coverage); running it at quick sizes is the regression guard.
+    // Check the headline comparison on top.
+    let tables = run_by_id("e15");
+    assert_eq!(tables.len(), 2);
+    let csv = tables[0].to_csv();
+    let rows: Vec<Vec<String>> =
+        csv.lines().skip(1).map(|l| l.split(',').map(str::to_string).collect()).collect();
+    let single_rate: f64 = rows[0][5].parse().expect("numeric hit rate");
+    let fleet_rate: f64 = rows[1][5].parse().expect("numeric hit rate");
+    assert!(
+        fleet_rate > single_rate + 0.5,
+        "partitioning must decisively beat the thrashing single server: {single_rate} vs {fleet_rate}"
+    );
 }
 
 #[test]
