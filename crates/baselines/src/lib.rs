@@ -45,7 +45,7 @@ pub use btsp::{
 };
 pub use error::BaselineError;
 pub use exhaustive::{exhaustive, exhaustive_with_limit, ExhaustiveResult, EXHAUSTIVE_MAX_N};
-pub use greedy::{best_greedy, greedy, GreedyKind, GreedyResult};
+pub use greedy::{best_greedy, fast_greedy, greedy, GreedyKind, GreedyResult};
 pub use local_search::{local_search, LocalSearchConfig, LocalSearchResult};
 pub use sampling::{random_plan, random_sampling, SamplingResult};
 pub use subset_dp::{subset_dp, subset_dp_with_limit, DpResult, SUBSET_DP_MAX_N};

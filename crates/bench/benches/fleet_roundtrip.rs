@@ -57,7 +57,8 @@ fn bench_fleet(c: &mut Criterion) {
         Box::new(RemotePlanner::new(server_a.listen_addr().clone())),
         Box::new(RemotePlanner::new(server_b.listen_addr().clone())),
     ];
-    let fleet = FleetPlanner::new(backends, Quantization::new(0.2));
+    let fleet =
+        FleetPlanner::new(backends, Quantization::new(0.2)).expect("two backends were just built");
     for inst in &requests {
         fleet.plan(inst).expect("warmup request");
     }

@@ -1,0 +1,100 @@
+//! E16's timing series: what a tier-1 answer costs against the cold
+//! exact search it replaces — the greedy heuristic alone, the full
+//! tiered miss path (fingerprint, probe, greedy, heuristic write-back),
+//! and the background refinement search warm-started from the greedy
+//! incumbent — all at the production-relevant n = 12 on btsp-hard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsq_baselines::fast_greedy;
+use dsq_core::{optimize_with, BnbConfig, QueryInstance};
+use dsq_service::{CacheConfig, PlanCache, PlanTier, Planner, TieredConfig, TieredPlanner};
+use dsq_workloads::{generate, Family};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+const N: usize = 12;
+/// Distinct instances per tier-1 batch: every request is a genuine miss.
+const MISSES: usize = 64;
+
+/// Refinement disabled (queue capacity 0 drops every job) so the miss
+/// path is measured without a background worker contending for the
+/// single core.
+fn latency_only() -> TieredConfig {
+    TieredConfig { refine_workers: NonZeroUsize::new(1).expect("non-zero"), queue_capacity: 0 }
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tier_latency");
+    let config = BnbConfig::paper();
+    let instances: Vec<QueryInstance> =
+        (0..MISSES as u64).map(|s| generate(Family::BtspHard, N, 700 + s)).collect();
+
+    // Tier 1 in isolation: the greedy construction alone.
+    group.bench_with_input(
+        BenchmarkId::new("greedy", format!("btsp-n{N}")),
+        &instances[0],
+        |b, inst| b.iter(|| black_box(fast_greedy(black_box(inst)))),
+    );
+
+    // What the miss would have paid in line without the tier.
+    group.bench_with_input(
+        BenchmarkId::new("cold_exact", format!("btsp-n{N}")),
+        &instances[0],
+        |b, inst| b.iter(|| black_box(optimize_with(black_box(inst), &config))),
+    );
+
+    // The background refinement search: exact, warm-started from the
+    // greedy incumbent the miss was answered with.
+    let incumbent = fast_greedy(&instances[0]);
+    group.bench_with_input(
+        BenchmarkId::new("refine_warm", format!("btsp-n{N}")),
+        &instances[0],
+        |b, inst| {
+            b.iter(|| {
+                let warm = config.clone().with_initial_incumbent(incumbent.plan().clone());
+                black_box(optimize_with(black_box(inst), &warm))
+            })
+        },
+    );
+
+    // The full tier-1 miss path: per-element cost is the latency a
+    // cache miss is answered at. A fresh planner per iteration keeps
+    // every request a genuine miss; its construction and teardown (one
+    // worker thread) amortize to well under a microsecond per element.
+    let probe = TieredPlanner::with_config(
+        Arc::new(PlanCache::new(CacheConfig::default())),
+        config.clone(),
+        latency_only(),
+    );
+    for inst in &instances {
+        let served = probe.plan(inst).expect("tiered planners are infallible");
+        assert_eq!(served.tier, PlanTier::Heuristic, "every pool instance is a distinct miss");
+    }
+    drop(probe);
+    group.throughput(Throughput::Elements(MISSES as u64));
+    group.bench_function(
+        BenchmarkId::new("tier1_miss_stream", format!("btsp-n{N}x{MISSES}")),
+        |b| {
+            b.iter(|| {
+                let planner = TieredPlanner::with_config(
+                    Arc::new(PlanCache::new(CacheConfig::default())),
+                    config.clone(),
+                    latency_only(),
+                );
+                for inst in &instances {
+                    black_box(planner.plan(black_box(inst)).expect("miss round trip"));
+                }
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_tiers
+}
+criterion_main!(benches);

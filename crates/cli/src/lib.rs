@@ -32,8 +32,8 @@ use dsq_core::{
 };
 use dsq_server::{Client, ListenAddr, RemotePlanner, Response, Server, ServerConfig, SnapshotLock};
 use dsq_service::{
-    plan_batch, CacheConfig, CachedPlanner, ColdPlanner, FleetPlanner, PlanCache, Planner,
-    ServedPlan,
+    plan_batch, CacheConfig, CachedPlanner, ColdPlanner, FleetPlanner, PlanCache, PlanTier,
+    Planner, ServedPlan, TieredPlanner,
 };
 use dsq_simulator::{simulate, SimConfig};
 use dsq_workloads::{generate, Family};
@@ -85,11 +85,13 @@ const USAGE: &str = "usage:
   dsq serve-batch DIR|-  [--workers T] [--config NAME] [--shards S]
                          [--capacity C] [--resolution R] [--tolerance X]
                          [--probes P] [--snapshot-in FILE] [--snapshot-out FILE]
+                         [--tiered]                   two-tier anytime serving
                          [--remote ADDRS]             serve through remote daemons
   dsq serve  --unix PATH | --tcp ADDR                 long-lived plan-serving daemon
              [--workers T] [--config NAME] [--shards S] [--capacity C]
              [--resolution R] [--tolerance X] [--probes P] [--queue Q]
              [--retry-ms N] [--snapshot FILE] [--snapshot-interval-secs S]
+             [--tiered]
   dsq client --unix PATH | --tcp ADDR | --fleet ADDRS [--resolution R]  COMMAND
              COMMAND = optimize FILE... [--repeat N] | stats | ping | shutdown
 families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
@@ -100,7 +102,9 @@ serve drains gracefully on stdin EOF (tty/pipe stdin; ignored for /dev/null)
 or a client `shutdown` request; ADDRS is a comma-separated backend list
 (unix://PATH or tcp://HOST:PORT) — --fleet/--remote shard requests across the
 backends by canonical fingerprint, fail over between replicas, and fall back
-to a local cold optimization when every backend is busy or down";
+to a local cold optimization when every backend is busy or down; --tiered
+answers cache misses immediately with a greedy plan (`tier heur` on output)
+and refines them to exact in the background, upgrading the cache in place";
 
 fn io_err(e: std::io::Error) -> CliError {
     format!("I/O error: {e}")
@@ -412,12 +416,13 @@ fn build_fleet(
     addrs: &[ListenAddr],
     quantization: Quantization,
     config: BnbConfig,
-) -> FleetPlanner<'static> {
+) -> Result<FleetPlanner<'static>, CliError> {
     let backends: Vec<Box<dyn Planner>> = addrs
         .iter()
         .map(|addr| Box::new(RemotePlanner::new(addr.clone())) as Box<dyn Planner>)
         .collect();
-    FleetPlanner::new(backends, quantization).with_fallback(Box::new(ColdPlanner::new(config)))
+    let fleet = FleetPlanner::new(backends, quantization).map_err(|e| e.to_string())?;
+    Ok(fleet.with_fallback(Box::new(ColdPlanner::new(config))))
 }
 
 /// One fleet summary line: per-backend request counts plus the failover
@@ -467,11 +472,13 @@ fn serve_batch_cmd<'a>(
     let mut snapshot_in: Option<&str> = None;
     let mut snapshot_out: Option<&str> = None;
     let mut remote: Option<&str> = None;
+    let mut tiered = false;
     while let Some(arg) = args.next() {
         if parse_cache_flag(arg, args, &mut cache_config)? {
             continue;
         }
         match arg {
+            "--tiered" => tiered = true,
             "--workers" => {
                 workers = args
                     .next()
@@ -494,6 +501,9 @@ fn serve_batch_cmd<'a>(
     let path = path.ok_or("serve-batch requires a directory or `-` for stdin")?;
     if remote.is_some() && (snapshot_in.is_some() || snapshot_out.is_some()) {
         return Err("--remote backends own their caches; drop --snapshot-in/--snapshot-out".into());
+    }
+    if remote.is_some() && tiered {
+        return Err("--remote backends choose their own serving mode; drop --tiered".into());
     }
 
     // Gather the request stream: every *.dsq under a directory (sorted
@@ -544,7 +554,7 @@ fn serve_batch_cmd<'a>(
     // cache (the backends keep their own caches and snapshots).
     if let Some(spec) = remote {
         let addrs = parse_fleet_spec(spec)?;
-        let fleet = build_fleet(&addrs, cache_config.quantization, config);
+        let fleet = build_fleet(&addrs, cache_config.quantization, config)?;
         let started = Instant::now();
         let results = plan_batch(&fleet, &instances, workers);
         let elapsed = started.elapsed();
@@ -567,7 +577,7 @@ fn serve_batch_cmd<'a>(
     let _snapshot_lock = snapshot_out
         .map(|p| SnapshotLock::acquire(std::path::Path::new(p)).map_err(|e| e.to_string()))
         .transpose()?;
-    let cache = PlanCache::new(cache_config);
+    let cache = std::sync::Arc::new(PlanCache::new(cache_config));
     if let Some(snapshot_path) = snapshot_in {
         let text = std::fs::read_to_string(snapshot_path)
             .map_err(|e| format!("cannot read {snapshot_path}: {e}"))?;
@@ -576,10 +586,22 @@ fn serve_batch_cmd<'a>(
             .map_err(|e| format!("cannot restore snapshot {snapshot_path}: {e}"))?;
         writeln!(out, "restored {restored} cached plans from {snapshot_path}").map_err(io_err)?;
     }
+    // Tiered mode answers every miss with the greedy heuristic (those
+    // lines carry `tier heur`) and refines in the background; the drain
+    // below makes the refinements land before stats or snapshot-out, so
+    // the written snapshot only ever holds exact plans.
+    let tiered_planner =
+        tiered.then(|| TieredPlanner::new(std::sync::Arc::clone(&cache), config.clone()));
     let planner = CachedPlanner::new(&cache, config);
     let started = Instant::now();
-    let results = plan_batch(&planner, &instances, workers);
+    let results = match &tiered_planner {
+        Some(tiered) => plan_batch(tiered, &instances, workers),
+        None => plan_batch(&planner, &instances, workers),
+    };
     let elapsed = started.elapsed();
+    if let Some(tiered) = &tiered_planner {
+        tiered.drain().map_err(|e| format!("refinement drain failed: {e}"))?;
+    }
 
     write_served_lines(out, &names, &results)?;
     let stats = cache.stats();
@@ -603,6 +625,19 @@ fn serve_batch_cmd<'a>(
         stats.evictions,
     )
     .map_err(io_err)?;
+    if let Some(tiered) = &tiered_planner {
+        let t = tiered.tiered_stats();
+        writeln!(
+            out,
+            "tiered: {} tier-1 answers, {} refined ({} skipped, {} dropped), max gap {:.2}%",
+            t.heuristic_served,
+            t.refined,
+            t.refine_skipped,
+            t.refine_dropped,
+            t.max_gap * 100.0,
+        )
+        .map_err(io_err)?;
+    }
     if let Some(snapshot_path) = snapshot_out {
         let snapshot = cache.snapshot();
         std::fs::write(snapshot_path, snapshot.to_text())
@@ -625,15 +660,26 @@ fn write_served_lines(
         let served = result.as_ref().map_err(|e| format!("request {name} failed: {e}"))?;
         writeln!(
             out,
-            "{:<28} {:<5} cost {:<12.6} plan {}",
+            "{:<28} {:<5} cost {:<12.6} plan {}{}",
             name,
             served.source.name(),
             served.cost,
-            served.plan
+            served.plan,
+            tier_suffix(served.tier),
         )
         .map_err(io_err)?;
     }
     Ok(())
+}
+
+/// The trailing tier marker on served-plan lines: exact plans render
+/// exactly as before tiered serving existed, heuristic ones carry the
+/// same ` tier heur` token the wire protocol uses.
+fn tier_suffix(tier: PlanTier) -> &'static str {
+    match tier {
+        PlanTier::Exact => "",
+        PlanTier::Heuristic => " tier heur",
+    }
 }
 
 fn serve_cmd<'a>(
@@ -684,6 +730,7 @@ fn serve_cmd<'a>(
                         .ok_or("--snapshot-interval-secs needs a positive integer")?,
                 )
             }
+            "--tiered" => config.tiered = true,
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -696,11 +743,12 @@ fn serve_cmd<'a>(
     }
     writeln!(
         out,
-        "listening on {} ({} workers, queue {}, {} probes)",
+        "listening on {} ({} workers, queue {}, {} probes{})",
         server.listen_addr(),
         config.workers,
         config.queue_capacity,
         config.cache.probes,
+        if config.tiered { ", tiered" } else { "" },
     )
     .map_err(io_err)?;
     out.flush().map_err(io_err)?;
@@ -838,7 +886,7 @@ fn client_cmd<'a>(
             return Err(format!("--fleet only supports the optimize command, not `{command}`"));
         }
         let addrs = parse_fleet_spec(spec)?;
-        let fleet = build_fleet(&addrs, routing, BnbConfig::paper());
+        let fleet = build_fleet(&addrs, routing, BnbConfig::paper())?;
         // Parse once, before any request goes out: a bad document is an
         // up-front usage error, not a mid-stream failure on repeat 1.
         let requests: Vec<(String, QueryInstance)> = gather_client_requests(&files)?
@@ -855,10 +903,11 @@ fn client_cmd<'a>(
                     fleet.plan(instance).map_err(|e| format!("request {name} failed: {e}"))?;
                 writeln!(
                     out,
-                    "{name:<28} {:<5} cost {:<12.6} plan {}",
+                    "{name:<28} {:<5} cost {:<12.6} plan {}{}",
                     served.source.name(),
                     served.cost,
-                    served.plan
+                    served.plan,
+                    tier_suffix(served.tier),
                 )
                 .map_err(io_err)?;
             }
@@ -876,12 +925,13 @@ fn client_cmd<'a>(
             for _ in 0..repeat {
                 for (name, text) in &requests {
                     match client.optimize_text(text).map_err(transport)? {
-                        Response::Served { source, cost, plan, .. } => {
+                        Response::Served { source, cost, plan, tier, .. } => {
                             let plan = Plan::new(plan).map_err(|e| e.to_string())?;
                             writeln!(
                                 out,
-                                "{name:<28} {:<5} cost {cost:<12.6} plan {plan}",
-                                source.name()
+                                "{name:<28} {:<5} cost {cost:<12.6} plan {plan}{}",
+                                source.name(),
+                                tier_suffix(tier),
                             )
                             .map_err(io_err)?;
                         }
@@ -1150,6 +1200,71 @@ mod tests {
             format!(
                 "cannot restore snapshot {snapshot_arg}: snapshot resolution 0.05 does not match cache resolution 0.1"
             )
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `serve-batch --tiered`: misses are answered by the greedy tier
+    /// (their lines carry `tier heur`), the pre-exit drain refines every
+    /// entry, and the snapshot hands a second run pure exact hits.
+    #[test]
+    fn serve_batch_tiered_answers_heur_then_refines_before_the_snapshot() {
+        let dir = std::env::temp_dir().join(format!("dsq-tiered-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create batch dir");
+        for (name, seed) in [("a.dsq", 51u64), ("b.dsq", 52), ("c.dsq", 53)] {
+            let text = run_ok(&[
+                "generate",
+                "--family",
+                "clustered",
+                "-n",
+                "6",
+                "--seed",
+                &seed.to_string(),
+            ]);
+            std::fs::write(dir.join(name), text).expect("write instance");
+        }
+        let dir_arg = dir.to_str().expect("utf8");
+        let snapshot = dir.join("plans.dsqc");
+        let snapshot_arg = snapshot.to_str().expect("utf8");
+
+        let first = run_ok(&[
+            "serve-batch",
+            dir_arg,
+            "--workers",
+            "1",
+            "--tiered",
+            "--snapshot-out",
+            snapshot_arg,
+        ]);
+        let heur_lines = first.lines().filter(|l| l.ends_with(" tier heur")).count();
+        assert_eq!(heur_lines, 3, "every miss is answered by the greedy tier:\n{first}");
+        assert!(first.contains("tiered: 3 tier-1 answers, 3 refined"), "{first}");
+        // The drain ran before the snapshot: all three entries are exact
+        // and eligible for persistence.
+        assert!(
+            first.contains(&format!("wrote snapshot (3 entries) to {snapshot_arg}")),
+            "{first}"
+        );
+
+        let second = run_ok(&[
+            "serve-batch",
+            dir_arg,
+            "--workers",
+            "1",
+            "--tiered",
+            "--snapshot-in",
+            snapshot_arg,
+        ]);
+        assert!(second.contains("cache: 3 hits, 0 warm starts, 0 cold"), "{second}");
+        assert!(
+            !second.contains("tier heur"),
+            "refined entries serve as exact hits after the warm restart:\n{second}"
+        );
+        assert!(second.contains("tiered: 0 tier-1 answers, 0 refined"), "{second}");
+
+        assert_eq!(
+            run_err(&["serve-batch", dir_arg, "--tiered", "--remote", "tcp://x"]),
+            "--remote backends choose their own serving mode; drop --tiered"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -102,7 +102,8 @@ fn fleet_over<'a>(servers: &[&Server], with_fallback: bool) -> FleetPlanner<'a> 
         .iter()
         .map(|s| Box::new(RemotePlanner::new(s.listen_addr().clone())) as Box<dyn Planner>)
         .collect();
-    let fleet = FleetPlanner::new(backends, Quantization::new(RESOLUTION));
+    let fleet = FleetPlanner::new(backends, Quantization::new(RESOLUTION))
+        .expect("the experiment always routes over at least one backend");
     if with_fallback {
         fleet.with_fallback(Box::new(ColdPlanner::new(BnbConfig::paper())))
     } else {

@@ -23,6 +23,7 @@
 //! | e13 | plan-cache batch throughput on drifting statistics (extension) |
 //! | e14 | plan-serving daemon: socket soak, warm restart, admission (extension) |
 //! | e15 | fingerprint-sharded fleet: partitioning, failover, fallback (extension) |
+//! | e16 | tiered anytime serving: heuristic gap, convergence, refinement pruning (extension) |
 //!
 //! Run everything with `cargo run --release -p dsq-harness -- all`, a
 //! subset with `… -- e3 e4`, and halve the sizes with `--quick`.

@@ -67,6 +67,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         crate::experiments::e13_service::experiment(),
         crate::experiments::e14_server::experiment(),
         crate::experiments::e15_fleet::experiment(),
+        crate::experiments::e16_tiered::experiment(),
     ]
 }
 
@@ -111,7 +112,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let experiments = all_experiments();
-        assert_eq!(experiments.len(), 15);
+        assert_eq!(experiments.len(), 16);
         for (i, e) in experiments.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", i + 1), "registry order");
             assert!(!e.title.is_empty());

@@ -12,6 +12,7 @@
 //!
 //! ```text
 //! response  = "ok source " SRC " cost " F64 " fingerprint " HEX16 " plan " I ("," I)*
+//!                 [" tier " TIER]
 //!           | "ok stats requests " N " hits " N " probe2 " N " warm " N " cold " N
 //!                 " busy " N " hit-rate " F64 " entries " N
 //!           | "ok pong"
@@ -19,14 +20,22 @@
 //!           | "busy retry-after-ms " N
 //!           | "error " MESSAGE          ; one line, never empty
 //! SRC       = "hit" | "warm" | "cold"
+//! TIER      = "exact" | "heur"
 //! ```
+//!
+//! The tier token is **optional and trailing**: it is only emitted for
+//! heuristic-tier plans, which only exist when the operator runs the
+//! server with `--tiered`. Exact plans render byte-identically to the
+//! pre-tier wire format, and a missing token parses as `exact` — so
+//! old clients interoperate with non-tiered servers unchanged, and new
+//! clients interoperate with both.
 //!
 //! Costs and rates are Rust `f64` `Display` output, which round-trips
 //! bit-exactly through `parse`; fingerprints are zero-padded lowercase
 //! hex. [`Response::to_line`] and [`Response::parse`] are exact inverses
 //! for every value the server emits.
 
-use dsq_service::ServeSource;
+use dsq_service::{PlanTier, ServeSource};
 use std::fmt;
 
 /// End-of-request marker terminating an instance document.
@@ -80,6 +89,10 @@ pub enum Response {
         fingerprint: u64,
         /// The plan as service indices.
         plan: Vec<usize>,
+        /// Quality tier: [`PlanTier::Heuristic`] for an unrefined
+        /// tier-1 answer from a `--tiered` server, [`PlanTier::Exact`]
+        /// otherwise (and for every line without a tier token).
+        tier: PlanTier,
     },
     /// The admission queue was full; retry after the given hint.
     Busy {
@@ -108,15 +121,30 @@ fn parse_source(name: &str) -> Option<ServeSource> {
     }
 }
 
+fn parse_tier(name: &str) -> Option<PlanTier> {
+    match name {
+        "exact" => Some(PlanTier::Exact),
+        "heur" => Some(PlanTier::Heuristic),
+        _ => None,
+    }
+}
+
 impl Response {
     /// Renders the response as its wire line (no trailing newline).
     pub fn to_line(&self) -> String {
         match self {
-            Response::Served { source, cost, fingerprint, plan } => {
+            Response::Served { source, cost, fingerprint, plan, tier } => {
                 let plan =
                     plan.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+                // Exact plans keep the pre-tier wire format byte for
+                // byte (see the module docs): only tier-1 answers — a
+                // `--tiered`-only phenomenon — carry the token.
+                let tier = match tier {
+                    PlanTier::Exact => String::new(),
+                    PlanTier::Heuristic => format!(" tier {}", tier.name()),
+                };
                 format!(
-                    "ok source {} cost {cost} fingerprint {fingerprint:016x} plan {plan}",
+                    "ok source {} cost {cost} fingerprint {fingerprint:016x} plan {plan}{tier}",
                     source.name()
                 )
             }
@@ -182,10 +210,15 @@ impl Response {
                     .map_err(|_| err())?,
                 _ => return Err(err()),
             };
+            let tier = match (fields.next(), fields.next()) {
+                (None, _) => PlanTier::Exact,
+                (Some("tier"), Some(name)) => parse_tier(name).ok_or_else(err)?,
+                _ => return Err(err()),
+            };
             if fields.next().is_some() {
                 return Err(err());
             }
-            return Ok(Response::Served { source, cost, fingerprint, plan });
+            return Ok(Response::Served { source, cost, fingerprint, plan, tier });
         }
         if let Some(rest) = line.strip_prefix("ok stats ") {
             let fields: Vec<&str> = rest.split_whitespace().collect();
@@ -228,12 +261,28 @@ mod tests {
                 cost: 1.0 / 3.0,
                 fingerprint: 0x00ab_cdef_0123_4567,
                 plan: vec![2, 0, 1],
+                tier: PlanTier::Exact,
             },
             Response::Served {
                 source: ServeSource::Cold,
                 cost: 7.25,
                 fingerprint: u64::MAX,
                 plan: vec![0],
+                tier: PlanTier::Exact,
+            },
+            Response::Served {
+                source: ServeSource::Cold,
+                cost: 2.5,
+                fingerprint: 9,
+                plan: vec![1, 0],
+                tier: PlanTier::Heuristic,
+            },
+            Response::Served {
+                source: ServeSource::CacheHit,
+                cost: 2.5,
+                fingerprint: 9,
+                plan: vec![1, 0],
+                tier: PlanTier::Heuristic,
             },
             Response::Busy { retry_after_ms: 50 },
             Response::Error { message: "cannot parse instance: line 3: bad cost".into() },
@@ -261,6 +310,7 @@ mod tests {
             cost: 0.1 + 0.2,
             fingerprint: 1,
             plan: vec![0, 1],
+            tier: PlanTier::Exact,
         };
         match Response::parse(&served.to_line()).expect("parses") {
             Response::Served { cost, .. } => {
@@ -268,6 +318,61 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    /// Exact-tier lines keep the pre-tier wire format byte for byte
+    /// (old clients parse everything a non-tiered server emits), a
+    /// tier-less line parses as exact, and heuristic answers carry the
+    /// trailing token.
+    #[test]
+    fn tier_token_is_backward_compatible() {
+        let exact = Response::Served {
+            source: ServeSource::Cold,
+            cost: 1.5,
+            fingerprint: 0xabc,
+            plan: vec![1, 0, 2],
+            tier: PlanTier::Exact,
+        };
+        assert_eq!(
+            exact.to_line(),
+            "ok source cold cost 1.5 fingerprint 0000000000000abc plan 1,0,2",
+            "no tier token on exact plans"
+        );
+        assert_eq!(Response::parse(&exact.to_line()).expect("parses"), exact);
+
+        let heur = Response::Served {
+            source: ServeSource::Cold,
+            cost: 1.5,
+            fingerprint: 0xabc,
+            plan: vec![1, 0, 2],
+            tier: PlanTier::Heuristic,
+        };
+        assert_eq!(
+            heur.to_line(),
+            "ok source cold cost 1.5 fingerprint 0000000000000abc plan 1,0,2 tier heur"
+        );
+        assert_eq!(Response::parse(&heur.to_line()).expect("parses"), heur);
+        // A new server may also spell the tier out explicitly; new
+        // clients accept it.
+        match Response::parse("ok source hit cost 1 fingerprint 0 plan 0 tier exact") {
+            Ok(Response::Served { tier, .. }) => assert_eq!(tier, PlanTier::Exact),
+            other => panic!("explicit exact tier must parse: {other:?}"),
+        }
+    }
+
+    /// A fresh server (zero requests) reports `hit-rate 0`, never NaN:
+    /// `CacheStats::hit_rate` guards the zero-request division, and this
+    /// pin fails if anyone removes the guard (NaN renders as `NaN` and
+    /// would change the wire line).
+    #[test]
+    fn fresh_server_stats_line_is_pinned_and_nan_free() {
+        let line = Response::Stats(StatsLine::default()).to_line();
+        assert_eq!(
+            line,
+            "ok stats requests 0 hits 0 probe2 0 warm 0 cold 0 busy 0 hit-rate 0 entries 0"
+        );
+        assert!(!line.contains("NaN"), "zero requests must not divide to NaN");
+        assert_eq!(Response::parse(&line).expect("parses"), Response::Stats(StatsLine::default()));
     }
 
     #[test]
@@ -286,6 +391,9 @@ mod tests {
             "ok source hit cost 1 fingerprint zz plan 0",
             "ok source hit cost 1 fingerprint 0 plan 0,x",
             "ok source hit cost 1 fingerprint 0 plan 0 extra",
+            "ok source hit cost 1 fingerprint 0 plan 0 tier",
+            "ok source hit cost 1 fingerprint 0 plan 0 tier gold",
+            "ok source hit cost 1 fingerprint 0 plan 0 tier heur extra",
             "busy retry-after-ms soon",
             "ok stats requests 1",
             "ok stats requests 1 hits 1 probe2 0 warm 0 cold 0 busy 0 hit-rate 1 misc 3",

@@ -8,7 +8,7 @@ use crate::client::{Client, RetryPolicy};
 use crate::net::ListenAddr;
 use crate::protocol::Response;
 use dsq_core::{format_instance, Plan, QueryInstance};
-use dsq_service::{PlanError, Planner, PlannerStats, ServeSource, ServedPlan};
+use dsq_service::{PlanError, PlanTier, Planner, PlannerStats, ServeSource, ServedPlan};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -39,6 +39,7 @@ pub struct RemotePlanner {
     hits: AtomicU64,
     warm_starts: AtomicU64,
     cold: AtomicU64,
+    heuristic: AtomicU64,
     retries: AtomicU64,
     errors: AtomicU64,
 }
@@ -56,6 +57,7 @@ impl RemotePlanner {
             hits: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
             cold: AtomicU64::new(0),
+            heuristic: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         }
@@ -113,7 +115,7 @@ impl Planner for RemotePlanner {
         };
         self.retries.fetch_add(u64::from(busy_replies), Ordering::Relaxed);
         match response {
-            Response::Served { source, cost, fingerprint, plan } => {
+            Response::Served { source, cost, fingerprint, plan, tier } => {
                 *slot = Some(client); // request/response complete: reusable
                 let plan = Plan::new(plan).map_err(|e| {
                     self.failure(PlanError::Protocol(format!("served plan is invalid: {e}")))
@@ -124,7 +126,23 @@ impl Planner for RemotePlanner {
                     ServeSource::WarmStart => self.warm_starts.fetch_add(1, Ordering::Relaxed),
                     ServeSource::Cold => self.cold.fetch_add(1, Ordering::Relaxed),
                 };
-                Ok(ServedPlan { plan, cost, source, fingerprint, search: None })
+                self.heuristic.fetch_add(u64::from(tier == PlanTier::Heuristic), Ordering::Relaxed);
+                // The gap is tier-implied: an exact plan is proven
+                // optimal, a heuristic one is unquantified until its
+                // backend-side refinement lands.
+                let optimality_gap = match tier {
+                    PlanTier::Exact => Some(0.0),
+                    PlanTier::Heuristic => None,
+                };
+                Ok(ServedPlan {
+                    plan,
+                    cost,
+                    source,
+                    fingerprint,
+                    tier,
+                    optimality_gap,
+                    search: None,
+                })
             }
             Response::Busy { retry_after_ms } => {
                 *slot = Some(client); // the server stays in framing sync
@@ -149,6 +167,7 @@ impl Planner for RemotePlanner {
             hits: self.hits.load(Ordering::Relaxed),
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
             cold: self.cold.load(Ordering::Relaxed),
+            heuristic: self.heuristic.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             ..PlannerStats::default()

@@ -8,6 +8,7 @@ use crossbeam::channel::{self, TrySendError};
 use dsq_core::{parse_instance, BnbConfig, QueryInstance};
 use dsq_service::{
     CacheConfig, CacheStats, CachedPlanner, PlanCache, PlanError, Planner, ServedPlan,
+    TieredPlanner, TieredStats,
 };
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -53,6 +54,13 @@ pub struct ServerConfig {
     /// Granularity at which blocking accepts/reads re-check the shutdown
     /// flag; also the upper bound on drain latency per blocking call.
     pub poll_interval: Duration,
+    /// Two-tier anytime serving: cache misses are answered immediately
+    /// with a greedy heuristic plan (tier 1, `tier heur` on the wire)
+    /// while a background pool refines them to exact and upgrades the
+    /// cache entry in place — later hits on the same key serve the
+    /// proven-optimal plan. Off by default: the classic path answers
+    /// every miss with the exact search.
+    pub tiered: bool,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +79,7 @@ impl Default for ServerConfig {
             snapshot_path: None,
             snapshot_interval: Duration::from_secs(30),
             poll_interval: Duration::from_millis(20),
+            tiered: false,
         }
     }
 }
@@ -95,6 +104,9 @@ pub struct ServerStats {
     pub snapshot_errors: u64,
     /// The plan cache's own counters.
     pub cache: CacheStats,
+    /// Refinement counters of the two-tier path; `None` when the server
+    /// runs the classic exact-only configuration.
+    pub tiered: Option<TieredStats>,
 }
 
 impl ServerStats {
@@ -138,7 +150,19 @@ impl fmt::Display for ServerStats {
             self.restored_entries,
             self.snapshots_written,
             self.snapshot_errors,
-        )
+        )?;
+        if let Some(tiered) = &self.tiered {
+            write!(
+                f,
+                "\ntiered: {} tier-1 answers, {} refined ({} skipped, {} dropped), max gap {:.2}%",
+                tiered.heuristic_served,
+                tiered.refined,
+                tiered.refine_skipped,
+                tiered.refine_dropped,
+                tiered.max_gap * 100.0,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -171,7 +195,11 @@ struct Job {
 
 /// State shared by every thread of the server.
 struct Inner {
-    cache: PlanCache,
+    cache: Arc<PlanCache>,
+    /// The two-tier planner wrapping [`cache`](Self::cache) when the
+    /// server runs in tiered mode; its refinement workers live (and are
+    /// joined) inside it.
+    tiered: Option<TieredPlanner>,
     bnb: BnbConfig,
     retry_after_ms: u64,
     queue_capacity: usize,
@@ -207,6 +235,7 @@ impl Inner {
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
             snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
             cache: self.cache.stats(),
+            tiered: self.tiered.as_ref().map(TieredPlanner::tiered_stats),
         }
     }
 
@@ -277,8 +306,12 @@ impl Server {
             None => None,
         };
 
+        let cache = Arc::new(PlanCache::new(config.cache.clone()));
+        let tiered =
+            config.tiered.then(|| TieredPlanner::new(Arc::clone(&cache), config.bnb.clone()));
         let inner = Arc::new(Inner {
-            cache: PlanCache::new(config.cache.clone()),
+            cache,
+            tiered,
             bnb: config.bnb.clone(),
             retry_after_ms: config.retry_after_ms,
             queue_capacity: config.queue_capacity,
@@ -410,6 +443,12 @@ impl Server {
         if let Some(handle) = self.snapshot_handle.take() {
             let _ = handle.join();
         }
+        // In tiered mode, let outstanding refinements land before the
+        // final snapshot: heuristic-tier entries are never persisted, so
+        // an undrained queue would cost the next warm restart its plans.
+        if let Some(tiered) = &self.inner.tiered {
+            let _ = tiered.drain();
+        }
         if let Some(path) = &self.snapshot_path {
             self.inner.write_snapshot(path);
         }
@@ -474,7 +513,10 @@ fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders gone: drained, exit
         };
-        let served = planner.plan(&job.instance);
+        let served = match &inner.tiered {
+            Some(tiered) => tiered.plan(&job.instance),
+            None => planner.plan(&job.instance),
+        };
         inner.outstanding.fetch_sub(1, Ordering::Relaxed);
         // A connection that died while waiting just drops the reply.
         let _ = job.reply.send(served);
@@ -663,6 +705,7 @@ fn serve_document(
                         cost: served.cost,
                         fingerprint: served.fingerprint,
                         plan: served.plan.indices(),
+                        tier: served.tier,
                     },
                 ),
                 // A planner failure (unreachable for the local cached

@@ -149,7 +149,14 @@ fn full_queue_rejects_with_busy_instead_of_stalling() {
     for (instance, response) in burst.iter().zip(&responses) {
         match response {
             Response::Busy { retry_after_ms } => {
-                assert_eq!(*retry_after_ms, 7);
+                // The hint is load-aware: base 7 ms when only the
+                // executing job is outstanding at rejection time, scaled
+                // up (capped at 16× base) when the queue slot is also
+                // taken — both interleavings are legitimate here.
+                assert!(
+                    (7..=7 * 16).contains(retry_after_ms),
+                    "hint {retry_after_ms} outside the load-aware range for base 7"
+                );
                 busy += 1;
             }
             Response::Served { cost, .. } => {

@@ -81,6 +81,29 @@ impl ServeSource {
     }
 }
 
+/// Quality tier of a served plan (see the `TieredPlanner` in
+/// [`crate::tiered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanTier {
+    /// The plan is a proven bottleneck-optimal ordering (a completed
+    /// branch-and-bound search produced or validated it).
+    Exact,
+    /// The plan came from the tier-1 greedy heuristic and has not been
+    /// refined yet: correct and precedence-feasible, but possibly
+    /// suboptimal by an unknown gap.
+    Heuristic,
+}
+
+impl PlanTier {
+    /// Stable lowercase name for the wire protocol and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanTier::Exact => "exact",
+            PlanTier::Heuristic => "heur",
+        }
+    }
+}
+
 /// The outcome of serving one instance through the cache.
 #[derive(Debug, Clone)]
 pub struct ServedPlan {
@@ -93,6 +116,14 @@ pub struct ServedPlan {
     pub source: ServeSource,
     /// The request's cache fingerprint.
     pub fingerprint: u64,
+    /// Quality tier: [`PlanTier::Exact`] everywhere except the tiered
+    /// fast path, which answers misses with an unrefined heuristic plan.
+    pub tier: PlanTier,
+    /// Relative optimality gap of the plan when it is known:
+    /// `Some(0.0)` for exact-tier plans, `None` for a heuristic plan
+    /// whose background refinement has not landed yet (the gap is
+    /// unknown until the exact cost exists).
+    pub optimality_gap: Option<f64>,
     /// Statistics of the search that ran, if one did (`None` for pure
     /// cache hits).
     pub search: Option<SearchStats>,
@@ -118,6 +149,13 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries currently resident across all shards.
     pub entries: usize,
+    /// Resident entries still at the heuristic tier (awaiting background
+    /// refinement; always `0` outside tiered serving).
+    pub heuristic_entries: usize,
+    /// Slots currently occupied by the lazy LRU recency queues across
+    /// all shards. Bounded: each shard compacts its queue once it
+    /// exceeds a small multiple of the capacity (see `Shard::touch`).
+    pub recency_slots: usize,
 }
 
 impl CacheStats {
@@ -155,6 +193,9 @@ struct Entry {
     instance: String,
     /// `true` for primary-grid entries (the ones snapshots serialize).
     primary: bool,
+    /// `true` when the plan came from a completed exact search; `false`
+    /// for an unrefined heuristic plan awaiting background refinement.
+    exact: bool,
     /// Recency stamp; must match the newest queue slot for this key.
     tick: u64,
 }
@@ -179,21 +220,39 @@ struct Shard {
     insertions: u64,
 }
 
+/// Stale-pair headroom of the lazy recency queue before a shard
+/// compacts it: `order` may hold up to `2 × capacity + SLACK` pairs
+/// (the live ones plus stale duplicates) between compactions, keeping
+/// compaction O(1) amortized while bounding steady-state memory.
+const ORDER_COMPACT_SLACK: usize = 64;
+
 impl Shard {
-    fn touch(&mut self, fingerprint: u64) {
+    fn touch(&mut self, fingerprint: u64, capacity: usize) {
         self.tick += 1;
         let tick = self.tick;
         if let Some(entry) = self.map.get_mut(&fingerprint) {
             entry.tick = tick;
             self.order.push_back((fingerprint, tick));
         }
+        self.maybe_compact(capacity);
+    }
+
+    /// Drops stale recency pairs once the queue outgrows its headroom.
+    /// Without this, a hit-heavy steady state below capacity (touches
+    /// but no evictions, so nothing ever drains the queue) grows
+    /// `order` without bound.
+    fn maybe_compact(&mut self, capacity: usize) {
+        if self.order.len() > 2usize.saturating_mul(capacity).saturating_add(ORDER_COMPACT_SLACK) {
+            self.order.retain(|&(key, stamp)| self.map.get(&key).is_some_and(|e| e.tick == stamp));
+        }
     }
 
     fn insert(&mut self, fingerprint: u64, entry: PendingEntry, capacity: usize) {
         self.tick += 1;
         let tick = self.tick;
-        let PendingEntry { canonical_plan, cost, instance, primary } = entry;
-        self.map.insert(fingerprint, Entry { canonical_plan, cost, instance, primary, tick });
+        let PendingEntry { canonical_plan, cost, instance, primary, exact } = entry;
+        self.map
+            .insert(fingerprint, Entry { canonical_plan, cost, instance, primary, exact, tick });
         self.order.push_back((fingerprint, tick));
         self.insertions += 1;
         while self.map.len() > capacity {
@@ -207,6 +266,7 @@ impl Shard {
                 None => break,
             }
         }
+        self.maybe_compact(capacity);
     }
 }
 
@@ -217,6 +277,7 @@ struct PendingEntry {
     cost: f64,
     instance: String,
     primary: bool,
+    exact: bool,
 }
 
 /// Error raised by [`PlanCache::restore`] /
@@ -312,13 +373,14 @@ impl PlanCache {
     }
 
     /// Clones the transportable pieces of the entry under `key`'s
-    /// fingerprint, if present and shaped like this instance.
-    fn probe(&self, key: &CanonicalKey) -> Option<(Plan, f64)> {
+    /// fingerprint, if present and shaped like this instance. The third
+    /// element is the entry's exact flag.
+    fn probe(&self, key: &CanonicalKey) -> Option<(Plan, f64, bool)> {
         let guard = self.shard(key.fingerprint()).lock();
         guard.map.get(&key.fingerprint()).and_then(|entry| {
             // A malformed transport (fingerprint collision with a
             // different-sized instance) degrades to a miss.
-            key.plan_from_canonical(&entry.canonical_plan).map(|p| (p, entry.cost))
+            key.plan_from_canonical(&entry.canonical_plan).map(|p| (p, entry.cost, entry.exact))
         })
     }
 
@@ -332,14 +394,20 @@ impl PlanCache {
         shifted: Option<CanonicalKey>,
         plan: &Plan,
         cost: f64,
+        exact: bool,
     ) {
-        let text = format_instance(instance);
+        // Heuristic-tier entries are transient — skipped by `snapshot`
+        // and re-written (exact, with a fresh serialization) when their
+        // refinement lands — so serializing the instance for them would
+        // only tax the tier-1 latency the tier exists to protect.
+        let text = if exact { format_instance(instance) } else { String::new() };
         let capacity = self.config.capacity_per_shard;
         let pending = PendingEntry {
             canonical_plan: primary.plan_to_canonical(plan),
             cost,
             instance: text.clone(),
             primary: true,
+            exact,
         };
         self.shard(primary.fingerprint()).lock().insert(primary.fingerprint(), pending, capacity);
         if self.config.probes == 2 {
@@ -351,9 +419,36 @@ impl PlanCache {
                 cost,
                 instance: text,
                 primary: false,
+                exact,
             };
             self.shard(shifted.fingerprint()).lock().insert(shifted.fingerprint(), alias, capacity);
         }
+    }
+
+    /// `true` when the entry under `fingerprint` is resident and still
+    /// at the heuristic tier — the gate a background refinement worker
+    /// checks before spending an exact search on a job whose entry was
+    /// meanwhile evicted or upgraded by a warm start.
+    pub(crate) fn needs_refinement(&self, fingerprint: u64) -> bool {
+        self.shard(fingerprint).lock().map.get(&fingerprint).is_some_and(|entry| !entry.exact)
+    }
+
+    /// Upgrades the entry for `instance` in place to an exact-tier plan
+    /// (refinement landing). Returns `false` without writing when the
+    /// entry is gone or already exact — an eviction or a concurrent warm
+    /// start may have superseded the job, and the newer exact plan (for
+    /// the drifted instance the warm start saw) must win.
+    pub(crate) fn upgrade(&self, instance: &QueryInstance, plan: &Plan, cost: f64) -> bool {
+        let key = CanonicalKey::new(instance, &self.config.quantization);
+        {
+            let guard = self.shard(key.fingerprint()).lock();
+            match guard.map.get(&key.fingerprint()) {
+                Some(entry) if !entry.exact => {}
+                _ => return false,
+            }
+        }
+        self.write_back(instance, &key, None, plan, cost, true);
+        true
     }
 
     /// The configuration this cache was built with.
@@ -369,6 +464,31 @@ impl PlanCache {
     /// optimizing, so long searches never block hits on other keys (or
     /// even on the same shard).
     pub fn serve(&self, instance: &QueryInstance, config: &BnbConfig) -> ServedPlan {
+        self.serve_inner(instance, config, None::<fn(&QueryInstance) -> (Plan, f64)>)
+    }
+
+    /// The tiered serve path: identical to [`serve`](Self::serve) except
+    /// that a miss is answered by `heuristic` (which must return a
+    /// precedence-feasible plan and its bottleneck cost on `instance`)
+    /// instead of a cold exact search, and the entry is written back at
+    /// the heuristic tier, awaiting [`upgrade`](Self::upgrade). Hits on
+    /// a still-heuristic entry report [`PlanTier::Heuristic`] so the
+    /// caller can re-enqueue a refinement that was dropped.
+    pub(crate) fn serve_heuristic(
+        &self,
+        instance: &QueryInstance,
+        config: &BnbConfig,
+        heuristic: impl FnOnce(&QueryInstance) -> (Plan, f64),
+    ) -> ServedPlan {
+        self.serve_inner(instance, config, Some(heuristic))
+    }
+
+    fn serve_inner(
+        &self,
+        instance: &QueryInstance,
+        config: &BnbConfig,
+        heuristic: Option<impl FnOnce(&QueryInstance) -> (Plan, f64)>,
+    ) -> ServedPlan {
         let key = CanonicalKey::new(instance, &self.config.quantization);
         let fingerprint = key.fingerprint();
 
@@ -385,7 +505,7 @@ impl PlanCache {
             shifted = Some(alias);
         }
 
-        if let Some((plan, cached_cost)) = cached {
+        if let Some((plan, cached_cost, entry_exact)) = cached {
             let feasible = instance.precedence().is_none_or(|dag| plan.satisfies(dag));
             if feasible {
                 let exact = bottleneck_cost(instance, &plan);
@@ -400,42 +520,72 @@ impl PlanCache {
                     // answering — out of a loaded LRU shard.
                     let answered =
                         shifted.as_ref().map_or(fingerprint, |alias| alias.fingerprint());
+                    let capacity = self.config.capacity_per_shard;
                     let mut guard = self.shard(answered).lock();
                     guard.hits += 1;
                     guard.probe2_hits += u64::from(via_probe2);
-                    guard.touch(answered);
+                    guard.touch(answered, capacity);
+                    let (tier, optimality_gap) = if entry_exact {
+                        (PlanTier::Exact, Some(0.0))
+                    } else {
+                        (PlanTier::Heuristic, None)
+                    };
                     return ServedPlan {
                         plan,
                         cost: exact,
                         source: ServeSource::CacheHit,
                         fingerprint,
+                        tier,
+                        optimality_gap,
                         search: None,
                     };
                 }
                 // Out of tolerance: re-optimize, seeded with the cached
                 // plan (its cost is near-optimal, so ρ prunes hard).
+                // This runs the exact search even under a heuristic miss
+                // policy — a stale entry already proves the key is hot,
+                // so the warm start doubles as its refinement.
                 let warm_config = config.clone().with_initial_incumbent(plan);
                 let result = optimize_with(instance, &warm_config);
-                self.write_back(instance, &key, shifted, result.plan(), result.cost());
+                self.write_back(instance, &key, shifted, result.plan(), result.cost(), true);
                 self.shard(fingerprint).lock().warm_starts += 1;
                 return ServedPlan {
                     plan: result.plan().clone(),
                     cost: result.cost(),
                     source: ServeSource::WarmStart,
                     fingerprint,
+                    tier: PlanTier::Exact,
+                    optimality_gap: Some(0.0),
                     search: Some(result.stats().clone()),
                 };
             }
         }
 
+        if let Some(heuristic) = heuristic {
+            let (plan, cost) = heuristic(instance);
+            self.write_back(instance, &key, shifted, &plan, cost, false);
+            self.shard(fingerprint).lock().misses += 1;
+            return ServedPlan {
+                plan,
+                cost,
+                source: ServeSource::Cold,
+                fingerprint,
+                tier: PlanTier::Heuristic,
+                optimality_gap: None,
+                search: None,
+            };
+        }
+
         let result = optimize_with(instance, config);
-        self.write_back(instance, &key, shifted, result.plan(), result.cost());
+        self.write_back(instance, &key, shifted, result.plan(), result.cost(), true);
         self.shard(fingerprint).lock().misses += 1;
         ServedPlan {
             plan: result.plan().clone(),
             cost: result.cost(),
             source: ServeSource::Cold,
             fingerprint,
+            tier: PlanTier::Exact,
+            optimality_gap: Some(0.0),
             search: Some(result.stats().clone()),
         }
     }
@@ -452,19 +602,25 @@ impl PlanCache {
             total.evictions += guard.evictions;
             total.insertions += guard.insertions;
             total.entries += guard.map.len();
+            total.heuristic_entries += guard.map.values().filter(|e| !e.exact).count();
+            total.recency_slots += guard.order.len();
         }
         total
     }
 
     /// Serializes the resident primary-grid entries (shifted-grid probe
-    /// aliases are derived state and re-created on restore). Entries are
-    /// ordered by fingerprint, so equal caches produce byte-identical
-    /// snapshots regardless of insertion order.
+    /// aliases are derived state and re-created on restore). Unrefined
+    /// heuristic-tier entries are skipped too: they are transient —
+    /// cheap to recompute, pending refinement — and persisting them
+    /// would smuggle possibly-suboptimal plans into a warm restart,
+    /// where the restored cache can no longer tell the tiers apart.
+    /// Entries are ordered by fingerprint, so equal caches produce
+    /// byte-identical snapshots regardless of insertion order.
     pub fn snapshot(&self) -> PlanSnapshot {
         let mut entries: Vec<SnapshotEntry> = Vec::new();
         for shard in &self.shards {
             let guard = shard.lock();
-            for (&fingerprint, entry) in guard.map.iter().filter(|(_, e)| e.primary) {
+            for (&fingerprint, entry) in guard.map.iter().filter(|(_, e)| e.primary && e.exact) {
                 entries.push(SnapshotEntry {
                     fingerprint,
                     cost: entry.cost,
@@ -483,14 +639,19 @@ impl PlanCache {
     /// parse, must hash back to the recorded fingerprint under this
     /// cache's quantization, and the canonical plan must transport onto
     /// it. With `probes: 2`, shifted-grid aliases are re-derived from the
-    /// instance text.
+    /// instance text **after** every primary entry has been inserted, and
+    /// admitted without counting against shard capacity — so a restore
+    /// that exactly fills a shard never has its primaries evicted by
+    /// their own derived aliases (normal traffic trims the transient
+    /// overshoot through the usual LRU policy).
     ///
     /// # Errors
     ///
     /// [`RestoreError::ResolutionMismatch`] when the snapshot was taken
     /// under a different quantization resolution, or
     /// [`RestoreError::InvalidEntry`] naming the first corrupt entry.
-    /// Entries restored before the failure remain in the cache.
+    /// Verification runs before any insertion, so a failed restore
+    /// leaves the cache exactly as it was.
     pub fn restore(&self, snapshot: &PlanSnapshot) -> Result<usize, RestoreError> {
         if snapshot.resolution.to_bits() != self.config.quantization.resolution.to_bits() {
             return Err(RestoreError::ResolutionMismatch {
@@ -498,6 +659,7 @@ impl PlanCache {
                 cache: self.config.quantization.resolution,
             });
         }
+        let mut verified: Vec<(QueryInstance, CanonicalKey, Plan, f64)> = Vec::new();
         for (index, entry) in snapshot.entries.iter().enumerate() {
             let invalid = |reason: String| RestoreError::InvalidEntry { index, reason };
             let instance = parse_instance(&entry.instance)
@@ -512,7 +674,43 @@ impl PlanCache {
             if !entry.cost.is_finite() {
                 return Err(invalid("non-finite cost".into()));
             }
-            self.write_back(&instance, &key, None, &plan, entry.cost);
+            verified.push((instance, key, plan, entry.cost));
+        }
+
+        let capacity = self.config.capacity_per_shard;
+        for (instance, key, plan, cost) in &verified {
+            let pending = PendingEntry {
+                canonical_plan: key.plan_to_canonical(plan),
+                cost: *cost,
+                instance: format_instance(instance),
+                primary: true,
+                exact: true,
+            };
+            self.shard(key.fingerprint()).lock().insert(key.fingerprint(), pending, capacity);
+        }
+        if self.config.probes == 2 && capacity > 0 {
+            for (instance, key, plan, cost) in &verified {
+                // A snapshot larger than the cache evicts its oldest
+                // primaries above; an alias for an evicted primary would
+                // be an orphan, so derive aliases only for survivors.
+                if !self.shard(key.fingerprint()).lock().map.contains_key(&key.fingerprint()) {
+                    continue;
+                }
+                let shifted =
+                    CanonicalKey::with_phase(instance, &self.config.quantization, PROBE_PHASE);
+                let alias = PendingEntry {
+                    canonical_plan: shifted.plan_to_canonical(plan),
+                    cost: *cost,
+                    instance: format_instance(instance),
+                    primary: false,
+                    exact: true,
+                };
+                self.shard(shifted.fingerprint()).lock().insert(
+                    shifted.fingerprint(),
+                    alias,
+                    usize::MAX,
+                );
+            }
         }
         Ok(snapshot.entries.len())
     }
@@ -709,6 +907,38 @@ mod tests {
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.evictions, 3);
+    }
+
+    /// Regression (soak): the lazy recency queue used to append a pair
+    /// on every touch and only drain during eviction, so a hit-heavy
+    /// steady state below capacity grew `order` without bound. The
+    /// compaction in `Shard::touch` keeps it within its headroom.
+    #[test]
+    fn hit_heavy_steady_state_keeps_the_recency_queue_bounded() {
+        let capacity = 4;
+        let cache = PlanCache::new(CacheConfig {
+            shards: 1,
+            capacity_per_shard: capacity,
+            ..CacheConfig::default()
+        });
+        let instances: Vec<QueryInstance> = (0..capacity as u64).map(|s| instance(s, 5)).collect();
+        for inst in &instances {
+            cache.serve(inst, &BnbConfig::paper());
+        }
+        // Far more touches than the compaction threshold; without
+        // compaction the queue would end at ~5000 slots.
+        for round in 0..1250 {
+            let inst = &instances[round % instances.len()];
+            assert_eq!(cache.serve(inst, &BnbConfig::paper()).source, ServeSource::CacheHit);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, capacity, "no evictions in steady state");
+        assert_eq!(stats.evictions, 0);
+        assert!(
+            stats.recency_slots <= 2 * capacity + ORDER_COMPACT_SLACK + 1,
+            "recency queue must stay bounded, got {} slots",
+            stats.recency_slots
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   backend's LRU sees a disjoint, stable keyspace), fails over to the
 //!   next replica, and falls back to a local planner when every backend
 //!   is down.
+//! * **Two-tier anytime planning** ([`TieredPlanner`]) — misses are
+//!   answered immediately by the greedy heuristic (tier 1) and refined
+//!   to proven-optimal plans on a background worker pool that upgrades
+//!   the cache entry in place; [`ServedPlan::tier`] and
+//!   [`ServedPlan::optimality_gap`] report what a response is worth.
 //! * [`optimize_batch`] / [`plan_batch`] — drain a request queue across
 //!   a worker pool sharing one planner, returning results in **request
 //!   order** regardless of worker scheduling.
@@ -64,10 +69,14 @@
 mod batch;
 mod cache;
 mod planner;
+mod tiered;
 
 pub use batch::{optimize_batch, BatchOptions};
-pub use cache::{CacheConfig, CacheStats, PlanCache, RestoreError, ServeSource, ServedPlan};
-pub use planner::{
-    plan_batch, CachedPlanner, ColdPlanner, FleetPlanner, FleetStats, PlanError, Planner,
-    PlannerStats,
+pub use cache::{
+    CacheConfig, CacheStats, PlanCache, PlanTier, RestoreError, ServeSource, ServedPlan,
 };
+pub use planner::{
+    plan_batch, CachedPlanner, ColdPlanner, EmptyFleetError, FleetPlanner, FleetStats, PlanError,
+    Planner, PlannerStats,
+};
+pub use tiered::{HeuristicPlanner, TieredConfig, TieredPlanner, TieredStats};

@@ -10,7 +10,7 @@
 //! `RemotePlanner` lives in `dsq-server` (it needs the protocol client)
 //! and plugs into [`FleetPlanner`] through the same trait.
 
-use crate::cache::{PlanCache, ServeSource, ServedPlan};
+use crate::cache::{PlanCache, PlanTier, ServeSource, ServedPlan};
 use dsq_core::{
     optimize_parallel, optimize_with, BnbConfig, CanonicalKey, Quantization, QueryInstance,
 };
@@ -58,9 +58,23 @@ impl fmt::Display for PlanError {
 
 impl Error for PlanError {}
 
+/// Error from [`FleetPlanner::new`]: a fleet cannot be built over an
+/// empty backend list (`fingerprint % 0` routing would divide by zero,
+/// and no request could ever be served).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmptyFleetError;
+
+impl fmt::Display for EmptyFleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a fleet needs at least one backend")
+    }
+}
+
+impl Error for EmptyFleetError {}
+
 /// Aggregate counters every [`Planner`] reports, regardless of how it
 /// obtains plans. Passive struct; fields are public.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PlannerStats {
     /// Requests that produced a served plan.
     pub served: u64,
@@ -82,6 +96,15 @@ pub struct PlannerStats {
     /// Requests served by the local fallback after every backend failed
     /// (fleet planners).
     pub fallbacks: u64,
+    /// The subset of [`served`](Self::served) answered at the heuristic
+    /// tier (tiered planners; `0` everywhere else).
+    pub heuristic: u64,
+    /// Background refinements that landed, upgrading a heuristic cache
+    /// entry to its exact plan (tiered planners).
+    pub refined: u64,
+    /// Largest relative optimality gap observed among refined heuristic
+    /// plans: `(heuristic cost − exact cost) / exact cost`.
+    pub max_refined_gap: f64,
 }
 
 impl PlannerStats {
@@ -95,13 +118,14 @@ impl PlannerStats {
         }
     }
 
-    fn record(&mut self, source: ServeSource) {
+    fn record(&mut self, served: &ServedPlan) {
         self.served += 1;
-        match source {
+        match served.source {
             ServeSource::CacheHit => self.hits += 1,
             ServeSource::WarmStart => self.warm_starts += 1,
             ServeSource::Cold => self.cold += 1,
         }
+        self.heuristic += u64::from(served.tier == PlanTier::Heuristic);
     }
 }
 
@@ -214,6 +238,8 @@ impl Planner for ColdPlanner {
             cost: result.cost(),
             source: ServeSource::Cold,
             fingerprint: CanonicalKey::new(instance, &self.quantization).fingerprint(),
+            tier: PlanTier::Exact,
+            optimality_gap: Some(0.0),
             search: Some(result.stats().clone()),
         })
     }
@@ -328,13 +354,21 @@ impl<'a> FleetPlanner<'a> {
     /// `quantization` (use the backends' cache quantization so routing
     /// and caching agree on which requests are near-identical).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `backends` is empty.
-    pub fn new(backends: Vec<Box<dyn Planner + 'a>>, quantization: Quantization) -> Self {
-        assert!(!backends.is_empty(), "a fleet needs at least one backend");
+    /// [`EmptyFleetError`] if `backends` is empty: routing is
+    /// `fingerprint % N`, so a zero-backend fleet would divide by zero
+    /// on its first request — the invalid topology is rejected at
+    /// construction instead.
+    pub fn new(
+        backends: Vec<Box<dyn Planner + 'a>>,
+        quantization: Quantization,
+    ) -> Result<Self, EmptyFleetError> {
+        if backends.is_empty() {
+            return Err(EmptyFleetError);
+        }
         let per_backend = vec![0; backends.len()];
-        FleetPlanner {
+        Ok(FleetPlanner {
             backends,
             fallback: None,
             quantization,
@@ -342,7 +376,7 @@ impl<'a> FleetPlanner<'a> {
                 fleet: FleetStats { per_backend, ..FleetStats::default() },
                 ..FleetCounters::default()
             }),
-        }
+        })
     }
 
     /// Adds a local fallback serving requests no backend could answer
@@ -383,7 +417,7 @@ impl Planner for FleetPlanner<'_> {
             match self.backends[backend].plan(instance) {
                 Ok(served) => {
                     let mut counters = self.counters.lock();
-                    counters.planner.record(served.source);
+                    counters.planner.record(&served);
                     counters.planner.failovers += u64::from(hop > 0);
                     counters.fleet.per_backend[backend] += 1;
                     counters.fleet.failovers += u64::from(hop > 0);
@@ -396,7 +430,7 @@ impl Planner for FleetPlanner<'_> {
             match fallback.plan(instance) {
                 Ok(served) => {
                     let mut counters = self.counters.lock();
-                    counters.planner.record(served.source);
+                    counters.planner.record(&served);
                     counters.planner.fallbacks += 1;
                     counters.fleet.fallbacks += 1;
                     return Ok(served);
@@ -572,7 +606,7 @@ mod tests {
     fn fleet_of<'a>(backends: &'a [Scripted]) -> FleetPlanner<'a> {
         let boxed: Vec<Box<dyn Planner + 'a>> =
             backends.iter().map(|b| Box::new(b) as Box<dyn Planner + 'a>).collect();
-        FleetPlanner::new(boxed, Quantization::default())
+        FleetPlanner::new(boxed, Quantization::default()).expect("non-empty backend list")
     }
 
     #[test]
@@ -621,6 +655,7 @@ mod tests {
         let boxed: Vec<Box<dyn Planner + '_>> =
             backends.iter().map(|b| Box::new(b) as Box<dyn Planner + '_>).collect();
         let fleet = FleetPlanner::new(boxed, Quantization::default())
+            .expect("non-empty backend list")
             .with_fallback(Box::new(ColdPlanner::new(BnbConfig::paper())));
         let request = instance(5);
         let served = fleet.plan(&request).expect("local fallback answers");
@@ -647,10 +682,16 @@ mod tests {
         assert_eq!(fleet.stats().errors, 1);
     }
 
+    /// Regression: an empty backend list used to take down the caller
+    /// with a panic (and without the guard, `route`'s `fingerprint % 0`
+    /// would divide by zero on the first request). It is now a typed
+    /// constructor error callers can handle.
     #[test]
-    #[should_panic(expected = "at least one backend")]
-    fn empty_fleets_are_rejected() {
-        let _ = FleetPlanner::new(Vec::new(), Quantization::default());
+    fn empty_fleets_are_rejected_with_a_typed_error() {
+        let error = FleetPlanner::new(Vec::new(), Quantization::default())
+            .expect_err("zero backends must be rejected");
+        assert_eq!(error, EmptyFleetError);
+        assert_eq!(error.to_string(), "a fleet needs at least one backend");
     }
 
     #[test]

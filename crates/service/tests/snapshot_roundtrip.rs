@@ -7,6 +7,108 @@ use dsq_core::{BnbConfig, CommMatrix, PlanSnapshot, QueryInstance, Service};
 use dsq_service::{CacheConfig, PlanCache, ServeSource};
 use proptest::prelude::*;
 
+/// A deterministic instance distinct per `seed` (parameters sit at
+/// bucket centers of the default 5% quantization, so fingerprints are
+/// stable and distinct).
+fn centered_instance(seed: i32, n: usize) -> QueryInstance {
+    let step = 1.05f64;
+    QueryInstance::builder()
+        .name("restore-capacity")
+        .services((0..n).map(|i| {
+            let i = i as i32;
+            Service::new(step.powi((seed * 3 + i) % 11 - 5), step.powi(-((seed + i) % 9) - 1))
+        }))
+        .comm(CommMatrix::from_fn(n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                step.powi(((seed + i as i32 * 2 + j as i32) % 7) - 3)
+            }
+        }))
+        .build()
+        .expect("centered instances are valid")
+}
+
+/// Two occurrences of one query whose single walking parameter sits on
+/// opposite sides of a primary bucket boundary: only the second,
+/// shifted-grid probe bridges them.
+fn boundary_pair() -> (QueryInstance, QueryInstance) {
+    let step = 1.05f64;
+    let at = |offset: f64| {
+        QueryInstance::builder()
+            .services(vec![
+                Service::new(step.powf(3.5 + offset), step.powi(-6)),
+                Service::new(step.powi(12), step.powi(-2)),
+                Service::new(step.powi(-4), step.powi(-9)),
+            ])
+            .comm(CommMatrix::uniform(3, step.powi(-3)))
+            .build()
+            .expect("boundary instances are valid")
+    };
+    (at(-0.1), at(0.1))
+}
+
+/// With `probes: 2`, restore re-derives one shifted-grid alias per
+/// primary entry. Those aliases are derived state: they must neither
+/// count against shard capacity nor evict the primaries being restored
+/// — a snapshot that exactly fills the cache restores losslessly.
+#[test]
+fn restored_probe_aliases_do_not_evict_primaries() {
+    let capacity = 4;
+    // During live serving each logical plan occupies two slots (primary
+    // + alias), so the fill cache gets double headroom; the restore
+    // target is sized to hold exactly the snapshot's primaries.
+    let filled = CacheConfig {
+        shards: 1,
+        capacity_per_shard: 2 * capacity,
+        probes: 2,
+        ..CacheConfig::default()
+    };
+    let cache = PlanCache::new(filled.clone());
+    let instances: Vec<QueryInstance> =
+        (0..capacity as i32).map(|s| centered_instance(s, 5)).collect();
+    let first: Vec<_> =
+        instances.iter().map(|inst| cache.serve(inst, &BnbConfig::paper())).collect();
+
+    let snapshot = cache.snapshot();
+    assert_eq!(snapshot.entries.len(), capacity, "one primary entry per instance");
+
+    let restored = PlanCache::new(CacheConfig { capacity_per_shard: capacity, ..filled });
+    assert_eq!(restored.restore(&snapshot).expect("restores"), capacity);
+    let stats = restored.stats();
+    assert_eq!(
+        stats.entries,
+        2 * capacity,
+        "all primaries survive alongside their re-derived aliases"
+    );
+    assert_eq!(stats.evictions, 0, "aliases are exempt from capacity during restore");
+    for (inst, original) in instances.iter().zip(&first) {
+        let served = restored.serve(inst, &BnbConfig::paper());
+        assert_eq!(served.source, ServeSource::CacheHit, "no restored primary was evicted");
+        assert_eq!(served.plan, original.plan);
+        assert_eq!(served.fingerprint, original.fingerprint);
+    }
+}
+
+/// The shifted-grid alias keeps working across a snapshot/restore
+/// cycle: a boundary-crossing request that needed the second probe
+/// before the restart still counts a `probe2_hits` after it.
+#[test]
+fn probe2_hits_survive_a_warm_restart() {
+    let (below, above) = boundary_pair();
+    let config = CacheConfig { probes: 2, ..CacheConfig::default() };
+    let cache = PlanCache::new(config.clone());
+    cache.serve(&below, &BnbConfig::paper());
+    assert_eq!(cache.serve(&above, &BnbConfig::paper()).source, ServeSource::CacheHit);
+    assert_eq!(cache.stats().probe2_hits, 1, "the crossing needs the second probe");
+
+    let restored = PlanCache::new(config);
+    restored.restore_from_text(&cache.snapshot().to_text()).expect("restores");
+    let served = restored.serve(&above, &BnbConfig::paper());
+    assert_eq!(served.source, ServeSource::CacheHit, "warm restart keeps the alias");
+    assert_eq!(restored.stats().probe2_hits, 1, "and it still answers via probe 2");
+}
+
 /// Strategy: a batch of small arbitrary instances (strictly positive
 /// parameters — the serving path quantizes them).
 fn arb_batch(max_n: usize, max_count: usize) -> impl Strategy<Value = Vec<QueryInstance>> {

@@ -122,4 +122,30 @@ grep -q "0 local fallbacks" "$workdir/failover.out"
 wait "$fleet_a_pid"
 fleet_a_pid=""
 
-echo "server_smoke: OK (clean drain, snapshot persisted, fleet sharding + failover)" >&2
+# ---- tiered serve-batch smoke ----------------------------------------
+# First run: every miss is answered at the greedy tier (`tier heur` on
+# the output line) and refined to exact before the snapshot is written
+# (heuristic-tier entries are never persisted). Second run restores the
+# snapshot: pure exact hits, no heuristic answer — the background
+# refinement upgraded the hit path across the restart.
+batch_dir="$workdir/batch"
+mkdir -p "$batch_dir"
+for seed in 31 32 33; do
+    "$bin" generate --family clustered -n 7 --seed "$seed" > "$batch_dir/b$seed.dsq"
+done
+tiered_snap="$workdir/tiered.dsqc"
+"$bin" serve-batch "$batch_dir" --workers 1 --tiered --snapshot-out "$tiered_snap" \
+    > "$workdir/tiered-cold.out"
+[ "$(grep -c " tier heur$" "$workdir/tiered-cold.out")" -eq 3 ]
+grep -q "tiered: 3 tier-1 answers, 3 refined" "$workdir/tiered-cold.out"
+grep -q "wrote snapshot (3 entries)" "$workdir/tiered-cold.out"
+"$bin" serve-batch "$batch_dir" --workers 1 --tiered --snapshot-in "$tiered_snap" \
+    > "$workdir/tiered-warm.out"
+grep -q "cache: 3 hits, 0 warm starts, 0 cold" "$workdir/tiered-warm.out"
+grep -q "tiered: 0 tier-1 answers, 0 refined" "$workdir/tiered-warm.out"
+if grep -q " tier heur" "$workdir/tiered-warm.out"; then
+    echo "server_smoke: restored tiered cache still answered heuristically" >&2
+    exit 1
+fi
+
+echo "server_smoke: OK (clean drain, snapshot persisted, fleet sharding + failover, tiered refinement)" >&2
