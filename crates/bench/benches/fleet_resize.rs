@@ -1,0 +1,137 @@
+//! The resize path's timing series: consistent-hash ring construction
+//! and lookup, the in-memory partition export/restore machinery, and a
+//! full warm partition handoff between two live daemons over sockets —
+//! the per-entry cost of moving a keyspace arc during `fleet rebalance`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsq_core::{BnbConfig, Quantization, QueryInstance};
+use dsq_server::{Client, ExportRequest, ListenAddr, Server, ServerConfig};
+use dsq_service::{CacheConfig, HashRing, PlanCache, DEFAULT_VNODES};
+use dsq_workloads::{generate, Family};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+const N: usize = 9;
+const KEYS: u64 = 32;
+
+fn cache_config() -> CacheConfig {
+    CacheConfig {
+        quantization: Quantization::new(0.2), // the e13/e14/e15 serving knobs
+        probes: 1,
+        ..CacheConfig::default()
+    }
+}
+
+fn working_set() -> Vec<QueryInstance> {
+    (0..KEYS).map(|seed| generate(Family::Clustered, N, 700 + seed)).collect()
+}
+
+/// Exports everything: `keep == backends.len()` names no slot (the
+/// drain form a leaving backend is served), so the whole cache moves on
+/// every ping-pong leg and each iteration does identical work.
+fn drain_request() -> ExportRequest {
+    ExportRequest { vnodes: DEFAULT_VNODES, keep: 1, backends: vec!["solo".to_string()] }
+}
+
+fn bench_resize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_resize");
+
+    // Ring construction: what a membership cutover pays to rebuild the
+    // routing table.
+    for backends in [2usize, 3, 8] {
+        let labels: Vec<String> = (0..backends).map(|i| format!("remote(backend-{i})")).collect();
+        group.bench_function(
+            BenchmarkId::new("ring_build", format!("{backends}x{DEFAULT_VNODES}")),
+            |b| b.iter(|| black_box(HashRing::with_vnodes(black_box(&labels), DEFAULT_VNODES))),
+        );
+    }
+
+    // Ring lookup: the per-request routing cost once the fingerprint is
+    // known (the canonicalization in front of it is benched in
+    // fleet_roundtrip's route_only).
+    let labels: Vec<String> = (0..3).map(|i| format!("remote(backend-{i})")).collect();
+    let ring = HashRing::new(&labels);
+    let mut fp = 0u64;
+    group.bench_function(BenchmarkId::new("ring_route", format!("3x{DEFAULT_VNODES}")), |b| {
+        b.iter(|| {
+            fp = fp.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            black_box(ring.route(black_box(fp)))
+        })
+    });
+
+    // In-memory partition machinery: export_partition + restore,
+    // ping-ponging a warmed cache between two instances so every
+    // iteration moves the same full entry set.
+    let keys = working_set();
+    let cache_a = PlanCache::new(cache_config());
+    let cache_b = PlanCache::new(cache_config());
+    for inst in &keys {
+        cache_a.serve(inst, &BnbConfig::paper());
+    }
+    let entries = cache_a.snapshot().entries.len() as u64;
+    assert!(entries > 0, "the warm cache must hold entries to move");
+    group.throughput(Throughput::Elements(entries));
+    let mut from_a = true;
+    group.bench_function(BenchmarkId::new("export_restore", format!("{entries}e")), |b| {
+        b.iter(|| {
+            let (src, dst) = if from_a { (&cache_a, &cache_b) } else { (&cache_b, &cache_a) };
+            from_a = !from_a;
+            let partition = src.export_partition(|_| true);
+            assert_eq!(partition.entries.len() as u64, entries, "the full set moves each leg");
+            black_box(dst.restore(&partition).expect("partition restores"))
+        })
+    });
+
+    // The full socket handoff: export-partition on one daemon, the
+    // snapshot streamed back, import-partition into the other — what
+    // `fleet rebalance` pays per moved arc, ping-ponged likewise.
+    let server_config = ServerConfig {
+        workers: NonZeroUsize::new(1).expect("non-zero"), // single-core hosts
+        cache: cache_config(),
+        poll_interval: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let server_a =
+        Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &server_config).expect("a starts");
+    let server_b =
+        Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &server_config).expect("b starts");
+    let mut client_a = Client::connect(server_a.listen_addr()).expect("connect a");
+    let mut client_b = Client::connect(server_b.listen_addr()).expect("connect b");
+    for inst in &keys {
+        client_a.optimize(inst).expect("warm daemon a");
+    }
+    let request = drain_request();
+    let partition = client_a.export_partition(&request).expect("initial export");
+    let moved = partition.entries.len() as u64;
+    assert!(moved > 0, "the warm daemon must hold entries to move");
+    client_b.import_partition(&partition).expect("initial import");
+    let mut holder_is_b = true;
+    group.throughput(Throughput::Elements(moved));
+    group.bench_function(BenchmarkId::new("handoff_socket", format!("{moved}e")), |b| {
+        b.iter(|| {
+            let (src, dst) = if holder_is_b {
+                (&mut client_b, &mut client_a)
+            } else {
+                (&mut client_a, &mut client_b)
+            };
+            holder_is_b = !holder_is_b;
+            let partition = src.export_partition(&request).expect("export leg");
+            assert_eq!(partition.entries.len() as u64, moved, "the full set moves each leg");
+            black_box(dst.import_partition(&partition).expect("import leg"))
+        })
+    });
+
+    group.finish();
+    drop(client_a);
+    drop(client_b);
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_resize
+}
+criterion_main!(benches);

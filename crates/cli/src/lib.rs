@@ -27,13 +27,17 @@ use dsq_baselines::{
     uniform_reference_plan, AnnealingConfig, BeamConfig, LocalSearchConfig,
 };
 use dsq_core::{
-    bottleneck_cost, explain, format_instance, parse_instance, BnbConfig, Plan, Quantization,
-    QueryInstance,
+    bottleneck_cost, explain, format_instance, parse_instance, BnbConfig, Plan, PlanSnapshot,
+    Quantization, QueryInstance,
 };
-use dsq_server::{Client, ListenAddr, RemotePlanner, Response, Server, ServerConfig, SnapshotLock};
+use dsq_server::{
+    Client, ExportRequest, FaultProfile, ListenAddr, RemotePlanner, Response, Server, ServerConfig,
+    SnapshotLock,
+};
 use dsq_service::{
-    plan_batch, CacheConfig, CachedPlanner, ColdPlanner, FleetPlanner, PlanCache, PlanTier,
-    Planner, ServedPlan, TieredPlanner,
+    plan_batch, CacheConfig, CachedPlanner, ColdPlanner, FleetConfig, FleetMembership,
+    FleetPlanner, HashRing, PlanCache, PlanTier, Planner, ServedPlan, TieredPlanner,
+    DEFAULT_VNODES,
 };
 use dsq_simulator::{simulate, SimConfig};
 use dsq_workloads::{generate, Family};
@@ -68,6 +72,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("serve-batch") => serve_batch_cmd(&mut args, out),
         Some("serve") => serve_cmd(&mut args, out),
         Some("client") => client_cmd(&mut args, out),
+        Some("fleet") => fleet_cmd(&mut args, out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
             Ok(())
@@ -91,9 +96,11 @@ const USAGE: &str = "usage:
              [--workers T] [--config NAME] [--shards S] [--capacity C]
              [--resolution R] [--tolerance X] [--probes P] [--queue Q]
              [--retry-ms N] [--snapshot FILE] [--snapshot-interval-secs S]
-             [--tiered]
-  dsq client --unix PATH | --tcp ADDR | --fleet ADDRS [--resolution R]  COMMAND
+             [--tiered] [--chaos SEED]
+  dsq client --unix PATH | --tcp ADDR | --fleet ADDRS | --fleet-config FILE
+             [--resolution R]  COMMAND
              COMMAND = optimize FILE... [--repeat N] | stats | ping | shutdown
+  dsq fleet rebalance --from ADDRS --to ADDRS [--vnodes V]
 families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
 configs:  paper incumbent-only no-epsilon-bar no-backjump extended
 FILE may be `-` for stdin; serve-batch reads every *.dsq in DIR (sorted) or a
@@ -101,8 +108,14 @@ concatenated instance stream from stdin and serves it through the plan cache;
 serve drains gracefully on stdin EOF (tty/pipe stdin; ignored for /dev/null)
 or a client `shutdown` request; ADDRS is a comma-separated backend list
 (unix://PATH or tcp://HOST:PORT) — --fleet/--remote shard requests across the
-backends by canonical fingerprint, fail over between replicas, and fall back
-to a local cold optimization when every backend is busy or down; --tiered
+backends over a consistent-hash ring, fail over between replicas, and fall
+back to a local cold optimization when every backend is busy or down;
+--fleet-config reads the backend list from a versioned fleet-config file
+instead and re-resolves it between repeat rounds, cutting over atomically
+when the generation grows; fleet rebalance tells every --from backend the new
+--to layout and moves the warm cache partitions onto their inheriting
+backends; --chaos injects deterministic response-path faults (drop, delay,
+truncate) for resilience testing; --tiered
 answers cache misses immediately with a greedy plan (`tier heur` on output)
 and refines them to exact in the background, upgrading the cache in place";
 
@@ -386,7 +399,10 @@ fn parse_cache_flag<'a, I: Iterator<Item = &'a str>>(
 
 /// Parses a comma-separated fleet backend list. Each entry is
 /// `unix://PATH`, `tcp://ADDR`, a bare path (contains `/` → Unix
-/// socket), or a bare `host:port` (→ TCP).
+/// socket), or a bare `host:port` (→ TCP). Duplicate endpoints are
+/// rejected (compared after normalization, so `/tmp/a.sock` and
+/// `unix:///tmp/a.sock` collide): a repeated address would occupy two
+/// ring slots and silently double its share of the keyspace.
 fn parse_fleet_spec(spec: &str) -> Result<Vec<ListenAddr>, CliError> {
     let mut addrs = Vec::new();
     for entry in spec.split(',') {
@@ -394,7 +410,7 @@ fn parse_fleet_spec(spec: &str) -> Result<Vec<ListenAddr>, CliError> {
         if entry.is_empty() {
             return Err(format!("empty backend address in `{spec}`"));
         }
-        addrs.push(if let Some(path) = entry.strip_prefix("unix://") {
+        let addr = if let Some(path) = entry.strip_prefix("unix://") {
             ListenAddr::Unix(PathBuf::from(path))
         } else if let Some(addr) = entry.strip_prefix("tcp://") {
             ListenAddr::Tcp(addr.to_string())
@@ -402,9 +418,20 @@ fn parse_fleet_spec(spec: &str) -> Result<Vec<ListenAddr>, CliError> {
             ListenAddr::Unix(PathBuf::from(entry))
         } else {
             ListenAddr::Tcp(entry.to_string())
-        });
+        };
+        if addrs.contains(&addr) {
+            return Err(format!("duplicate backend address `{entry}` in `{spec}`"));
+        }
+        addrs.push(addr);
     }
     Ok(addrs)
+}
+
+/// Resolves one fleet-config generation's endpoints to listen
+/// addresses, under the same per-entry grammar (and duplicate
+/// rejection) as `--fleet`.
+fn fleet_config_addrs(config: &FleetConfig) -> Result<Vec<ListenAddr>, CliError> {
+    parse_fleet_spec(&config.endpoints.join(","))
 }
 
 /// The fleet router `--remote` / `--fleet` serve through: one
@@ -731,6 +758,15 @@ fn serve_cmd<'a>(
                 )
             }
             "--tiered" => config.tiered = true,
+            // Deterministic fault injection on the response path: the
+            // moderate chaos mix, replayable from the seed.
+            "--chaos" => {
+                let seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--chaos needs a seed (a non-negative integer)")?;
+                config.chaos = Some(FaultProfile::moderate(seed));
+            }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
@@ -743,12 +779,13 @@ fn serve_cmd<'a>(
     }
     writeln!(
         out,
-        "listening on {} ({} workers, queue {}, {} probes{})",
+        "listening on {} ({} workers, queue {}, {} probes{}{})",
         server.listen_addr(),
         config.workers,
         config.queue_capacity,
         config.cache.probes,
         if config.tiered { ", tiered" } else { "" },
+        if config.chaos.is_some() { ", chaos" } else { "" },
     )
     .map_err(io_err)?;
     out.flush().map_err(io_err)?;
@@ -826,6 +863,7 @@ fn client_cmd<'a>(
 ) -> Result<(), CliError> {
     let mut addr: Option<ListenAddr> = None;
     let mut fleet_spec: Option<&str> = None;
+    let mut fleet_config_path: Option<&str> = None;
     let mut routing = Quantization::default();
     let mut repeat = 1usize;
     let mut command: Option<&str> = None;
@@ -847,6 +885,9 @@ fn client_cmd<'a>(
                 fleet_spec =
                     Some(args.next().ok_or("--fleet needs a comma-separated address list")?)
             }
+            "--fleet-config" => {
+                fleet_config_path = Some(args.next().ok_or("--fleet-config needs a file")?)
+            }
             // Routing quantization for --fleet: must match the backends'
             // cache --resolution, or a query drifting inside one backend
             // bucket can still flip its routing fingerprint and smear
@@ -863,7 +904,7 @@ fn client_cmd<'a>(
             other => files.push(other),
         }
     }
-    if addr.is_none() && fleet_spec.is_none() {
+    if addr.is_none() && fleet_spec.is_none() && fleet_config_path.is_none() {
         return Err("client requires --unix PATH or --tcp ADDR".into());
     }
     let command = command.ok_or("client requires a command (optimize|stats|ping|shutdown)")?;
@@ -877,16 +918,31 @@ fn client_cmd<'a>(
     }
 
     // Fleet mode: shard the requests across the backends by canonical
-    // fingerprint, with failover and a local cold fallback.
-    if let Some(spec) = fleet_spec {
+    // fingerprint, with failover and a local cold fallback. The backend
+    // list comes from --fleet directly, or from a versioned fleet-config
+    // file that is re-resolved between repeat rounds — an operator can
+    // push a new generation mid-run and the router cuts over to the new
+    // layout atomically.
+    if fleet_spec.is_some() || fleet_config_path.is_some() {
+        let flag = if fleet_config_path.is_some() { "--fleet-config" } else { "--fleet" };
         if addr.is_some() {
-            return Err("--fleet replaces --unix/--tcp; give one or the other".into());
+            return Err(format!("{flag} replaces --unix/--tcp; give one or the other"));
+        }
+        if fleet_spec.is_some() && fleet_config_path.is_some() {
+            return Err("--fleet-config replaces --fleet; give one or the other".into());
         }
         if command != "optimize" {
-            return Err(format!("--fleet only supports the optimize command, not `{command}`"));
+            return Err(format!("{flag} only supports the optimize command, not `{command}`"));
         }
-        let addrs = parse_fleet_spec(spec)?;
-        let fleet = build_fleet(&addrs, routing, BnbConfig::paper())?;
+        let mut membership = fleet_config_path
+            .map(|path| FleetMembership::load(path).map_err(|e| e.to_string()))
+            .transpose()?;
+        let addrs = match (&membership, fleet_spec) {
+            (Some(m), _) => fleet_config_addrs(m.current())?,
+            (None, Some(spec)) => parse_fleet_spec(spec)?,
+            (None, None) => unreachable!("fleet mode requires one of the flags"),
+        };
+        let mut fleet = build_fleet(&addrs, routing.clone(), BnbConfig::paper())?;
         // Parse once, before any request goes out: a bad document is an
         // up-front usage error, not a mid-stream failure on repeat 1.
         let requests: Vec<(String, QueryInstance)> = gather_client_requests(&files)?
@@ -897,7 +953,31 @@ fn client_cmd<'a>(
                     .map_err(|e| format!("cannot parse {name}: {e}"))
             })
             .collect::<Result<_, _>>()?;
-        for _ in 0..repeat {
+        for round in 0..repeat {
+            // Between rounds, re-resolve the fleet-config file. A
+            // strictly newer generation is an atomic cutover; the
+            // retiring fleet's summary is flushed first so its counters
+            // are not silently discarded.
+            if round > 0 {
+                if let Some(membership) = membership.as_mut() {
+                    if let Some(next) = membership.refresh() {
+                        let next = next.clone();
+                        write_fleet_summary(out, &fleet)?;
+                        writeln!(
+                            out,
+                            "fleet config cut over to generation {} ({} backends)",
+                            next.generation,
+                            next.endpoints.len(),
+                        )
+                        .map_err(io_err)?;
+                        fleet = build_fleet(
+                            &fleet_config_addrs(&next)?,
+                            routing.clone(),
+                            BnbConfig::paper(),
+                        )?;
+                    }
+                }
+            }
             for (name, instance) in &requests {
                 let served =
                     fleet.plan(instance).map_err(|e| format!("request {name} failed: {e}"))?;
@@ -974,6 +1054,99 @@ fn client_cmd<'a>(
         },
         _ => unreachable!("command validated above"),
     }
+}
+
+/// `dsq fleet` subcommands: operator verbs that act on a whole fleet of
+/// daemons rather than a single one.
+fn fleet_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    match args.next() {
+        Some("rebalance") => fleet_rebalance_cmd(args, out),
+        Some(other) => Err(format!("unknown fleet command `{other}`")),
+        None => Err("fleet requires a subcommand (rebalance)".into()),
+    }
+}
+
+/// `dsq fleet rebalance --from ADDRS --to ADDRS`: warm partition
+/// handoff for a fleet resize. Every `--from` backend is told the new
+/// `--to` layout and exports exactly the cache entries it no longer
+/// owns (a backend absent from `--to` drains completely); each exported
+/// entry is routed on the new consistent-hash ring and imported into
+/// its inheriting backend. Moved keys are then served by their new
+/// owners as validated cache hits — the resize recomputes nothing.
+fn fleet_rebalance_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut from_spec: Option<&str> = None;
+    let mut to_spec: Option<&str> = None;
+    let mut vnodes = DEFAULT_VNODES;
+    while let Some(arg) = args.next() {
+        match arg {
+            "--from" => {
+                from_spec = Some(args.next().ok_or("--from needs a comma-separated address list")?)
+            }
+            "--to" => {
+                to_spec = Some(args.next().ok_or("--to needs a comma-separated address list")?)
+            }
+            "--vnodes" => {
+                vnodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--vnodes needs a positive integer")?
+            }
+            other => return Err(format!("unknown fleet rebalance flag `{other}`")),
+        }
+    }
+    let from = parse_fleet_spec(from_spec.ok_or("fleet rebalance requires --from and --to")?)?;
+    let to = parse_fleet_spec(to_spec.ok_or("fleet rebalance requires --from and --to")?)?;
+    // Ring labels must byte-match what a fleet client routes over —
+    // `FleetPlanner` labels each backend with its `RemotePlanner` name —
+    // or the handoff would park keys where no client ever looks.
+    let labels: Vec<String> = to.iter().map(|addr| format!("remote({addr})")).collect();
+    let ring = HashRing::with_vnodes(&labels, vnodes);
+    let mut moved = 0u64;
+    for donor in &from {
+        // A donor surviving into the new layout keeps its own slot; one
+        // leaving the fleet keeps none (`keep == len`, the drain form).
+        let keep = to.iter().position(|addr| addr == donor).unwrap_or(to.len());
+        let mut client =
+            Client::connect(donor).map_err(|e| format!("cannot connect to {donor}: {e}"))?;
+        let request = ExportRequest { vnodes, keep, backends: labels.clone() };
+        let partition = client
+            .export_partition(&request)
+            .map_err(|e| format!("export from {donor} failed: {e}"))?;
+        writeln!(out, "rebalance: {donor} exported {} entries", partition.entries.len())
+            .map_err(io_err)?;
+        for (index, inheritor) in to.iter().enumerate() {
+            if index == keep {
+                continue;
+            }
+            let entries: Vec<_> = partition
+                .entries
+                .iter()
+                .filter(|entry| ring.route(entry.fingerprint) == index)
+                .cloned()
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            let shard = PlanSnapshot { resolution: partition.resolution, entries };
+            let mut receiver = Client::connect(inheritor)
+                .map_err(|e| format!("cannot connect to {inheritor}: {e}"))?;
+            let restored = receiver
+                .import_partition(&shard)
+                .map_err(|e| format!("import into {inheritor} failed: {e}"))?;
+            writeln!(out, "rebalance: {inheritor} inherited {restored} entries from {donor}")
+                .map_err(io_err)?;
+            moved += restored;
+        }
+    }
+    writeln!(out, "rebalance complete: moved {moved} entries onto {} backends", to.len())
+        .map_err(io_err)
 }
 
 #[cfg(test)]
@@ -1121,6 +1294,10 @@ mod tests {
             "--queue needs a positive integer"
         );
         assert_eq!(run_err(&["serve", "--tcp", "x", "--bogus"]), "unknown serve flag `--bogus`");
+        assert_eq!(
+            run_err(&["serve", "--tcp", "x", "--chaos", "nope"]),
+            "--chaos needs a seed (a non-negative integer)"
+        );
         assert_eq!(run_err(&["client", "stats"]), "client requires --unix PATH or --tcp ADDR");
         assert_eq!(
             run_err(&["client", "--unix", "/tmp/x.sock"]),
@@ -1339,6 +1516,18 @@ mod tests {
             parse_fleet_spec("a,,b").expect_err("empty entry"),
             "empty backend address in `a,,b`"
         );
+        // Duplicate endpoints would occupy two ring slots and double
+        // their keyspace share; rejected with the offending entry —
+        // compared after normalization, so two spellings of one address
+        // still collide.
+        assert_eq!(
+            parse_fleet_spec("tcp://h:1,h:1").expect_err("duplicate entry"),
+            "duplicate backend address `h:1` in `tcp://h:1,h:1`"
+        );
+        assert_eq!(
+            parse_fleet_spec("/tmp/a.sock,unix:///tmp/a.sock").expect_err("normalized duplicate"),
+            "duplicate backend address `unix:///tmp/a.sock` in `/tmp/a.sock,unix:///tmp/a.sock`"
+        );
     }
 
     #[test]
@@ -1367,6 +1556,56 @@ mod tests {
         assert_eq!(
             run_err(&["serve-batch", "/tmp", "--remote", "tcp://x", "--snapshot-out", "s"]),
             "--remote backends own their caches; drop --snapshot-in/--snapshot-out"
+        );
+        // --fleet-config argument errors.
+        assert_eq!(run_err(&["client", "--fleet-config"]), "--fleet-config needs a file");
+        assert_eq!(
+            run_err(&["client", "--fleet-config", "/tmp/f.cfg", "stats"]),
+            "--fleet-config only supports the optimize command, not `stats`"
+        );
+        assert_eq!(
+            run_err(&[
+                "client",
+                "--fleet",
+                "tcp://x",
+                "--fleet-config",
+                "/tmp/f.cfg",
+                "optimize",
+                "f"
+            ]),
+            "--fleet-config replaces --fleet; give one or the other"
+        );
+        assert_eq!(
+            run_err(&["client", "--tcp", "x", "--fleet-config", "/tmp/f.cfg", "optimize", "f"]),
+            "--fleet-config replaces --unix/--tcp; give one or the other"
+        );
+        let unreadable =
+            run_err(&["client", "--fleet-config", "/nonexistent.cfg", "optimize", "f"]);
+        assert!(unreadable.starts_with("fleet config unreadable:"), "{unreadable}");
+        // fleet rebalance argument errors.
+        assert_eq!(run_err(&["fleet"]), "fleet requires a subcommand (rebalance)");
+        assert_eq!(run_err(&["fleet", "shuffle"]), "unknown fleet command `shuffle`");
+        assert_eq!(run_err(&["fleet", "rebalance"]), "fleet rebalance requires --from and --to");
+        assert_eq!(
+            run_err(&["fleet", "rebalance", "--from", "tcp://a", "--to", "a,a"]),
+            "duplicate backend address `a` in `a,a`"
+        );
+        assert_eq!(
+            run_err(&[
+                "fleet",
+                "rebalance",
+                "--from",
+                "tcp://a",
+                "--to",
+                "tcp://b",
+                "--vnodes",
+                "0"
+            ]),
+            "--vnodes needs a positive integer"
+        );
+        assert_eq!(
+            run_err(&["fleet", "rebalance", "--wat"]),
+            "unknown fleet rebalance flag `--wat`"
         );
     }
 
@@ -1429,6 +1668,136 @@ mod tests {
         let text = String::from_utf8(out).expect("utf8");
         assert!(text.contains("fleet: 2 backends served 4 requests"), "{text}");
         server_a.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `client --fleet-config`: the backend list comes from a versioned
+    /// fleet-config file instead of `--fleet`, served through the same
+    /// consistent-hash router.
+    #[test]
+    fn client_fleet_config_routes_like_fleet() {
+        use dsq_server::{Server, ServerConfig};
+        let quick = ServerConfig {
+            poll_interval: std::time::Duration::from_millis(2),
+            ..ServerConfig::default()
+        };
+        let server_a =
+            Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &quick).expect("a starts");
+        let server_b =
+            Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &quick).expect("b starts");
+        let dir = std::env::temp_dir().join(format!("dsq-fleet-config-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let config_path = dir.join("fleet.cfg");
+        FleetConfig::new(
+            1,
+            [server_a.listen_addr().to_string(), server_b.listen_addr().to_string()],
+        )
+        .expect("valid config")
+        .store(&config_path)
+        .expect("store config");
+
+        let mut files: Vec<String> = Vec::new();
+        for seed in 0..4u64 {
+            let text = run_ok(&[
+                "generate",
+                "--family",
+                "clustered",
+                "-n",
+                "6",
+                "--seed",
+                &seed.to_string(),
+            ]);
+            let path = dir.join(format!("q{seed}.dsq"));
+            std::fs::write(&path, text).expect("write instance");
+            files.push(path.to_str().expect("utf8").to_string());
+        }
+        let mut args = vec![
+            "client".to_string(),
+            "--fleet-config".into(),
+            config_path.to_str().expect("utf8").to_string(),
+            "optimize".into(),
+        ];
+        args.extend(files.iter().cloned());
+        args.extend(["--repeat".to_string(), "2".into()]);
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("fleet-config optimize succeeds");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains(" cold "), "first round is cold:\n{text}");
+        assert!(text.contains(" hit "), "second round hits:\n{text}");
+        assert!(text.contains("fleet: 2 backends served 8 requests"), "{text}");
+        server_a.shutdown();
+        server_b.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `fleet rebalance` between live daemons: grow a 2-backend fleet
+    /// to 3, move the warm partitions, and confirm a fleet client over
+    /// the new layout serves every key as a cache hit — the resize
+    /// recomputed nothing.
+    #[test]
+    fn fleet_rebalance_keeps_keys_warm_across_a_grow() {
+        use dsq_server::{Server, ServerConfig};
+        let quick = ServerConfig {
+            poll_interval: std::time::Duration::from_millis(2),
+            ..ServerConfig::default()
+        };
+        let tcp = || ListenAddr::Tcp("127.0.0.1:0".into());
+        let server_a = Server::start(&tcp(), &quick).expect("a starts");
+        let server_b = Server::start(&tcp(), &quick).expect("b starts");
+        let server_c = Server::start(&tcp(), &quick).expect("c starts");
+        let old_spec = format!("{},{}", server_a.listen_addr(), server_b.listen_addr());
+        let new_spec = format!("{old_spec},{}", server_c.listen_addr());
+
+        let dir = std::env::temp_dir().join(format!("dsq-rebalance-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let mut files: Vec<String> = Vec::new();
+        for seed in 0..16u64 {
+            let text = run_ok(&[
+                "generate",
+                "--family",
+                "clustered",
+                "-n",
+                "6",
+                "--seed",
+                &seed.to_string(),
+            ]);
+            let path = dir.join(format!("q{seed}.dsq"));
+            std::fs::write(&path, text).expect("write instance");
+            files.push(path.to_str().expect("utf8").to_string());
+        }
+        // Warm the old fleet.
+        let mut args =
+            vec!["client".to_string(), "--fleet".into(), old_spec.clone(), "optimize".into()];
+        args.extend(files.iter().cloned());
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("warm the old fleet");
+
+        // Move the partitions onto the grown layout.
+        let text = run_ok(&["fleet", "rebalance", "--from", &old_spec, "--to", &new_spec]);
+        assert!(text.contains("rebalance complete: moved"), "{text}");
+        // Exports and inheritances must balance: nothing lost in flight.
+        let count_after = |needle: &str| -> u64 {
+            text.lines()
+                .filter_map(|l| {
+                    let rest = l.split(needle).nth(1)?;
+                    rest.split_whitespace().next()?.parse::<u64>().ok()
+                })
+                .sum()
+        };
+        assert_eq!(count_after(" exported "), count_after(" inherited "), "{text}");
+
+        // A fleet client over the new layout: every key is a hit.
+        let mut args = vec!["client".to_string(), "--fleet".into(), new_spec, "optimize".into()];
+        args.extend(files.iter().cloned());
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("serve over the grown fleet");
+        let text = String::from_utf8(out).expect("utf8");
+        let hits = text.lines().filter(|l| l.contains(" hit ")).count();
+        assert_eq!(hits, 16, "every key must stay warm across the grow:\n{text}");
+        assert!(text.contains("0 failovers, 0 local fallbacks"), "{text}");
+        server_a.shutdown();
+        server_b.shutdown();
+        server_c.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -102,8 +102,14 @@ fn fleet_over<'a>(servers: &[&Server], with_fallback: bool) -> FleetPlanner<'a> 
         .iter()
         .map(|s| Box::new(RemotePlanner::new(s.listen_addr().clone())) as Box<dyn Planner>)
         .collect();
+    // Fixed ring labels: the default labels embed the pid-scoped socket
+    // paths, which would reshuffle the keyspace split every run. Pinning
+    // them keeps the 12-key partition (and so every assert below)
+    // deterministic.
+    let labels: Vec<String> = (0..servers.len()).map(|i| format!("shard-{i}")).collect();
     let fleet = FleetPlanner::new(backends, Quantization::new(RESOLUTION))
-        .expect("the experiment always routes over at least one backend");
+        .expect("the experiment always routes over at least one backend")
+        .with_ring_labels(&labels);
     if with_fallback {
         fleet.with_fallback(Box::new(ColdPlanner::new(BnbConfig::paper())))
     } else {

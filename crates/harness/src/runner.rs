@@ -68,6 +68,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         crate::experiments::e14_server::experiment(),
         crate::experiments::e15_fleet::experiment(),
         crate::experiments::e16_tiered::experiment(),
+        crate::experiments::e17_resilience::experiment(),
     ]
 }
 
@@ -112,7 +113,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let experiments = all_experiments();
-        assert_eq!(experiments.len(), 16);
+        assert_eq!(experiments.len(), 17);
         for (i, e) in experiments.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", i + 1), "registry order");
             assert!(!e.title.is_empty());

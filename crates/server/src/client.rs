@@ -2,8 +2,8 @@
 //! wraps, and what tests and the harness drive the socket path with.
 
 use crate::net::{ListenAddr, Stream};
-use crate::protocol::{ProtocolError, Response, REQUEST_END};
-use dsq_core::{format_instance, QueryInstance};
+use crate::protocol::{ExportRequest, ProtocolError, Response, IMPORT_PARTITION_VERB, REQUEST_END};
+use dsq_core::{format_instance, PlanSnapshot, QueryInstance};
 use std::io::{self, BufRead, BufReader, Write};
 use std::time::Duration;
 
@@ -180,6 +180,89 @@ impl Client {
     /// See [`optimize_text`](Self::optimize_text).
     pub fn shutdown_server(&mut self) -> io::Result<Response> {
         self.round_trip("shutdown\n")
+    }
+
+    /// Asks the server to hand over every cache entry it no longer owns
+    /// under `request`'s fleet layout (see the
+    /// [protocol docs](crate::protocol)). The server **removes** those
+    /// entries and streams them back as a snapshot — this is a move,
+    /// not a copy; feed the result to
+    /// [`import_partition`](Self::import_partition) on the inheriting
+    /// server to complete the handoff.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; `InvalidData` when the server refuses the layout,
+    /// the document fails to parse, or its entry count contradicts the
+    /// response header.
+    pub fn export_partition(&mut self, request: &ExportRequest) -> io::Result<PlanSnapshot> {
+        let mut line = request.to_line();
+        line.push('\n');
+        let entries = match self.round_trip(&line)? {
+            Response::Partition { entries } => entries,
+            Response::Error { message } => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, message));
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected a partition response, got `{}`", other.to_line()),
+                ));
+            }
+        };
+        // The snapshot document follows the header line, self-terminated
+        // by its `end-snapshot` trailer.
+        let mut text = String::new();
+        loop {
+            let mut doc_line = String::new();
+            if self.reader.read_line(&mut doc_line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "partition document truncated",
+                ));
+            }
+            let done = doc_line.trim_end() == "end-snapshot";
+            text.push_str(&doc_line);
+            if done {
+                break;
+            }
+        }
+        let snapshot = PlanSnapshot::parse(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("cannot parse partition: {e}"))
+        })?;
+        if snapshot.entries.len() as u64 != entries {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "partition header declared {entries} entries, document carries {}",
+                    snapshot.entries.len()
+                ),
+            ));
+        }
+        Ok(snapshot)
+    }
+
+    /// Streams a snapshot document to the server, which restores its
+    /// entries into the serving cache — the receiving half of a warm
+    /// partition handoff. Returns the restored entry count.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; `InvalidData` when the server rejects the document
+    /// (malformed, or a quantization-resolution mismatch with the
+    /// receiving cache).
+    pub fn import_partition(&mut self, snapshot: &PlanSnapshot) -> io::Result<u64> {
+        let mut request = String::from(IMPORT_PARTITION_VERB);
+        request.push('\n');
+        request.push_str(&snapshot.to_text());
+        match self.round_trip(&request)? {
+            Response::PartitionRestored { entries } => Ok(entries),
+            Response::Error { message } => Err(io::Error::new(io::ErrorKind::InvalidData, message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a partition-restored response, got `{}`", other.to_line()),
+            )),
+        }
     }
 }
 

@@ -37,6 +37,20 @@
 //! `dsq_service::FleetPlanner` can shard work across several daemons
 //! with failover and a local cold fallback.
 //!
+//! Two operational additions support running daemons as a *fleet*:
+//!
+//! * **Warm partition handoff** (`export-partition` /
+//!   `import-partition`, see [`protocol`]): on a fleet resize, each
+//!   surviving daemon is told the new consistent-hash layout and hands
+//!   over exactly the cache entries it no longer owns as a snapshot
+//!   document, which the inheriting daemon restores — moved keys stay
+//!   warm across the resize instead of recomputing.
+//! * **Deterministic fault injection** ([`FaultProfile`],
+//!   [`ServerConfig::chaos`]): the server can wrap every connection's
+//!   response path in a chaos stream that drops, delays, and truncates
+//!   frames on a seeded schedule, so client retry/failover paths are
+//!   exercised reproducibly in tests and smoke runs.
+//!
 //! ```no_run
 //! use dsq_server::{Client, ListenAddr, Response, Server, ServerConfig};
 //!
@@ -64,7 +78,7 @@ mod server;
 
 pub use client::{Client, RetryPolicy};
 pub use lock::{lock_path, SnapshotLock};
-pub use net::ListenAddr;
-pub use protocol::{ProtocolError, Response, StatsLine};
+pub use net::{FaultProfile, ListenAddr};
+pub use protocol::{ExportRequest, ProtocolError, Response, StatsLine};
 pub use remote::RemotePlanner;
 pub use server::{load_aware_retry_ms, Server, ServerConfig, ServerStats, ShutdownHandle};

@@ -20,8 +20,9 @@ pub fn lock_path(snapshot: &Path) -> PathBuf {
 /// The lock is **advisory** (nothing stops a process that does not
 /// check it) and PID-based: the file holds the owner's PID, and a lock
 /// whose owner is no longer alive (`/proc/<pid>` gone — a crashed
-/// server) is stale and silently taken over, so an unclean shutdown
-/// never wedges the snapshot path.
+/// server) is stale and taken over (with a stderr note naming the dead
+/// holder's pid), so an unclean shutdown never wedges the snapshot
+/// path.
 pub struct SnapshotLock {
     path: PathBuf,
 }
@@ -111,7 +112,20 @@ impl SnapshotLock {
             }
         }
         // Dead holder or unreadable content: a stale lock from an
-        // unclean shutdown. Discard it.
+        // unclean shutdown. Discard it — but say so: a steal is an
+        // operator-visible event (it implies an unclean shutdown
+        // happened), and the stale pid is the breadcrumb for finding
+        // which process died.
+        match holder {
+            Some(pid) => eprintln!(
+                "dsq-server: stealing stale snapshot lock {} (holder pid {pid} is dead)",
+                path.display()
+            ),
+            None => eprintln!(
+                "dsq-server: stealing stale snapshot lock {} (unreadable holder pid)",
+                path.display()
+            ),
+        }
         std::fs::remove_file(&aside)
     }
 }

@@ -154,6 +154,22 @@ impl Stream {
     }
 }
 
+impl Stream {
+    /// Half-closes the write side so the peer sees EOF immediately (used
+    /// by the chaos wrapper to make a "dropped" frame observable without
+    /// waiting for the connection handler to unwind).
+    pub(crate) fn shutdown_write(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+}
+
 impl Read for Stream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         match self {
@@ -176,5 +192,139 @@ impl Write for Stream {
             Stream::Tcp(s) => s.flush(),
             Stream::Unix(s) => s.flush(),
         }
+    }
+}
+
+/// A deterministic fault-injection profile for chaos testing: how often
+/// the wrapped connection drops, delays, or truncates **outgoing**
+/// frames. Faults are applied on the egress (response) path only —
+/// inbound request bytes are never corrupted, so a chaotic server
+/// exercises every client-side failure path (mid-response disconnects,
+/// truncated lines, stalls) while its own request parser, and therefore
+/// its `protocol errors` counter, stays clean. That separation is what
+/// lets chaos smoke tests assert *zero* protocol errors under heavy
+/// fault rates.
+///
+/// All rates are `1/N` odds per write; `0` disables that fault. The
+/// schedule is a pure function of `seed` and the per-connection index,
+/// so a chaos run replays identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Base seed; each connection derives its own stream from this and
+    /// its accept index.
+    pub seed: u64,
+    /// Drop odds: one in `drop_one_in` writes closes the connection
+    /// instead of sending the frame (`0` = never).
+    pub drop_one_in: u32,
+    /// Delay odds: one in `delay_one_in` writes sleeps
+    /// [`delay_ms`](Self::delay_ms) first (`0` = never).
+    pub delay_one_in: u32,
+    /// How long a delayed write stalls, in milliseconds.
+    pub delay_ms: u64,
+    /// Truncation odds: one in `truncate_one_in` writes sends only half
+    /// the frame and then closes (`0` = never).
+    pub truncate_one_in: u32,
+}
+
+impl FaultProfile {
+    /// A moderate default chaos mix for smoke tests: with the given
+    /// seed, roughly 1 in 16 frames dropped, 1 in 8 delayed by 2 ms,
+    /// and 1 in 24 truncated.
+    pub fn moderate(seed: u64) -> Self {
+        FaultProfile { seed, drop_one_in: 16, delay_one_in: 8, delay_ms: 2, truncate_one_in: 24 }
+    }
+
+    /// The profile for one accepted connection: same fault odds, a
+    /// connection-specific deterministic sub-seed.
+    pub(crate) fn for_connection(&self, index: u64) -> Self {
+        FaultProfile { seed: splitmix64(self.seed ^ splitmix64(index)), ..*self }
+    }
+}
+
+/// `splitmix64` step — the chaos schedule's deterministic dice. Kept
+/// local so the daemon stays free of RNG dependencies.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A [`Stream`] wrapper that injects the faults described by a
+/// [`FaultProfile`] into the write path. Reads pass through untouched.
+/// Once a fault kills the connection, every later write fails with
+/// `BrokenPipe` — exactly how a genuinely dead socket behaves.
+#[derive(Debug)]
+pub(crate) struct FaultyStream {
+    inner: Stream,
+    profile: Option<FaultProfile>,
+    state: u64,
+    dead: bool,
+}
+
+impl FaultyStream {
+    /// Wraps `inner`; with `profile: None` the wrapper is a pure
+    /// passthrough (the non-chaos serving path).
+    pub(crate) fn new(inner: Stream, profile: Option<FaultProfile>) -> Self {
+        let state = profile.map_or(0, |p| p.seed);
+        FaultyStream { inner, profile, state, dead: false }
+    }
+
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    pub(crate) fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(timeout)
+    }
+
+    /// Next deterministic dice roll in `[0, sides)`; `None` for 0 sides.
+    fn roll(&mut self, sides: u32) -> Option<u32> {
+        if sides == 0 {
+            return None;
+        }
+        self.state = splitmix64(self.state);
+        Some((self.state % u64::from(sides)) as u32)
+    }
+
+    fn kill(&mut self) -> io::Error {
+        self.dead = true;
+        self.inner.shutdown_write();
+        io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection dropped")
+    }
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(profile) = self.profile else { return self.inner.write(buf) };
+        if self.dead {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "chaos: connection dropped"));
+        }
+        if self.roll(profile.drop_one_in) == Some(0) {
+            return Err(self.kill());
+        }
+        if self.roll(profile.delay_one_in) == Some(0) {
+            std::thread::sleep(Duration::from_millis(profile.delay_ms));
+        }
+        if self.roll(profile.truncate_one_in) == Some(0) && buf.len() > 1 {
+            let half = buf.len() / 2;
+            let _ = self.inner.write(&buf[..half]);
+            let _ = self.inner.flush();
+            return Err(self.kill());
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        self.inner.flush()
     }
 }

@@ -5,7 +5,10 @@
 //!
 //! ```text
 //! request   = instance-doc | "stats" | "ping" | "shutdown"
+//!           | export-line | import-doc
 //! instance-doc = "dsq-instance v1" LF …instance lines… "end" LF
+//! export-line  = "export-partition vnodes " N " keep " N " backends " ADDR ("," ADDR)* LF
+//! import-doc   = "import-partition" LF …snapshot lines… "end-snapshot" LF
 //! ```
 //!
 //! Every request earns exactly one single-line response:
@@ -17,11 +20,32 @@
 //!                 " busy " N " hit-rate " F64 " entries " N
 //!           | "ok pong"
 //!           | "ok draining"
+//!           | "ok partition " N           ; N snapshot entries stream after this line
+//!           | "ok partition-restored " N
 //!           | "busy retry-after-ms " N
 //!           | "error " MESSAGE          ; one line, never empty
 //! SRC       = "hit" | "warm" | "cold"
 //! TIER      = "exact" | "heur"
 //! ```
+//!
+//! The two partition verbs carry the warm-handoff path of a fleet
+//! resize. `export-partition` asks the server to **remove and return**
+//! every exact-tier cache entry whose canonical fingerprint is *not*
+//! owned by ring slot `keep` on the consistent-hash ring built over
+//! `backends` with `vnodes` virtual nodes per backend — i.e. "here is
+//! the new fleet layout; hand over everything that is no longer
+//! yours". A `keep` equal to the backend count names no slot at all —
+//! the server keeps nothing, the full drain of a **leaving** backend
+//! that is not part of the new layout. The `ok partition N` line is
+//! followed by the exported
+//! entries as a [`PlanSnapshot`](dsq_core::PlanSnapshot) text document,
+//! which self-terminates with its own `end-snapshot` trailer (`N` is
+//! redundant with the document's declared entry count; clients may
+//! cross-check). `import-partition` streams such a document *to* the
+//! server, which restores the entries into its cache and answers
+//! `ok partition-restored N`. Backend addresses are whitespace-free by
+//! construction (TCP `host:port` or Unix socket paths), which is what
+//! lets the export line stay single-line.
 //!
 //! The tier token is **optional and trailing**: it is only emitted for
 //! heuristic-tier plans, which only exist when the operator runs the
@@ -40,6 +64,74 @@ use std::fmt;
 
 /// End-of-request marker terminating an instance document.
 pub const REQUEST_END: &str = "end";
+
+/// The `import-partition` request verb (the snapshot document follows
+/// on the next lines, terminated by the snapshot's own `end-snapshot`
+/// trailer).
+pub const IMPORT_PARTITION_VERB: &str = "import-partition";
+
+/// A parsed `export-partition` request line: the new fleet layout the
+/// receiving server should keep slot [`keep`](Self::keep) of, handing
+/// everything else over. Passive struct; fields are public.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportRequest {
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub vnodes: usize,
+    /// The ring slot (index into [`backends`](Self::backends)) the
+    /// receiving server keeps; entries owned by any other slot are
+    /// exported. May equal `backends.len()`: the server keeps nothing —
+    /// the full drain of a backend leaving the fleet.
+    pub keep: usize,
+    /// The backend addresses spanning the ring, in fleet order.
+    pub backends: Vec<String>,
+}
+
+impl ExportRequest {
+    /// Renders the request as its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "export-partition vnodes {} keep {} backends {}",
+            self.vnodes,
+            self.keep,
+            self.backends.join(",")
+        )
+    }
+
+    /// Parses an `export-partition` wire line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] carrying the line when it does not match the
+    /// grammar, names an empty backend, or keeps a slot beyond the
+    /// backend count (`keep == backends.len()`, the drain form, is
+    /// valid).
+    pub fn parse(line: &str) -> Result<ExportRequest, ProtocolError> {
+        let line = line.trim_end();
+        let err = || ProtocolError(line.to_string());
+        let rest = line.strip_prefix("export-partition ").ok_or_else(err)?;
+        let mut fields = rest.split_whitespace();
+        let vnodes: usize = match (fields.next(), fields.next()) {
+            (Some("vnodes"), Some(v)) => v.parse().map_err(|_| err())?,
+            _ => return Err(err()),
+        };
+        let keep: usize = match (fields.next(), fields.next()) {
+            (Some("keep"), Some(v)) => v.parse().map_err(|_| err())?,
+            _ => return Err(err()),
+        };
+        let backends: Vec<String> = match (fields.next(), fields.next()) {
+            (Some("backends"), Some(spec)) => spec.split(',').map(str::to_string).collect(),
+            _ => return Err(err()),
+        };
+        if fields.next().is_some()
+            || vnodes == 0
+            || keep > backends.len()
+            || backends.iter().any(String::is_empty)
+        {
+            return Err(err());
+        }
+        Ok(ExportRequest { vnodes, keep, backends })
+    }
+}
 
 /// Error raised by [`Response::parse`]: the offending line, verbatim.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +202,18 @@ pub enum Response {
     Stats(StatsLine),
     /// Reply to `shutdown`: the server is draining.
     Draining,
+    /// Reply to `export-partition`: this many exported snapshot entries
+    /// stream after this line as a snapshot text document (terminated
+    /// by its own `end-snapshot` trailer).
+    Partition {
+        /// Entries in the snapshot document that follows.
+        entries: u64,
+    },
+    /// Reply to `import-partition`: this many entries were restored.
+    PartitionRestored {
+        /// Entries restored into the receiving cache.
+        entries: u64,
+    },
 }
 
 fn parse_source(name: &str) -> Option<ServeSource> {
@@ -167,6 +271,10 @@ impl Response {
                 s.entries,
             ),
             Response::Draining => "ok draining".into(),
+            Response::Partition { entries } => format!("ok partition {entries}"),
+            Response::PartitionRestored { entries } => {
+                format!("ok partition-restored {entries}")
+            }
         }
     }
 
@@ -190,6 +298,14 @@ impl Response {
             "ok pong" => return Ok(Response::Pong),
             "ok draining" => return Ok(Response::Draining),
             _ => {}
+        }
+        if let Some(rest) = line.strip_prefix("ok partition-restored ") {
+            let entries = rest.trim().parse().map_err(|_| err())?;
+            return Ok(Response::PartitionRestored { entries });
+        }
+        if let Some(rest) = line.strip_prefix("ok partition ") {
+            let entries = rest.trim().parse().map_err(|_| err())?;
+            return Ok(Response::Partition { entries });
         }
         if let Some(rest) = line.strip_prefix("ok source ") {
             let mut fields = rest.split_whitespace();
@@ -288,6 +404,9 @@ mod tests {
             Response::Error { message: "cannot parse instance: line 3: bad cost".into() },
             Response::Pong,
             Response::Draining,
+            Response::Partition { entries: 0 },
+            Response::Partition { entries: 17 },
+            Response::PartitionRestored { entries: 17 },
             Response::Stats(StatsLine {
                 requests: 240,
                 hits: 232,
@@ -382,10 +501,50 @@ mod tests {
     }
 
     #[test]
+    fn export_request_round_trips_and_rejects_malformed_lines() {
+        let request = ExportRequest {
+            vnodes: 64,
+            keep: 1,
+            backends: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into(), "/tmp/c.sock".into()],
+        };
+        assert_eq!(
+            request.to_line(),
+            "export-partition vnodes 64 keep 1 backends 127.0.0.1:7001,127.0.0.1:7002,/tmp/c.sock"
+        );
+        assert_eq!(ExportRequest::parse(&request.to_line()).expect("round-trips"), request);
+        // A single-backend layout is legal (it exports nothing).
+        let solo = ExportRequest { vnodes: 1, keep: 0, backends: vec!["a".into()] };
+        assert_eq!(ExportRequest::parse(&solo.to_line()).expect("parses"), solo);
+        // `keep == backends.len()` is the drain form: a leaving backend
+        // keeps no slot and hands everything over.
+        let drain = ExportRequest { vnodes: 8, keep: 2, backends: vec!["a".into(), "b".into()] };
+        assert_eq!(ExportRequest::parse(&drain.to_line()).expect("parses"), drain);
+        for line in [
+            "export-partition",
+            "export-partition vnodes 64",
+            "export-partition vnodes 64 keep 0",
+            "export-partition vnodes 64 keep 0 backends",
+            "export-partition vnodes 0 keep 0 backends a,b", // zero vnodes
+            "export-partition vnodes 64 keep 3 backends a,b", // keep beyond the drain slot
+            "export-partition vnodes 64 keep 0 backends a,,b", // empty backend
+            "export-partition vnodes x keep 0 backends a,b",
+            "export-partition vnodes 64 keep 0 backends a,b extra",
+            "import-partition",
+        ] {
+            assert!(ExportRequest::parse(line).is_err(), "{line:?} should not parse");
+        }
+        let err = ExportRequest::parse("export-partition nope").unwrap_err();
+        assert_eq!(err.to_string(), "malformed protocol line: `export-partition nope`");
+    }
+
+    #[test]
     fn malformed_lines_are_rejected() {
         for line in [
             "",
             "ok",
+            "ok partition",
+            "ok partition x",
+            "ok partition-restored many",
             "ok source hot cost 1 fingerprint 0 plan 0",
             "ok source hit cost x fingerprint 0 plan 0",
             "ok source hit cost 1 fingerprint zz plan 0",

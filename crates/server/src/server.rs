@@ -2,13 +2,13 @@
 //! admission control, the worker pool, and background cache snapshots.
 
 use crate::lock::SnapshotLock;
-use crate::net::{ListenAddr, Listener, Stream};
-use crate::protocol::{Response, StatsLine, REQUEST_END};
+use crate::net::{FaultProfile, FaultyStream, ListenAddr, Listener};
+use crate::protocol::{ExportRequest, Response, StatsLine, IMPORT_PARTITION_VERB, REQUEST_END};
 use crossbeam::channel::{self, TrySendError};
 use dsq_core::{parse_instance, BnbConfig, QueryInstance};
 use dsq_service::{
-    CacheConfig, CacheStats, CachedPlanner, PlanCache, PlanError, Planner, ServedPlan,
-    TieredPlanner, TieredStats,
+    CacheConfig, CacheStats, CachedPlanner, FleetConfig, HashRing, PlanCache, PlanError, Planner,
+    ServedPlan, TieredPlanner, TieredStats,
 };
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -22,6 +22,12 @@ use std::time::Duration;
 /// Requests larger than this are rejected and the connection closed (the
 /// stream position after an oversized document is unknowable).
 const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Size cap on an `import-partition` snapshot document — more generous
+/// than [`MAX_REQUEST_BYTES`]: a partition carries one instance text
+/// per entry, and a handoff from a large cache legitimately outweighs
+/// any single optimize request.
+const MAX_IMPORT_BYTES: usize = 8 << 20;
 
 /// Configuration of a [`Server`]. Passive struct; fields are public.
 #[derive(Debug, Clone)]
@@ -61,6 +67,11 @@ pub struct ServerConfig {
     /// proven-optimal plan. Off by default: the classic path answers
     /// every miss with the exact search.
     pub tiered: bool,
+    /// Deterministic fault injection on every connection's response
+    /// path (drops, delays, truncations — see
+    /// [`FaultProfile`](crate::FaultProfile)). `None` (the default)
+    /// serves cleanly; chaos testing and the `--chaos` CLI flag set it.
+    pub chaos: Option<FaultProfile>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +91,7 @@ impl Default for ServerConfig {
             snapshot_interval: Duration::from_secs(30),
             poll_interval: Duration::from_millis(20),
             tiered: false,
+            chaos: None,
         }
     }
 }
@@ -207,6 +219,9 @@ struct Inner {
     /// load-aware `busy` hint scales with.
     outstanding: AtomicUsize,
     poll_interval: Duration,
+    /// Fault-injection profile wrapped around every accepted
+    /// connection's stream; `None` serves cleanly.
+    chaos: Option<FaultProfile>,
     /// Hard-stop flag: accept loop, connection readers, and the snapshot
     /// thread exit at their next poll.
     shutdown: AtomicBool,
@@ -317,6 +332,7 @@ impl Server {
             queue_capacity: config.queue_capacity,
             outstanding: AtomicUsize::new(0),
             poll_interval: config.poll_interval,
+            chaos: config.chaos,
             shutdown: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             signal: Condvar::new(),
@@ -481,7 +497,12 @@ fn accept_loop(listener: Listener, inner: &Arc<Inner>, job_tx: &channel::Sender<
     while !inner.shutdown.load(Ordering::SeqCst) {
         match listener.try_accept() {
             Ok(Some(stream)) => {
-                inner.connections.fetch_add(1, Ordering::Relaxed);
+                let index = inner.connections.fetch_add(1, Ordering::Relaxed);
+                // Each connection rolls its own deterministic chaos dice
+                // (sub-seeded by accept index), so a chaos run replays
+                // identically regardless of thread interleaving.
+                let stream =
+                    FaultyStream::new(stream, inner.chaos.map(|p| p.for_connection(index)));
                 let inner = Arc::clone(inner);
                 let job_tx = job_tx.clone();
                 connections
@@ -544,7 +565,11 @@ fn snapshot_loop(inner: &Inner, path: &std::path::Path, interval: Duration) {
 /// already-consumed partial bytes on retry — `read_until` keeps them.
 /// Returns `false` when the connection should close (EOF, hard error,
 /// or drain).
-fn read_line_polling(reader: &mut BufReader<Stream>, line: &mut Vec<u8>, inner: &Inner) -> bool {
+fn read_line_polling(
+    reader: &mut BufReader<FaultyStream>,
+    line: &mut Vec<u8>,
+    inner: &Inner,
+) -> bool {
     loop {
         match reader.read_until(b'\n', line) {
             // Delimiter found, or EOF terminating a final unterminated
@@ -570,13 +595,13 @@ fn read_line_polling(reader: &mut BufReader<Stream>, line: &mut Vec<u8>, inner: 
     }
 }
 
-fn write_response(reader: &mut BufReader<Stream>, response: &Response) -> bool {
+fn write_response(reader: &mut BufReader<FaultyStream>, response: &Response) -> bool {
     let mut line = response.to_line();
     line.push('\n');
     reader.get_mut().write_all(line.as_bytes()).is_ok()
 }
 
-fn handle_connection(stream: Stream, inner: &Inner, job_tx: &channel::Sender<Job>) {
+fn handle_connection(stream: FaultyStream, inner: &Inner, job_tx: &channel::Sender<Job>) {
     if stream.set_read_timeout(Some(inner.poll_interval)).is_err()
         || stream.set_write_timeout(Some(Duration::from_secs(1))).is_err()
     {
@@ -598,6 +623,18 @@ fn handle_connection(stream: Stream, inner: &Inner, job_tx: &channel::Sender<Job
             "shutdown" => {
                 inner.request_shutdown();
                 write_response(&mut reader, &Response::Draining)
+            }
+            _ if verb.starts_with("export-partition") => {
+                match serve_export(&mut reader, verb, inner) {
+                    Some(ok) => ok,
+                    None => return,
+                }
+            }
+            _ if verb == IMPORT_PARTITION_VERB => {
+                match serve_import(&mut reader, &mut line, inner) {
+                    Some(ok) => ok,
+                    None => return,
+                }
             }
             _ if verb.starts_with("dsq-instance") => {
                 let header = line.clone();
@@ -645,7 +682,7 @@ enum DocumentRead {
 /// `header` line) up to its `end` marker, reusing `line` as the
 /// per-line scratch buffer.
 fn read_document(
-    reader: &mut BufReader<Stream>,
+    reader: &mut BufReader<FaultyStream>,
     header: Vec<u8>,
     line: &mut Vec<u8>,
     inner: &Inner,
@@ -671,12 +708,12 @@ fn read_document(
 /// per-connection backpressure. Returns `false` when the connection
 /// should close.
 fn serve_document(
-    reader: &mut BufReader<Stream>,
+    reader: &mut BufReader<FaultyStream>,
     document: &[u8],
     inner: &Inner,
     job_tx: &channel::Sender<Job>,
 ) -> bool {
-    let protocol_error = |reader: &mut BufReader<Stream>, inner: &Inner, message: String| {
+    let protocol_error = |reader: &mut BufReader<FaultyStream>, inner: &Inner, message: String| {
         inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
         write_response(reader, &Response::Error { message })
     };
@@ -738,6 +775,88 @@ fn serve_document(
             write_response(reader, &Response::Error { message: "server is shutting down".into() });
             false
         }
+    }
+}
+
+/// Serves one `export-partition` line: validates the requested fleet
+/// layout, removes the moved partition from the cache, and streams it
+/// as a snapshot document after the `ok partition N` header. Returns
+/// `Some(ok)` like a single-line verb; `None` closes the connection —
+/// and puts the already-exported entries back, so a handoff that dies
+/// on the wire does not lose the partition (the mover retries).
+fn serve_export(reader: &mut BufReader<FaultyStream>, verb: &str, inner: &Inner) -> Option<bool> {
+    let request = match ExportRequest::parse(verb) {
+        Ok(request) => request,
+        Err(e) => {
+            inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return Some(write_response(reader, &Response::Error { message: e.to_string() }));
+        }
+    };
+    // Reuse the fleet-config validator: a duplicate backend address
+    // would fold two ring slots onto one label and silently
+    // mis-partition the keyspace.
+    if let Err(e) = FleetConfig::new(0, request.backends.iter().cloned()) {
+        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        return Some(write_response(reader, &Response::Error { message: e.to_string() }));
+    }
+    let ring = HashRing::with_vnodes(&request.backends, request.vnodes);
+    let keep = request.keep;
+    let snapshot = inner.cache.export_partition(|fingerprint| ring.route(fingerprint) != keep);
+    let entries = snapshot.entries.len() as u64;
+    let sent = write_response(reader, &Response::Partition { entries })
+        && reader.get_mut().write_all(snapshot.to_text().as_bytes()).is_ok();
+    if !sent {
+        let _ = inner.cache.restore(&snapshot);
+        return None;
+    }
+    Some(true)
+}
+
+/// Serves one `import-partition` exchange: reads the snapshot document
+/// that follows (terminated by the snapshot's own `end-snapshot`
+/// trailer), restores it into the cache, and reports the restored
+/// entry count. Returns `Some(ok)` like a single-line verb, `None`
+/// when the connection must close.
+fn serve_import(
+    reader: &mut BufReader<FaultyStream>,
+    line: &mut Vec<u8>,
+    inner: &Inner,
+) -> Option<bool> {
+    let mut document: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        if !read_line_polling(reader, line, inner) {
+            return None;
+        }
+        let done = String::from_utf8_lossy(line).trim() == "end-snapshot";
+        document.extend_from_slice(line);
+        if done {
+            break;
+        }
+        if document.len() > MAX_IMPORT_BYTES {
+            inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                reader,
+                &Response::Error { message: format!("partition exceeds {MAX_IMPORT_BYTES} bytes") },
+            );
+            return None; // stream position unknown: close
+        }
+    }
+    let malformed = |reader: &mut BufReader<FaultyStream>, inner: &Inner, message: String| {
+        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        Some(write_response(reader, &Response::Error { message }))
+    };
+    let text = match std::str::from_utf8(&document) {
+        Ok(text) => text,
+        Err(_) => {
+            return malformed(reader, inner, "partition text is not valid UTF-8".into());
+        }
+    };
+    match inner.cache.restore_from_text(text) {
+        Ok(restored) => {
+            Some(write_response(reader, &Response::PartitionRestored { entries: restored as u64 }))
+        }
+        Err(e) => malformed(reader, inner, format!("cannot restore partition: {e}")),
     }
 }
 

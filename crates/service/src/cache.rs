@@ -633,6 +633,61 @@ impl PlanCache {
         PlanSnapshot::new(&self.config.quantization, entries)
     }
 
+    /// Exports **and removes** the resident primary exact-tier entries
+    /// whose fingerprint satisfies `moved` — the leaving side of a warm
+    /// partition handoff. During a fleet rebalance, `moved(fp)` is
+    /// "does `fp`'s consistent-hash owner change under the new ring";
+    /// the returned snapshot streams to the inheriting backend (which
+    /// [`restore`](Self::restore)s it), while everything the predicate
+    /// rejects stays resident here. Shifted-grid probe aliases of the
+    /// exported entries are dropped too (they are derived state; the
+    /// inheritor re-derives its own on restore). Unrefined
+    /// heuristic-tier entries are neither exported nor retained in the
+    /// snapshot sense — like [`snapshot`](Self::snapshot), only
+    /// `primary && exact` entries are handoff material.
+    ///
+    /// Entries are ordered by fingerprint, so equal caches produce
+    /// byte-identical exports regardless of insertion order.
+    pub fn export_partition(&self, moved: impl Fn(u64) -> bool) -> PlanSnapshot {
+        let mut entries: Vec<SnapshotEntry> = Vec::new();
+        for shard in &self.shards {
+            let mut guard = shard.lock();
+            let moving: Vec<u64> = guard
+                .map
+                .iter()
+                .filter(|&(&fingerprint, entry)| entry.primary && entry.exact && moved(fingerprint))
+                .map(|(&fingerprint, _)| fingerprint)
+                .collect();
+            for fingerprint in moving {
+                let entry = guard.map.remove(&fingerprint).expect("listed under this lock");
+                entries.push(SnapshotEntry {
+                    fingerprint,
+                    cost: entry.cost,
+                    canonical_plan: entry.canonical_plan,
+                    instance: entry.instance,
+                });
+            }
+        }
+        // Drop the exported entries' shifted-grid aliases (possibly in
+        // other shards, so after the primary pass releases its locks).
+        // An alias fingerprint that collides with a resident *primary*
+        // entry is someone else's logical plan and is left alone.
+        if self.config.probes == 2 {
+            for exported in &entries {
+                let Ok(instance) = parse_instance(&exported.instance) else { continue };
+                let shifted =
+                    CanonicalKey::with_phase(&instance, &self.config.quantization, PROBE_PHASE);
+                let shard = self.shard(shifted.fingerprint());
+                let mut guard = shard.lock();
+                if guard.map.get(&shifted.fingerprint()).is_some_and(|entry| !entry.primary) {
+                    guard.map.remove(&shifted.fingerprint());
+                }
+            }
+        }
+        entries.sort_by_key(|e| e.fingerprint);
+        PlanSnapshot::new(&self.config.quantization, entries)
+    }
+
     /// Loads a snapshot into this cache (on top of whatever is already
     /// resident), returning the number of logical entries restored. Every
     /// entry is re-verified before insertion: its instance text must
@@ -907,6 +962,53 @@ mod tests {
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.evictions, 3);
+    }
+
+    /// A partition export is a handoff, not a copy: the moved entries
+    /// leave the exporting cache, restore warm into the inheritor, and
+    /// the retained entries keep hitting where they were.
+    #[test]
+    fn export_partition_hands_entries_off_warm() {
+        let config = CacheConfig { shards: 2, probes: 2, ..CacheConfig::default() };
+        let cache = PlanCache::new(config.clone());
+        let instances: Vec<QueryInstance> = (0..6).map(|s| instance(s, 5)).collect();
+        let first: Vec<_> =
+            instances.iter().map(|inst| cache.serve(inst, &BnbConfig::paper())).collect();
+        let full = cache.snapshot();
+        assert_eq!(full.entries.len(), 6);
+
+        // Move every even fingerprint; keep the odd ones.
+        let moved = |fp: u64| fp % 2 == 0;
+        let exported = cache.export_partition(moved);
+        let retained = cache.snapshot();
+        assert!(exported.entries.iter().all(|e| moved(e.fingerprint)));
+        assert!(retained.entries.iter().all(|e| !moved(e.fingerprint)));
+        assert_eq!(
+            exported.entries.len() + retained.entries.len(),
+            6,
+            "exported and retained partition the exact-tier entries"
+        );
+        // Exporting is idempotent: the moved entries are gone.
+        assert!(cache.export_partition(moved).entries.is_empty());
+
+        let inheritor = PlanCache::new(config);
+        inheritor.restore(&exported).expect("handoff restores");
+        for (inst, original) in instances.iter().zip(&first) {
+            let (owner, other) = if moved(original.fingerprint) {
+                (&inheritor, &cache)
+            } else {
+                (&cache, &inheritor)
+            };
+            let served = owner.serve(inst, &BnbConfig::paper());
+            assert_eq!(served.source, ServeSource::CacheHit, "handoff kept the entry warm");
+            assert_eq!(served.plan, original.plan);
+            assert_eq!(served.cost.to_bits(), original.cost.to_bits());
+            assert_eq!(
+                other.serve(inst, &BnbConfig::paper()).source,
+                ServeSource::Cold,
+                "each logical entry lives on exactly one side"
+            );
+        }
     }
 
     /// Regression (soak): the lazy recency queue used to append a pair

@@ -21,10 +21,15 @@
 //!   behind: [`ColdPlanner`] (fresh search per request),
 //!   [`CachedPlanner`] (the cache semantics above), the wire-speaking
 //!   `RemotePlanner` in `dsq-server`, and [`FleetPlanner`], which
-//!   shards requests across N backends by canonical fingerprint (each
-//!   backend's LRU sees a disjoint, stable keyspace), fails over to the
-//!   next replica, and falls back to a local planner when every backend
-//!   is down.
+//!   shards requests across N backends over a consistent-hash
+//!   [`HashRing`] keyed by canonical fingerprint (each backend's LRU
+//!   sees a disjoint, stable keyspace, and a resize remaps only ~1/N of
+//!   it), fails over along ring successors, ejects flapping backends
+//!   through per-backend [`CircuitBreaker`]s (readmitted only after a
+//!   successful half-open probe), and falls back to a local planner
+//!   when every backend is down. Membership is dynamic: a versioned
+//!   [`FleetConfig`] file re-resolved by [`FleetMembership`] with
+//!   atomic generation cutover and rollback.
 //! * **Two-tier anytime planning** ([`TieredPlanner`]) — misses are
 //!   answered immediately by the greedy heuristic (tier 1) and refined
 //!   to proven-optimal plans on a background worker pool that upgrades
@@ -67,16 +72,22 @@
 #![warn(missing_debug_implementations)]
 
 mod batch;
+pub mod breaker;
 mod cache;
+pub mod membership;
 mod planner;
+pub mod ring;
 mod tiered;
 
 pub use batch::{optimize_batch, BatchOptions};
+pub use breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{
     CacheConfig, CacheStats, PlanCache, PlanTier, RestoreError, ServeSource, ServedPlan,
 };
+pub use membership::{FleetConfig, FleetConfigError, FleetMembership, FLEET_CONFIG_HEADER};
 pub use planner::{
     plan_batch, CachedPlanner, ColdPlanner, EmptyFleetError, FleetPlanner, FleetStats, PlanError,
     Planner, PlannerStats,
 };
+pub use ring::{HashRing, DEFAULT_VNODES};
 pub use tiered::{HeuristicPlanner, TieredConfig, TieredPlanner, TieredStats};

@@ -10,7 +10,9 @@
 //! `RemotePlanner` lives in `dsq-server` (it needs the protocol client)
 //! and plugs into [`FleetPlanner`] through the same trait.
 
+use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use crate::cache::{PlanCache, PlanTier, ServeSource, ServedPlan};
+use crate::ring::HashRing;
 use dsq_core::{
     optimize_parallel, optimize_with, BnbConfig, CanonicalKey, Quantization, QueryInstance,
 };
@@ -59,7 +61,7 @@ impl fmt::Display for PlanError {
 impl Error for PlanError {}
 
 /// Error from [`FleetPlanner::new`]: a fleet cannot be built over an
-/// empty backend list (`fingerprint % 0` routing would divide by zero,
+/// empty backend list (a zero-backend hash ring has no virtual nodes,
 /// and no request could ever be served).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EmptyFleetError;
@@ -324,19 +326,31 @@ struct FleetCounters {
 /// A [`Planner`] that shards requests across N backends by canonical
 /// fingerprint and fails over when a backend cannot answer.
 ///
-/// Routing is `fingerprint % N`: near-identical queries (same
-/// fingerprint under the routing quantization) always land on the same
-/// backend, so each backend's LRU cache sees a **disjoint, stable
-/// keyspace** — cache partitioning for free, with the aggregate fleet
-/// capacity N× a single backend's. When the home backend fails (busy
-/// after its retry budget, transport error, protocol garbage), the
-/// request walks the remaining replicas in ring order; when every
-/// backend fails it lands on the local fallback planner, if one is
-/// configured.
+/// Routing is a consistent-hash ring ([`HashRing`]): each backend
+/// (identified by its [`Planner::name`] label) owns the arcs clockwise
+/// before its deterministic virtual nodes, and a request lands on the
+/// owner of its canonical fingerprint's ring position. Near-identical
+/// queries (same fingerprint under the routing quantization) always
+/// land on the same backend, so each backend's LRU cache sees a
+/// **disjoint, stable keyspace** — and because the ring only remaps
+/// the arcs adjacent to a membership change, a fleet resize moves only
+/// ~`1/N` of the keyspace instead of reshuffling all of it the way
+/// `fingerprint % N` did.
+///
+/// When the home backend fails (busy after its retry budget, transport
+/// error, protocol garbage), the request walks the remaining replicas
+/// in ring-successor order; when every backend fails it lands on the
+/// local fallback planner, if one is configured. Each backend also
+/// carries a [`CircuitBreaker`]: after enough consecutive failures it
+/// is ejected from routing entirely (no connect attempt at all) until
+/// a half-open probe succeeds — see [`crate::breaker`].
 pub struct FleetPlanner<'a> {
     backends: Vec<Box<dyn Planner + 'a>>,
     fallback: Option<Box<dyn Planner + 'a>>,
     quantization: Quantization,
+    ring: HashRing,
+    labels: Vec<String>,
+    breakers: Vec<CircuitBreaker>,
     counters: Mutex<FleetCounters>,
 }
 
@@ -356,10 +370,9 @@ impl<'a> FleetPlanner<'a> {
     ///
     /// # Errors
     ///
-    /// [`EmptyFleetError`] if `backends` is empty: routing is
-    /// `fingerprint % N`, so a zero-backend fleet would divide by zero
-    /// on its first request — the invalid topology is rejected at
-    /// construction instead.
+    /// [`EmptyFleetError`] if `backends` is empty: a zero-backend ring
+    /// has no virtual nodes, so the invalid topology is rejected at
+    /// construction instead of failing on the first request.
     pub fn new(
         backends: Vec<Box<dyn Planner + 'a>>,
         quantization: Quantization,
@@ -367,8 +380,14 @@ impl<'a> FleetPlanner<'a> {
         if backends.is_empty() {
             return Err(EmptyFleetError);
         }
+        let labels: Vec<String> = backends.iter().map(|b| b.name().to_string()).collect();
         let per_backend = vec![0; backends.len()];
+        let breakers =
+            backends.iter().map(|_| CircuitBreaker::new(BreakerConfig::default())).collect();
         Ok(FleetPlanner {
+            ring: HashRing::new(&labels),
+            labels,
+            breakers,
             backends,
             fallback: None,
             quantization,
@@ -387,10 +406,58 @@ impl<'a> FleetPlanner<'a> {
         self
     }
 
-    /// The home backend index a request routes to.
+    /// Replaces every backend's circuit breaker with fresh ones under
+    /// `config` (use `failure_threshold: 0` to disable health ejection).
+    #[must_use]
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breakers = self.backends.iter().map(|_| CircuitBreaker::new(config)).collect();
+        self
+    }
+
+    /// Rebuilds the routing ring with `vnodes` virtual nodes per
+    /// backend (the default is [`crate::ring::DEFAULT_VNODES`]).
+    #[must_use]
+    pub fn with_vnodes(mut self, vnodes: usize) -> Self {
+        self.ring = HashRing::with_vnodes(&self.labels, vnodes);
+        self
+    }
+
+    /// Replaces the ring labels (one per backend, same order as the
+    /// constructor's backend list) and rebuilds the routing ring.
+    ///
+    /// By default a backend's ring identity is its [`Planner::name`],
+    /// which for remote backends embeds the socket address — correct
+    /// for a production fleet whose membership is a stable address
+    /// list, but run-dependent in tests whose temp-dir socket paths
+    /// change per process. Fixed labels make the keyspace split
+    /// reproducible.
+    ///
+    /// # Panics
+    ///
+    /// If `labels` does not provide exactly one label per backend.
+    #[must_use]
+    pub fn with_ring_labels(mut self, labels: &[String]) -> Self {
+        assert_eq!(
+            labels.len(),
+            self.backends.len(),
+            "ring labels must map one-to-one onto the fleet's backends"
+        );
+        self.labels = labels.to_vec();
+        self.ring = HashRing::new(&self.labels);
+        self
+    }
+
+    /// The home backend index a request routes to: the consistent-hash
+    /// owner of its canonical fingerprint (health state not applied —
+    /// this is pure ring position).
     pub fn route(&self, instance: &QueryInstance) -> usize {
         let fingerprint = CanonicalKey::new(instance, &self.quantization).fingerprint();
-        (fingerprint % self.backends.len() as u64) as usize
+        self.ring.route(fingerprint)
+    }
+
+    /// The consistent-hash ring requests are routed over.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
     }
 
     /// Number of backends in the fleet (the fallback not included).
@@ -402,6 +469,18 @@ impl<'a> FleetPlanner<'a> {
     pub fn fleet_stats(&self) -> FleetStats {
         self.counters.lock().fleet.clone()
     }
+
+    /// Per-backend circuit-breaker counters, indexed like the
+    /// constructor's backend list.
+    pub fn breaker_stats(&self) -> Vec<BreakerStats> {
+        self.breakers.iter().map(CircuitBreaker::stats).collect()
+    }
+
+    /// Per-backend circuit states, indexed like the constructor's
+    /// backend list.
+    pub fn breaker_states(&self) -> Vec<BreakerState> {
+        self.breakers.iter().map(CircuitBreaker::state).collect()
+    }
 }
 
 impl Planner for FleetPlanner<'_> {
@@ -410,20 +489,31 @@ impl Planner for FleetPlanner<'_> {
     }
 
     fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
-        let home = self.route(instance);
+        let fingerprint = CanonicalKey::new(instance, &self.quantization).fingerprint();
+        let home = self.ring.route(fingerprint);
         let mut last_error: Option<PlanError> = None;
-        for hop in 0..self.backends.len() {
-            let backend = (home + hop) % self.backends.len();
+        for backend in self.ring.successors(fingerprint) {
+            // An open circuit ejects the backend from routing entirely:
+            // no connect attempt, the request walks straight on to the
+            // next ring successor (or admits itself as the half-open
+            // probe once the cooldown has elapsed).
+            if !self.breakers[backend].admit() {
+                continue;
+            }
             match self.backends[backend].plan(instance) {
                 Ok(served) => {
+                    self.breakers[backend].record(true);
                     let mut counters = self.counters.lock();
                     counters.planner.record(&served);
-                    counters.planner.failovers += u64::from(hop > 0);
+                    counters.planner.failovers += u64::from(backend != home);
                     counters.fleet.per_backend[backend] += 1;
-                    counters.fleet.failovers += u64::from(hop > 0);
+                    counters.fleet.failovers += u64::from(backend != home);
                     return Ok(served);
                 }
-                Err(error) => last_error = Some(error),
+                Err(error) => {
+                    self.breakers[backend].record(false);
+                    last_error = Some(error);
+                }
             }
         }
         if let Some(fallback) = &self.fallback {
@@ -441,7 +531,11 @@ impl Planner for FleetPlanner<'_> {
         let mut counters = self.counters.lock();
         counters.planner.errors += 1;
         counters.fleet.errors += 1;
-        Err(last_error.expect("at least one backend was tried"))
+        // With every circuit open and no fallback, no backend was even
+        // tried — still a typed error, never a panic.
+        Err(last_error.unwrap_or_else(|| {
+            PlanError::Backend("every backend is ejected by its circuit breaker".to_string())
+        }))
     }
 
     fn stats(&self) -> PlannerStats {
@@ -682,9 +776,110 @@ mod tests {
         assert_eq!(fleet.stats().errors, 1);
     }
 
+    #[test]
+    fn flapping_backend_is_ejected_and_readmitted() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let backends = [Scripted::new("a"), Scripted::new("b")];
+        let fleet = fleet_of(&backends)
+            .with_breaker(BreakerConfig { failure_threshold: 2, cooldown_requests: 3 });
+        // A request homed on each backend (routing is deterministic).
+        let requests: Vec<QueryInstance> = (0..20).map(instance).collect();
+        let homed_on = |backend: usize| {
+            requests
+                .iter()
+                .find(|r| fleet.route(r) == backend)
+                .cloned()
+                .expect("20 seeds cover both partitions")
+        };
+        let flapper = 0usize;
+        let on_flapper = homed_on(flapper);
+        backends[flapper].down.store(true, Ordering::Relaxed);
+
+        // Two failures trip the breaker; both requests still complete
+        // via failover to the healthy replica.
+        for _ in 0..2 {
+            fleet.plan(&on_flapper).expect("failover serves");
+        }
+        assert_eq!(fleet.breaker_states()[flapper], BreakerState::Open);
+        assert_eq!(fleet.breaker_stats()[flapper].trips, 1);
+
+        // While ejected, homed requests go straight to the replica with
+        // no attempt on the flapper (its served count stays frozen) —
+        // each check ticking the cooldown. Check 3 of the cooldown
+        // admits a probe, which fails (still down) and re-opens.
+        let before = backends[flapper].inner.stats().served;
+        for _ in 0..3 {
+            fleet.plan(&on_flapper).expect("replica serves while ejected");
+        }
+        assert_eq!(backends[flapper].inner.stats().served, before, "no attempts while open");
+        assert_eq!(fleet.breaker_stats()[flapper].trips, 2, "failed probe re-opens");
+
+        // Backend recovers; after the cooldown the next probe succeeds
+        // and the backend is readmitted to routing.
+        backends[flapper].down.store(false, Ordering::Relaxed);
+        for _ in 0..3 {
+            fleet.plan(&on_flapper).expect("serves");
+        }
+        assert_eq!(fleet.breaker_states()[flapper], BreakerState::Closed);
+        assert_eq!(fleet.breaker_stats()[flapper].readmissions, 1);
+        let served = fleet.plan(&on_flapper).expect("readmitted home serves");
+        assert_eq!(served.cost.to_bits(), optimize(&on_flapper).cost().to_bits());
+        let stats = fleet.fleet_stats();
+        assert!(stats.per_backend[flapper] >= 1, "home serves again after readmission");
+        assert_eq!(stats.errors, 0, "every request completed despite the flapping");
+    }
+
+    #[test]
+    fn all_circuits_open_yields_a_typed_error_or_fallback() {
+        use crate::breaker::BreakerConfig;
+        let backends = [Scripted::new("a"), Scripted::new("b")];
+        for backend in &backends {
+            backend.down.store(true, Ordering::Relaxed);
+        }
+        let fleet = fleet_of(&backends)
+            .with_breaker(BreakerConfig { failure_threshold: 1, cooldown_requests: 100 });
+        let request = instance(2);
+        // First request trips both breakers (home fails, successor fails).
+        assert!(fleet.plan(&request).is_err());
+        // Now every circuit is open: no backend is tried at all, and the
+        // fleet still returns a typed error.
+        let error = fleet.plan(&request).expect_err("everything ejected");
+        assert_eq!(
+            error,
+            PlanError::Backend("every backend is ejected by its circuit breaker".to_string())
+        );
+    }
+
+    /// The consistent-hash property the whole PR rests on: growing the
+    /// fleet by one backend leaves the surviving backends' partitions
+    /// in place — only keys claimed by the joiner move.
+    #[test]
+    fn growing_the_fleet_keeps_surviving_partitions() {
+        let two = [Scripted::new("a"), Scripted::new("b")];
+        let three = [Scripted::new("a"), Scripted::new("b"), Scripted::new("c")];
+        let before = fleet_of(&two);
+        let after = fleet_of(&three);
+        let requests: Vec<QueryInstance> = (0..24).map(instance).collect();
+        let mut stayed = 0;
+        for request in &requests {
+            let old_home = before.route(request);
+            let new_home = after.route(request);
+            if new_home == 2 {
+                continue; // claimed by the joiner
+            }
+            assert_eq!(new_home, old_home, "surviving keys never change owner");
+            stayed += 1;
+        }
+        assert!(
+            stayed * 2 >= requests.len(),
+            "at least (N-1)/N of keys stay put, saw {stayed}/{}",
+            requests.len()
+        );
+    }
+
     /// Regression: an empty backend list used to take down the caller
-    /// with a panic (and without the guard, `route`'s `fingerprint % 0`
-    /// would divide by zero on the first request). It is now a typed
+    /// with a panic (and without the guard, a zero-backend ring
+    /// would have no virtual nodes to route to). It is now a typed
     /// constructor error callers can handle.
     #[test]
     fn empty_fleets_are_rejected_with_a_typed_error() {

@@ -3,8 +3,8 @@
 //! plans, reference costs, and the serve-time validation behavior —
 //! through the in-memory [`PlanSnapshot`] and through its text form.
 
-use dsq_core::{BnbConfig, CommMatrix, PlanSnapshot, QueryInstance, Service};
-use dsq_service::{CacheConfig, PlanCache, ServeSource};
+use dsq_core::{BnbConfig, CommMatrix, PlanSnapshot, QueryInstance, Service, SnapshotEntry};
+use dsq_service::{CacheConfig, HashRing, PlanCache, ServeSource};
 use proptest::prelude::*;
 
 /// A deterministic instance distinct per `seed` (parameters sit at
@@ -158,6 +158,68 @@ proptest! {
             prop_assert_eq!(served.fingerprint, original.fingerprint);
         }
         prop_assert_eq!(restored.snapshot().to_text(), text);
+    }
+
+    /// Partition export is an exact set partition of the cache's
+    /// exact-tier entries: exported ∪ retained covers everything,
+    /// disjointly, split precisely by consistent-hash ring ownership —
+    /// and the moved half restores bit-exactly on an inheriting cache,
+    /// where every moved key serves as a validated hit.
+    #[test]
+    fn partition_export_restore_round_trips_bit_exactly(
+        batch in arb_batch(6, 6),
+        backends in 2usize..=4,
+        vnodes in 1usize..=48,
+        keep_salt in 0usize..4,
+        probes in 1usize..=2,
+    ) {
+        let config = CacheConfig { probes, ..CacheConfig::default() };
+        let cache = PlanCache::new(config.clone());
+        let first: Vec<_> =
+            batch.iter().map(|inst| cache.serve(inst, &BnbConfig::paper())).collect();
+        let before = cache.snapshot();
+
+        let labels: Vec<String> = (0..backends).map(|i| format!("backend-{i}")).collect();
+        let ring = HashRing::with_vnodes(&labels, vnodes);
+        let keep = keep_salt % backends;
+        let moved = cache.export_partition(|fp| ring.route(fp) != keep);
+        let retained = cache.snapshot();
+
+        // Disjoint, exhaustive, and split exactly by ring ownership.
+        let key = |e: &SnapshotEntry| {
+            (e.fingerprint, e.cost.to_bits(), e.canonical_plan.clone(), e.instance.clone())
+        };
+        let mut union: Vec<_> = moved.entries.iter().map(key).collect();
+        union.extend(retained.entries.iter().map(key));
+        union.sort();
+        let mut everything: Vec<_> = before.entries.iter().map(key).collect();
+        everything.sort();
+        prop_assert_eq!(union, everything);
+        prop_assert!(moved.entries.iter().all(|e| ring.route(e.fingerprint) != keep));
+        prop_assert!(retained.entries.iter().all(|e| ring.route(e.fingerprint) == keep));
+
+        // The moved half restores bit-exactly through its text form...
+        let inheritor = PlanCache::new(config);
+        let text = moved.to_text();
+        prop_assert_eq!(
+            inheritor
+                .restore_from_text(&text)
+                .expect("partition restores"),
+            moved.entries.len()
+        );
+        prop_assert_eq!(inheritor.snapshot().to_text(), text);
+
+        // ...and every moved key serves as a validated hit carrying the
+        // original cost bits and fingerprint.
+        for (inst, original) in batch.iter().zip(&first) {
+            if ring.route(original.fingerprint) == keep {
+                continue;
+            }
+            let served = inheritor.serve(inst, &BnbConfig::paper());
+            prop_assert_eq!(served.source, ServeSource::CacheHit);
+            prop_assert_eq!(served.cost.to_bits(), original.cost.to_bits());
+            prop_assert_eq!(served.fingerprint, original.fingerprint);
+        }
     }
 
     /// Truncating snapshot text anywhere strictly inside the document

@@ -22,10 +22,15 @@ sock="$workdir/dsq.sock"
 snapshot="$workdir/plans.dsqc"
 server_log="$workdir/server.log"
 fifo="$workdir/stdin.fifo"
-server_pid=""
+# Every spawned daemon registers its PID here; the single EXIT trap
+# kills whatever is still running and removes the workdir — no chained
+# traps to keep in sync as smoke legs are added.
+daemon_pids=()
 cleanup() {
     exec 3>&- 2>/dev/null || true
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    for pid in ${daemon_pids[@]+"${daemon_pids[@]}"}; do
+        kill "$pid" 2>/dev/null || true
+    done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -38,6 +43,7 @@ trap cleanup EXIT
 mkfifo "$fifo"
 "$bin" serve --unix "$sock" --workers 1 --snapshot "$snapshot" < "$fifo" > "$server_log" &
 server_pid=$!
+daemon_pids+=("$server_pid")
 exec 3>"$fifo"
 
 for _ in $(seq 1 300); do
@@ -57,7 +63,6 @@ grep -q "hit-rate 66.7%" "$workdir/stats.out"
 # Close stdin: the daemon must drain and exit 0 on its own.
 exec 3>&-
 wait "$server_pid"
-server_pid=""
 grep -q "served 3 requests" "$server_log"
 grep -q "hit-rate" "$server_log"
 grep -q "drained cleanly" "$server_log"
@@ -71,18 +76,13 @@ grep -q "drained cleanly" "$server_log"
 # via failover.
 sock_a="$workdir/fleet-a.sock"
 sock_b="$workdir/fleet-b.sock"
-fleet_a_pid=""
-fleet_b_pid=""
-fleet_cleanup() {
-    [ -n "$fleet_a_pid" ] && kill "$fleet_a_pid" 2>/dev/null || true
-    [ -n "$fleet_b_pid" ] && kill "$fleet_b_pid" 2>/dev/null || true
-}
-trap 'fleet_cleanup; cleanup' EXIT
 
 "$bin" serve --unix "$sock_a" --workers 1 < /dev/null > "$workdir/fleet-a.log" &
 fleet_a_pid=$!
+daemon_pids+=("$fleet_a_pid")
 "$bin" serve --unix "$sock_b" --workers 1 < /dev/null > "$workdir/fleet-b.log" &
 fleet_b_pid=$!
+daemon_pids+=("$fleet_b_pid")
 for _ in $(seq 1 300); do
     [ -S "$sock_a" ] && [ -S "$sock_b" ] && break
     sleep 0.1
@@ -112,15 +112,65 @@ grep -q "0 failovers, 0 local fallbacks" "$workdir/fleet.out"
 # (and the summary must say so).
 "$bin" client --unix "$sock_b" shutdown | grep -qx "server draining"
 wait "$fleet_b_pid"
-fleet_b_pid=""
 "$bin" client --fleet "unix://$sock_a,unix://$sock_b" optimize "${fleet_files[@]}" \
     > "$workdir/failover.out"
 grep -q "fleet: 2 backends served 6 requests" "$workdir/failover.out"
 grep -q "0 local fallbacks" "$workdir/failover.out"
 
+# ---- warm handoff smoke ----------------------------------------------
+# Grow the surviving backend into a 2-backend fleet with the rebalance
+# verb: whatever slice of the keyspace the new daemon owns moves over
+# warm, and the grown fleet answers the whole stream from cache.
+sock_c="$workdir/fleet-c.sock"
+"$bin" serve --unix "$sock_c" --workers 1 < /dev/null > "$workdir/fleet-c.log" &
+fleet_c_pid=$!
+daemon_pids+=("$fleet_c_pid")
+for _ in $(seq 1 300); do
+    [ -S "$sock_c" ] && break
+    sleep 0.1
+done
+[ -S "$sock_c" ] || { echo "server_smoke: grow socket never appeared" >&2; exit 1; }
+"$bin" fleet rebalance --from "unix://$sock_a" --to "unix://$sock_a,unix://$sock_c" \
+    > "$workdir/rebalance.out"
+grep -q "rebalance complete: moved" "$workdir/rebalance.out"
+"$bin" client --fleet "unix://$sock_a,unix://$sock_c" optimize "${fleet_files[@]}" \
+    > "$workdir/grown.out"
+[ "$(grep -c " hit " "$workdir/grown.out")" -eq 6 ] || \
+    { echo "server_smoke: grown fleet lost warm keys" >&2; cat "$workdir/grown.out" >&2; exit 1; }
+grep -q "0 failovers, 0 local fallbacks" "$workdir/grown.out"
+
 "$bin" client --unix "$sock_a" shutdown | grep -qx "server draining"
 wait "$fleet_a_pid"
-fleet_a_pid=""
+"$bin" client --unix "$sock_c" shutdown | grep -qx "server draining"
+wait "$fleet_c_pid"
+
+# ---- chaos smoke ------------------------------------------------------
+# A daemon injecting deterministic drop/delay/truncate faults into its
+# own response frames: individual requests may fail typed (that is the
+# point), but the client never hangs, at least one request is served,
+# and the daemon still drains cleanly on shutdown.
+chaos_sock="$workdir/chaos.sock"
+"$bin" serve --unix "$chaos_sock" --workers 1 --chaos 7 < /dev/null > "$workdir/chaos.log" &
+chaos_pid=$!
+daemon_pids+=("$chaos_pid")
+for _ in $(seq 1 300); do
+    [ -S "$chaos_sock" ] && break
+    sleep 0.1
+done
+[ -S "$chaos_sock" ] || { echo "server_smoke: chaos socket never appeared" >&2; exit 1; }
+served=0
+for _ in $(seq 1 8); do
+    if "$bin" client --unix "$chaos_sock" optimize "$workdir/q.dsq" > /dev/null 2>&1; then
+        served=$((served + 1))
+    fi
+done
+[ "$served" -ge 1 ] || { echo "server_smoke: chaos starved serving entirely" >&2; exit 1; }
+# The shutdown acknowledgement itself may be a dropped frame; the drain
+# must happen regardless.
+"$bin" client --unix "$chaos_sock" shutdown > /dev/null 2>&1 || true
+wait "$chaos_pid"
+grep -q ", chaos)" "$workdir/chaos.log"
+grep -q "drained cleanly" "$workdir/chaos.log"
 
 # ---- tiered serve-batch smoke ----------------------------------------
 # First run: every miss is answered at the greedy tier (`tier heur` on
@@ -148,4 +198,4 @@ if grep -q " tier heur" "$workdir/tiered-warm.out"; then
     exit 1
 fi
 
-echo "server_smoke: OK (clean drain, snapshot persisted, fleet sharding + failover, tiered refinement)" >&2
+echo "server_smoke: OK (clean drain, snapshot persisted, fleet sharding + failover, warm rebalance, chaos drain, tiered refinement)" >&2

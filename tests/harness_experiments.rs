@@ -21,7 +21,7 @@ fn registry_is_complete() {
         ids,
         [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16"
+            "e14", "e15", "e16", "e17"
         ]
     );
 }
@@ -170,6 +170,30 @@ fn e16_tiered_serving_converges_and_meets_the_latency_bar() {
     let speedup: f64 =
         row[3].trim_end_matches('×').parse().expect("numeric speedup before the × suffix");
     assert!(speedup >= 10.0, "tier-1 speedup column must report ≥ 10×, got {speedup}");
+}
+
+#[test]
+fn e17_resilience_keeps_keys_warm_across_a_grow() {
+    // e17 bakes its own asserts in (every pre-grow key still hits with
+    // bit-identical cost after the handoff, exact breaker counter
+    // accounting, typed-errors-only chaos with zero protocol errors);
+    // running it at quick sizes is the regression guard. Check the
+    // headline retention numbers on top.
+    let tables = run_by_id("e17");
+    assert_eq!(tables.len(), 3);
+    let csv = tables[0].to_csv();
+    let rows: Vec<Vec<String>> =
+        csv.lines().skip(1).map(|l| l.split(',').map(str::to_string).collect()).collect();
+    // Rows: cold fill, steady fleet of 2, first cycle after the grow.
+    let steady_rate: f64 = rows[1][4].parse().expect("numeric hit rate");
+    let post_grow_rate: f64 = rows[2][4].parse().expect("numeric hit rate");
+    assert!(
+        post_grow_rate >= steady_rate - 0.05,
+        "the grow must not dent the hit rate by more than 5 points: {steady_rate} vs {post_grow_rate}"
+    );
+    assert!(post_grow_rate >= 0.5, "at least half the keys stay warm, got {post_grow_rate}");
+    let moved: f64 = rows[2][5].parse().expect("numeric moved-keys count");
+    assert!(moved >= 1.0, "the resize must actually move part of the keyspace");
 }
 
 #[test]
