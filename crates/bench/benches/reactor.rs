@@ -1,0 +1,68 @@
+//! Micro-costs of the vendored epoll reactor (`vendor/reactor`): the
+//! cross-thread wakeup roundtrip workers pay per completion batch, the
+//! register/deregister churn per accepted connection, and how a poll
+//! scales when a thousand idle sockets are registered — the floor under
+//! the daemon's "thousands of connections on one thread" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reactor::{Events, Interest, Poll, Token, Waker};
+use std::hint::black_box;
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+fn bench_reactor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reactor");
+
+    // One wake → poll → drain cycle: the path every worker completion
+    // takes to reach the reactor.
+    let poll = Poll::new().expect("poll");
+    let waker = Waker::new(&poll, Token(1)).expect("waker");
+    let mut events = Events::with_capacity(64);
+    group.bench_function(BenchmarkId::new("waker_roundtrip", 1), |b| {
+        b.iter(|| {
+            waker.wake();
+            poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll");
+            black_box(waker.drain())
+        })
+    });
+
+    // Register + deregister one socket: the per-connection setup and
+    // teardown cost on the accept path.
+    let (socket, _peer) = UnixStream::pair().expect("socket pair");
+    let fd = socket.as_raw_fd();
+    group.bench_function(BenchmarkId::new("register_deregister", 1), |b| {
+        b.iter(|| {
+            poll.register(fd, Token(7), Interest::READABLE).expect("register");
+            poll.deregister(fd).expect("deregister");
+        })
+    });
+
+    // A poll over a thousand registered-but-idle sockets: epoll charges
+    // for ready events, not registered fds, so this must stay flat.
+    let crowd_poll = Poll::new().expect("poll");
+    let crowd: Vec<(UnixStream, UnixStream)> =
+        (0..1000).map(|_| UnixStream::pair().expect("socket pair")).collect();
+    for (index, (held, _peer)) in crowd.iter().enumerate() {
+        crowd_poll
+            .register(held.as_raw_fd(), Token(index + 2), Interest::READABLE)
+            .expect("register idle socket");
+    }
+    let mut crowd_events = Events::with_capacity(1024);
+    group.bench_function(BenchmarkId::new("poll_1k_idle", 1000), |b| {
+        b.iter(|| {
+            crowd_poll.poll(&mut crowd_events, Some(Duration::ZERO)).expect("poll idle crowd");
+            assert!(crowd_events.is_empty(), "idle sockets must report nothing");
+            black_box(crowd_events.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = dsq_bench::quick_criterion!();
+    targets = bench_reactor
+}
+criterion_main!(benches);

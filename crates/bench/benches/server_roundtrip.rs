@@ -93,6 +93,23 @@ fn bench_server(c: &mut Criterion) {
         b.iter(|| black_box(optimize_batch(&cache, black_box(&requests), &options)))
     });
 
+    // The same warmed stream as one pipelined frame: every document goes
+    // out in a single write and the responses come back in request
+    // order — the per-request framing/syscall amortization the reactor
+    // core exists for, to be read against `stream_socket` above.
+    group.bench_function(BenchmarkId::new("pipelined_stream", "w1"), |b| {
+        b.iter(|| {
+            let responses = client.optimize_pipelined(&requests).expect("pipelined stream");
+            for response in &responses {
+                match response {
+                    Response::Served { .. } => {}
+                    other => panic!("expected served, got {other:?}"),
+                }
+            }
+            black_box(responses)
+        })
+    });
+
     group.finish();
     drop(client);
     server.shutdown();

@@ -31,8 +31,8 @@ use dsq_core::{
     Quantization, QueryInstance,
 };
 use dsq_server::{
-    Client, ExportRequest, FaultProfile, ListenAddr, RemotePlanner, Response, Server, ServerConfig,
-    SnapshotLock,
+    Client, ExportRequest, FaultProfile, ListenAddr, PipelineRequest, RemotePlanner, Response,
+    Server, ServerConfig, SnapshotLock,
 };
 use dsq_service::{
     plan_batch, CacheConfig, CachedPlanner, ColdPlanner, FleetConfig, FleetMembership,
@@ -96,10 +96,11 @@ const USAGE: &str = "usage:
              [--workers T] [--config NAME] [--shards S] [--capacity C]
              [--resolution R] [--tolerance X] [--probes P] [--queue Q]
              [--retry-ms N] [--snapshot FILE] [--snapshot-interval-secs S]
-             [--tiered] [--chaos SEED]
+             [--tiered] [--chaos SEED] [--max-pipeline D]
   dsq client --unix PATH | --tcp ADDR | --fleet ADDRS | --fleet-config FILE
              [--resolution R]  COMMAND
-             COMMAND = optimize FILE... [--repeat N] | stats | ping | shutdown
+             COMMAND = optimize FILE... [--repeat N] [--pipeline]
+                     | stats | ping | shutdown | hold N
   dsq fleet rebalance --from ADDRS --to ADDRS [--vnodes V]
 families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
 configs:  paper incumbent-only no-epsilon-bar no-backjump extended
@@ -115,7 +116,10 @@ instead and re-resolves it between repeat rounds, cutting over atomically
 when the generation grows; fleet rebalance tells every --from backend the new
 --to layout and moves the warm cache partitions onto their inheriting
 backends; --chaos injects deterministic response-path faults (drop, delay,
-truncate) for resilience testing; --tiered
+truncate) for resilience testing; client optimize --pipeline sends every
+document as one coalesced frame and reads the responses back in request
+order (the server admits up to its --max-pipeline per connection); client
+hold N parks N concurrent idle connections on the server's reactor; --tiered
 answers cache misses immediately with a greedy plan (`tier heur` on output)
 and refines them to exact in the background, upgrading the cache in place";
 
@@ -758,6 +762,13 @@ fn serve_cmd<'a>(
                 )
             }
             "--tiered" => config.tiered = true,
+            "--max-pipeline" => {
+                config.max_pipeline = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--max-pipeline needs a positive integer")?
+            }
             // Deterministic fault injection on the response path: the
             // moderate chaos mix, replayable from the seed.
             "--chaos" => {
@@ -771,6 +782,9 @@ fn serve_cmd<'a>(
         }
     }
     let addr = addr.ok_or("serve requires --unix PATH or --tcp ADDR")?;
+    // One reactor thread holding thousands of sockets needs the process
+    // fd budget to match; best-effort raise toward the hard cap.
+    let _ = reactor::ensure_nofile_limit(8192);
     let server = Server::start(&addr, &config).map_err(|e| format!("cannot start server: {e}"))?;
     let stats = server.stats();
     if stats.restored_entries > 0 {
@@ -866,6 +880,7 @@ fn client_cmd<'a>(
     let mut fleet_config_path: Option<&str> = None;
     let mut routing = Quantization::default();
     let mut repeat = 1usize;
+    let mut pipelined = false;
     let mut command: Option<&str> = None;
     let mut files: Vec<&str> = Vec::new();
     while let Some(arg) = args.next() {
@@ -874,6 +889,7 @@ fn client_cmd<'a>(
             continue;
         }
         match arg {
+            "--pipeline" => pipelined = true,
             "--repeat" => {
                 repeat = args
                     .next()
@@ -907,15 +923,27 @@ fn client_cmd<'a>(
     if addr.is_none() && fleet_spec.is_none() && fleet_config_path.is_none() {
         return Err("client requires --unix PATH or --tcp ADDR".into());
     }
-    let command = command.ok_or("client requires a command (optimize|stats|ping|shutdown)")?;
+    let command = command.ok_or("client requires a command (optimize|stats|ping|shutdown|hold)")?;
     // Validate the request before dialing, so usage errors do not depend
     // on a live server.
-    if !matches!(command, "optimize" | "stats" | "ping" | "shutdown") {
+    if !matches!(command, "optimize" | "stats" | "ping" | "shutdown" | "hold") {
         return Err(format!("unknown client command `{command}`"));
     }
     if command == "optimize" && files.is_empty() {
         return Err("client optimize requires at least one instance file".into());
     }
+    if pipelined && command != "optimize" {
+        return Err("--pipeline only applies to the optimize command".into());
+    }
+    let hold_count = if command == "hold" {
+        files
+            .first()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v: &usize| v > 0)
+            .ok_or("client hold needs a positive connection count")?
+    } else {
+        0
+    };
 
     // Fleet mode: shard the requests across the backends by canonical
     // fingerprint, with failover and a local cold fallback. The backend
@@ -999,34 +1027,69 @@ fn client_cmd<'a>(
     let mut client =
         Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let transport = |e: std::io::Error| format!("request failed: {e}");
+    let write_response =
+        |out: &mut dyn std::io::Write, name: &str, response: Response| -> Result<(), CliError> {
+            match response {
+                Response::Served { source, cost, plan, tier, .. } => {
+                    let plan = Plan::new(plan).map_err(|e| e.to_string())?;
+                    writeln!(
+                        out,
+                        "{name:<28} {:<5} cost {cost:<12.6} plan {plan}{}",
+                        source.name(),
+                        tier_suffix(tier),
+                    )
+                    .map_err(io_err)
+                }
+                Response::Busy { retry_after_ms } => {
+                    writeln!(out, "{name:<28} busy  retry-after-ms {retry_after_ms}")
+                        .map_err(io_err)
+                }
+                Response::Error { message } => Err(format!("server error for {name}: {message}")),
+                other => Err(format!("unexpected response: {other:?}")),
+            }
+        };
     match command {
         "optimize" => {
             let requests = gather_client_requests(&files)?;
+            if pipelined {
+                // One coalesced frame per round; responses come back in
+                // request order, so the output lines match the
+                // sequential path's exactly.
+                let batch: Vec<PipelineRequest> = requests
+                    .iter()
+                    .map(|(_, text)| PipelineRequest::Optimize(text.clone()))
+                    .collect();
+                for _ in 0..repeat {
+                    let responses = client.pipeline(&batch).map_err(transport)?;
+                    for ((name, _), response) in requests.iter().zip(responses) {
+                        write_response(out, name, response)?;
+                    }
+                }
+                return Ok(());
+            }
             for _ in 0..repeat {
                 for (name, text) in &requests {
-                    match client.optimize_text(text).map_err(transport)? {
-                        Response::Served { source, cost, plan, tier, .. } => {
-                            let plan = Plan::new(plan).map_err(|e| e.to_string())?;
-                            writeln!(
-                                out,
-                                "{name:<28} {:<5} cost {cost:<12.6} plan {plan}{}",
-                                source.name(),
-                                tier_suffix(tier),
-                            )
-                            .map_err(io_err)?;
-                        }
-                        Response::Busy { retry_after_ms } => {
-                            writeln!(out, "{name:<28} busy  retry-after-ms {retry_after_ms}")
-                                .map_err(io_err)?;
-                        }
-                        Response::Error { message } => {
-                            return Err(format!("server error for {name}: {message}"))
-                        }
-                        other => return Err(format!("unexpected response: {other:?}")),
-                    }
+                    let response = client.optimize_text(text).map_err(transport)?;
+                    write_response(out, name, response)?;
                 }
             }
             Ok(())
+        }
+        "hold" => {
+            let count = hold_count;
+            let _ = reactor::ensure_nofile_limit((count as u64).saturating_add(64));
+            let mut held = Vec::with_capacity(count);
+            for i in 0..count {
+                let mut extra = Client::connect(&addr)
+                    .map_err(|e| format!("connection {i} failed to dial: {e}"))?;
+                // The ping proves the server's reactor registered the
+                // socket, not just that the kernel queued the connect.
+                match extra.ping().map_err(|e| format!("connection {i} failed to ping: {e}"))? {
+                    Response::Pong => held.push(extra),
+                    other => return Err(format!("unexpected response: {other:?}")),
+                }
+            }
+            writeln!(out, "held {} concurrent connections on {addr}", held.len()).map_err(io_err)
         }
         "stats" => match client.stats().map_err(transport)? {
             Response::Stats(s) => writeln!(
@@ -1301,7 +1364,7 @@ mod tests {
         assert_eq!(run_err(&["client", "stats"]), "client requires --unix PATH or --tcp ADDR");
         assert_eq!(
             run_err(&["client", "--unix", "/tmp/x.sock"]),
-            "client requires a command (optimize|stats|ping|shutdown)"
+            "client requires a command (optimize|stats|ping|shutdown|hold)"
         );
         assert_eq!(
             run_err(&["client", "--unix", "/tmp/x.sock", "reboot"]),
@@ -1310,6 +1373,18 @@ mod tests {
         assert_eq!(
             run_err(&["client", "--unix", "/tmp/x.sock", "optimize"]),
             "client optimize requires at least one instance file"
+        );
+        assert_eq!(
+            run_err(&["client", "--unix", "/tmp/x.sock", "--pipeline", "ping"]),
+            "--pipeline only applies to the optimize command"
+        );
+        assert_eq!(
+            run_err(&["client", "--unix", "/tmp/x.sock", "hold", "zero"]),
+            "client hold needs a positive connection count"
+        );
+        assert_eq!(
+            run_err(&["serve", "--tcp", "x", "--max-pipeline", "0"]),
+            "--max-pipeline needs a positive integer"
         );
         let unreachable = run_err(&["client", "--unix", "/nonexistent/dsq.sock", "ping"]);
         assert!(
@@ -1543,7 +1618,7 @@ mod tests {
         );
         assert_eq!(
             run_err(&["client", "--fleet", "tcp://x"]),
-            "client requires a command (optimize|stats|ping|shutdown)"
+            "client requires a command (optimize|stats|ping|shutdown|hold)"
         );
         assert_eq!(
             run_err(&["client", "--fleet", "tcp://x", "--resolution", "7", "optimize", "f"]),

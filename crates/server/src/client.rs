@@ -4,7 +4,7 @@
 use crate::net::{ListenAddr, Stream};
 use crate::protocol::{ExportRequest, ProtocolError, Response, IMPORT_PARTITION_VERB, REQUEST_END};
 use dsq_core::{format_instance, PlanSnapshot, QueryInstance};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::time::Duration;
 
 /// Client-side retry policy for `busy` responses: capped exponential
@@ -46,11 +46,72 @@ impl RetryPolicy {
     }
 }
 
-/// A connected client. One request is in flight at a time (the protocol
-/// is strictly request/response per connection).
+/// A [`Stream`] wrapper counting the `read`/`write` calls that reach
+/// the socket — the observable proxy for syscalls. Tests assert on
+/// these to prove pipelining actually coalesces frames (one write for N
+/// requests) instead of merely reordering them.
+#[derive(Debug)]
+struct CountingStream {
+    inner: Stream,
+    reads: u64,
+    writes: u64,
+}
+
+impl Read for CountingStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.reads += 1;
+        self.inner.read(buf)
+    }
+}
+
+impl Write for CountingStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.writes += 1;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// One request inside a pipelined batch; see [`Client::pipeline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineRequest {
+    /// A `dsq-instance v1` document (the `end` trailer is appended by
+    /// the client if missing).
+    Optimize(String),
+    /// A liveness probe.
+    Ping,
+    /// A counters request.
+    Stats,
+}
+
+impl PipelineRequest {
+    /// Renders the request's wire frame into `out`.
+    fn render(&self, out: &mut String) {
+        match self {
+            PipelineRequest::Optimize(text) => {
+                out.push_str(text);
+                if !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str(REQUEST_END);
+                out.push('\n');
+            }
+            PipelineRequest::Ping => out.push_str("ping\n"),
+            PipelineRequest::Stats => out.push_str("stats\n"),
+        }
+    }
+}
+
+/// A connected client. Requests are either strict request/response
+/// ([`optimize`](Self::optimize) and friends) or pipelined — a whole
+/// batch written in one frame, responses read back in request order
+/// ([`pipeline`](Self::pipeline)).
 #[derive(Debug)]
 pub struct Client {
-    reader: BufReader<Stream>,
+    reader: BufReader<CountingStream>,
 }
 
 fn protocol_err(e: ProtocolError) -> io::Error {
@@ -64,7 +125,65 @@ impl Client {
     ///
     /// Connection-level I/O errors.
     pub fn connect(addr: &ListenAddr) -> io::Result<Client> {
-        Ok(Client { reader: BufReader::new(Stream::connect(addr)?) })
+        Ok(Client {
+            reader: BufReader::new(CountingStream {
+                inner: Stream::connect(addr)?,
+                reads: 0,
+                writes: 0,
+            }),
+        })
+    }
+
+    /// `(reads, writes)` that reached the socket so far — the
+    /// per-connection syscall proxy pipelining tests assert on.
+    pub fn wire_counts(&self) -> (u64, u64) {
+        let stream = self.reader.get_ref();
+        (stream.reads, stream.writes)
+    }
+
+    /// Sends every request as **one** coalesced frame and reads the
+    /// responses back in request order. The server admits up to its
+    /// `max_pipeline` requests from this connection concurrently, so a
+    /// batch of independent instances costs one write and (typically)
+    /// far fewer reads than round-tripping them one at a time.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; `UnexpectedEof` when the connection closes before
+    /// every response arrives; `InvalidData` for an unparseable
+    /// response line. On any error the stream state is unknown — drop
+    /// the client.
+    pub fn pipeline(&mut self, requests: &[PipelineRequest]) -> io::Result<Vec<Response>> {
+        let mut frame = String::new();
+        for request in requests {
+            request.render(&mut frame);
+        }
+        self.reader.get_mut().write_all(frame.as_bytes())?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-pipeline",
+                ));
+            }
+            responses.push(Response::parse(&line).map_err(protocol_err)?);
+        }
+        Ok(responses)
+    }
+
+    /// [`pipeline`](Self::pipeline) over in-memory instances: all
+    /// documents written in one frame, one response per instance, in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// See [`pipeline`](Self::pipeline).
+    pub fn optimize_pipelined(&mut self, instances: &[QueryInstance]) -> io::Result<Vec<Response>> {
+        let requests: Vec<PipelineRequest> =
+            instances.iter().map(|i| PipelineRequest::Optimize(format_instance(i))).collect();
+        self.pipeline(&requests)
     }
 
     fn round_trip(&mut self, request: &str) -> io::Result<Response> {

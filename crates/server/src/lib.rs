@@ -12,12 +12,15 @@
 //!   runtime): clients write a `dsq-instance v1` document terminated by
 //!   `end` and read back a single response line carrying the plan, its
 //!   exact-instance cost, the serve source, and the cache fingerprint.
-//! * **Admission control with backpressure** ([`Server`]): a bounded
-//!   queue in front of the worker pool. A request arriving while the
-//!   queue is full is answered `busy retry-after-ms N` *immediately* —
-//!   the accept loop never stalls — and each connection reads its next
-//!   request only after the current reply is written, so a client cannot
-//!   buffer unbounded work into the server.
+//! * **An event-driven core with pipelining** ([`Server`]): one reactor
+//!   thread owns every connection socket through a vendored epoll poller
+//!   (`vendor/reactor`), so thousands of idle connections cost no
+//!   threads; the worker pool drains a bounded admission queue and hands
+//!   completions back over a wakeup pipe. A connection may pipeline up
+//!   to `max_pipeline` requests without reading responses — answers come
+//!   back in request order — and a request arriving while the queue is
+//!   full is answered `busy retry-after-ms N` *immediately*, so a client
+//!   still cannot buffer unbounded work into the server.
 //! * **Cache persistence** (via `dsq_service::PlanCache::snapshot`): the
 //!   cache is restored from a snapshot file at startup (warm restart), a
 //!   background thread rewrites the file periodically (atomic
@@ -70,13 +73,14 @@
 #![warn(missing_debug_implementations)]
 
 mod client;
+mod event_loop;
 mod lock;
 mod net;
 pub mod protocol;
 mod remote;
 mod server;
 
-pub use client::{Client, RetryPolicy};
+pub use client::{Client, PipelineRequest, RetryPolicy};
 pub use lock::{lock_path, SnapshotLock};
 pub use net::{FaultProfile, ListenAddr};
 pub use protocol::{ExportRequest, ProtocolError, Response, StatsLine};

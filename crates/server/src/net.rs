@@ -6,6 +6,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -87,13 +88,25 @@ impl Listener {
                 Err(e) => return Err(e),
             },
         };
-        // Accepted sockets must block (with a read timeout) even though
-        // the listener does not; inheritance differs across platforms,
-        // so set it explicitly.
+        // Accepted sockets are owned by the reactor's event loop and
+        // must never block it; inheritance of the non-blocking flag
+        // differs across platforms, so set it explicitly. Nagle must be
+        // off: a pipelining client writes a batch and then only reads,
+        // so its delayed ACKs would otherwise gate every small response
+        // write behind a ~40 ms timer.
         if let Some(s) = &stream {
-            s.set_nonblocking(false)?;
+            s.set_nonblocking(true)?;
+            s.set_nodelay()?;
         }
         Ok(stream)
+    }
+
+    /// The raw fd, for registration with the reactor's poller.
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l, _) => l.as_raw_fd(),
+        }
     }
 
     /// The resolved local address (TCP port `0` becomes the real port).
@@ -122,14 +135,19 @@ pub(crate) enum Stream {
 
 impl Stream {
     pub(crate) fn connect(addr: &ListenAddr) -> io::Result<Stream> {
-        match addr {
+        let stream = match addr {
             ListenAddr::Tcp(spec) => {
                 let addrs: Vec<SocketAddr> =
                     std::net::ToSocketAddrs::to_socket_addrs(spec)?.collect();
-                TcpStream::connect(&addrs[..]).map(Stream::Tcp)
+                TcpStream::connect(&addrs[..]).map(Stream::Tcp)?
             }
-            ListenAddr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
-        }
+            ListenAddr::Unix(path) => UnixStream::connect(path).map(Stream::Unix)?,
+        };
+        // Mirror the server side: a pipelined batch is one small-ish
+        // write that must not sit in Nagle's buffer waiting for the ACK
+        // of a previous request's frame.
+        stream.set_nodelay()?;
+        Ok(stream)
     }
 
     fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
@@ -139,17 +157,19 @@ impl Stream {
         }
     }
 
-    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+    /// Disables Nagle on TCP; a no-op for Unix sockets.
+    fn set_nodelay(&self) -> io::Result<()> {
         match self {
-            Stream::Tcp(s) => s.set_read_timeout(timeout),
-            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_nodelay(true),
+            Stream::Unix(_) => Ok(()),
         }
     }
 
-    pub(crate) fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+    /// The raw fd, for registration with the reactor's poller.
+    pub(crate) fn raw_fd(&self) -> RawFd {
         match self {
-            Stream::Tcp(s) => s.set_write_timeout(timeout),
-            Stream::Unix(s) => s.set_write_timeout(timeout),
+            Stream::Tcp(s) => s.as_raw_fd(),
+            Stream::Unix(s) => s.as_raw_fd(),
         }
     }
 }
@@ -270,12 +290,9 @@ impl FaultyStream {
         FaultyStream { inner, profile, state, dead: false }
     }
 
-    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        self.inner.set_read_timeout(timeout)
-    }
-
-    pub(crate) fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        self.inner.set_write_timeout(timeout)
+    /// The raw fd, for registration with the reactor's poller.
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        self.inner.raw_fd()
     }
 
     /// Next deterministic dice roll in `[0, sides)`; `None` for 0 sides.

@@ -1,18 +1,21 @@
-//! The daemon itself: accept loop, per-connection request framing,
-//! admission control, the worker pool, and background cache snapshots.
+//! The daemon itself: the epoll reactor owning every connection (see
+//! [`event_loop`](crate::event_loop)), admission control, the worker
+//! pool, and background cache snapshots.
 
+use crate::event_loop::{self, TOKEN_WAKER};
 use crate::lock::SnapshotLock;
-use crate::net::{FaultProfile, FaultyStream, ListenAddr, Listener};
-use crate::protocol::{ExportRequest, Response, StatsLine, IMPORT_PARTITION_VERB, REQUEST_END};
-use crossbeam::channel::{self, TrySendError};
-use dsq_core::{parse_instance, BnbConfig, QueryInstance};
+use crate::net::{FaultProfile, ListenAddr, Listener};
+use crate::protocol::StatsLine;
+use crossbeam::channel;
+use dsq_core::{BnbConfig, QueryInstance};
 use dsq_service::{
-    CacheConfig, CacheStats, CachedPlanner, FleetConfig, HashRing, PlanCache, PlanError, Planner,
-    ServedPlan, TieredPlanner, TieredStats,
+    CacheConfig, CacheStats, CachedPlanner, PlanCache, PlanError, Planner, ServedPlan,
+    TieredPlanner, TieredStats,
 };
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -21,13 +24,18 @@ use std::time::Duration;
 
 /// Requests larger than this are rejected and the connection closed (the
 /// stream position after an oversized document is unknowable).
-const MAX_REQUEST_BYTES: usize = 1 << 20;
+pub(crate) const MAX_REQUEST_BYTES: usize = 1 << 20;
 
-/// Size cap on an `import-partition` snapshot document — more generous
-/// than [`MAX_REQUEST_BYTES`]: a partition carries one instance text
-/// per entry, and a handoff from a large cache legitimately outweighs
-/// any single optimize request.
-const MAX_IMPORT_BYTES: usize = 8 << 20;
+/// Default size cap on an `import-partition` snapshot document — more
+/// generous than [`MAX_REQUEST_BYTES`]: a partition carries one instance
+/// text per entry, and a handoff from a large cache legitimately
+/// outweighs any single optimize request. Configurable per server via
+/// [`ServerConfig::max_import_bytes`].
+const DEFAULT_MAX_IMPORT_BYTES: usize = 8 << 20;
+
+/// Default cap on admitted-but-unanswered requests per connection (see
+/// [`ServerConfig::max_pipeline`]).
+const DEFAULT_MAX_PIPELINE: usize = 64;
 
 /// Configuration of a [`Server`]. Passive struct; fields are public.
 #[derive(Debug, Clone)]
@@ -57,8 +65,10 @@ pub struct ServerConfig {
     pub snapshot_path: Option<PathBuf>,
     /// Period of the background snapshot writer.
     pub snapshot_interval: Duration,
-    /// Granularity at which blocking accepts/reads re-check the shutdown
-    /// flag; also the upper bound on drain latency per blocking call.
+    /// Heartbeat of the reactor's poll: the upper bound on how stale the
+    /// shutdown flag can go unobserved when no socket event or worker
+    /// wakeup arrives first (events and completions wake the reactor
+    /// immediately).
     pub poll_interval: Duration,
     /// Two-tier anytime serving: cache misses are answered immediately
     /// with a greedy heuristic plan (tier 1, `tier heur` on the wire)
@@ -72,6 +82,19 @@ pub struct ServerConfig {
     /// [`FaultProfile`](crate::FaultProfile)). `None` (the default)
     /// serves cleanly; chaos testing and the `--chaos` CLI flag set it.
     pub chaos: Option<FaultProfile>,
+    /// Per-connection cap on admitted-but-unanswered requests (the
+    /// pipelining depth). A connection at the cap stops being read until
+    /// a response frees a slot — backpressure, not an error.
+    pub max_pipeline: usize,
+    /// Size cap on an `import-partition` snapshot document, checked
+    /// before every appended line (the trailer included).
+    pub max_import_bytes: usize,
+    /// Test hook: a request verb that makes the connection handler
+    /// panic, exercising the reactor's panic isolation
+    /// (`ServerStats::connection_panics`) deterministically. `None`
+    /// (the default, and the only sensible production value) disables
+    /// it.
+    pub debug_panic_verb: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -79,7 +102,7 @@ impl Default for ServerConfig {
     /// admission queue, 50 ms retry hint, paper optimizer configuration,
     /// the default cache with **two probes** (the daemon faces drifting
     /// traffic, where multi-probe lookup pays for itself), no
-    /// persistence, 30 s snapshot period.
+    /// persistence, 30 s snapshot period, a 64-deep pipeline cap.
     fn default() -> Self {
         ServerConfig {
             workers: NonZeroUsize::new(1).expect("non-zero literal"),
@@ -92,6 +115,9 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(20),
             tiered: false,
             chaos: None,
+            max_pipeline: DEFAULT_MAX_PIPELINE,
+            max_import_bytes: DEFAULT_MAX_IMPORT_BYTES,
+            debug_panic_verb: None,
         }
     }
 }
@@ -114,6 +140,25 @@ pub struct ServerStats {
     pub snapshots_written: u64,
     /// Snapshot writes that failed (I/O errors are counted, not fatal).
     pub snapshot_errors: u64,
+    /// Admitted-but-unfinished requests right now (queued + executing);
+    /// a gauge, not a lifetime counter. Returns to zero on an idle
+    /// server — the regression sentinel for the old underflow race that
+    /// wrapped it to `usize::MAX` and pinned every `busy` hint at the
+    /// 16× cap.
+    pub outstanding: u64,
+    /// Deepest per-connection response pipeline observed (requests
+    /// admitted or answered ahead of the client reading). Greater than
+    /// one proves pipelined service actually overlapped requests.
+    pub pipeline_peak: u64,
+    /// Connection handlers that panicked (each logged to stderr, the
+    /// connection closed, the server kept serving).
+    pub connection_panics: u64,
+    /// Exported partitions restored into the cache because the
+    /// connection died before the export was fully delivered.
+    pub export_rollbacks: u64,
+    /// Export rollbacks that themselves failed — exported entries were
+    /// lost (each is also logged to stderr).
+    pub export_rollback_errors: u64,
     /// The plan cache's own counters.
     pub cache: CacheStats,
     /// Refinement counters of the two-tier path; `None` when the server
@@ -151,7 +196,7 @@ impl fmt::Display for ServerStats {
             self.cache.misses,
             self.cache.hit_rate() * 100.0,
         )?;
-        write!(
+        writeln!(
             f,
             "admission: {} admitted, {} busy rejections, {} protocol errors; cache: {} entries, {} evictions; snapshots: {} restored, {} written, {} errors",
             self.admitted,
@@ -162,6 +207,15 @@ impl fmt::Display for ServerStats {
             self.restored_entries,
             self.snapshots_written,
             self.snapshot_errors,
+        )?;
+        write!(
+            f,
+            "reactor: peak pipeline {}, {} outstanding, {} connection panics, {} export rollbacks ({} failed)",
+            self.pipeline_peak,
+            self.outstanding,
+            self.connection_panics,
+            self.export_rollbacks,
+            self.export_rollback_errors,
         )?;
         if let Some(tiered) = &self.tiered {
             write!(
@@ -196,51 +250,77 @@ pub fn load_aware_retry_ms(base_ms: u64, outstanding: usize, queue_capacity: usi
     scaled.clamp(base_ms, base_ms.saturating_mul(16))
 }
 
-/// One admitted unit of work: the parsed instance plus the rendezvous
-/// channel its connection blocks on. The reply is a [`Result`] so a
-/// planner failure (impossible for the local cached planner, but the
-/// seam is honest) degrades to a protocol `error` instead of a hang.
-struct Job {
-    instance: QueryInstance,
-    reply: channel::Sender<Result<ServedPlan, PlanError>>,
+/// One admitted unit of work: the parsed instance plus the connection
+/// token and per-connection sequence its completion is routed back by.
+pub(crate) struct Job {
+    pub(crate) instance: QueryInstance,
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+}
+
+/// A finished job on its way back from a worker to the reactor (over
+/// [`Inner::completions`] + the waker pipe). The result is a [`Result`]
+/// so a planner failure (impossible for the local cached planner, but
+/// the seam is honest) degrades to a protocol `error` instead of a
+/// hang.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) seq: u64,
+    pub(crate) result: Result<ServedPlan, PlanError>,
 }
 
 /// State shared by every thread of the server.
-struct Inner {
-    cache: Arc<PlanCache>,
+pub(crate) struct Inner {
+    pub(crate) cache: Arc<PlanCache>,
     /// The two-tier planner wrapping [`cache`](Self::cache) when the
     /// server runs in tiered mode; its refinement workers live (and are
     /// joined) inside it.
-    tiered: Option<TieredPlanner>,
-    bnb: BnbConfig,
-    retry_after_ms: u64,
-    queue_capacity: usize,
+    pub(crate) tiered: Option<TieredPlanner>,
+    pub(crate) bnb: BnbConfig,
+    pub(crate) retry_after_ms: u64,
+    pub(crate) queue_capacity: usize,
+    pub(crate) max_pipeline: usize,
+    pub(crate) max_import_bytes: usize,
+    pub(crate) debug_panic_verb: Option<String>,
     /// Admitted jobs not yet completed (queued + executing) — what the
-    /// load-aware `busy` hint scales with.
-    outstanding: AtomicUsize,
-    poll_interval: Duration,
+    /// load-aware `busy` hint scales with. The reactor increments
+    /// *before* admission `try_send` (rolling back on the
+    /// `Full`/`Disconnected` paths) and the worker decrements after
+    /// planning, so the increment always precedes the decrement.
+    pub(crate) outstanding: AtomicUsize,
+    pub(crate) poll_interval: Duration,
     /// Fault-injection profile wrapped around every accepted
     /// connection's stream; `None` serves cleanly.
-    chaos: Option<FaultProfile>,
-    /// Hard-stop flag: accept loop, connection readers, and the snapshot
-    /// thread exit at their next poll.
-    shutdown: AtomicBool,
+    pub(crate) chaos: Option<FaultProfile>,
+    /// Finished jobs awaiting the reactor; workers push here and wake
+    /// the poll through [`waker`](Self::waker).
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Wakes the reactor's poll from worker threads (and from
+    /// [`Server::shutdown`]).
+    pub(crate) waker: reactor::Waker,
+    /// Hard-stop flag: the reactor begins its drain, and the snapshot
+    /// thread exits, at the next wakeup.
+    pub(crate) shutdown: AtomicBool,
     /// Soft signal set by the protocol `shutdown` verb (or the embedder):
     /// observable via [`Server::wait_shutdown_requested`], it does not by
     /// itself stop anything — the embedder decides when to drain.
-    shutdown_requested: Mutex<bool>,
-    signal: Condvar,
-    connections: AtomicU64,
-    admitted: AtomicU64,
-    busy_rejections: AtomicU64,
-    protocol_errors: AtomicU64,
-    restored_entries: AtomicU64,
-    snapshots_written: AtomicU64,
-    snapshot_errors: AtomicU64,
+    pub(crate) shutdown_requested: Mutex<bool>,
+    pub(crate) signal: Condvar,
+    pub(crate) connections: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) busy_rejections: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) restored_entries: AtomicU64,
+    pub(crate) snapshots_written: AtomicU64,
+    pub(crate) snapshot_errors: AtomicU64,
+    pub(crate) pipeline_peak: AtomicU64,
+    pub(crate) connection_panics: AtomicU64,
+    pub(crate) export_rollbacks: AtomicU64,
+    pub(crate) export_rollback_errors: AtomicU64,
 }
 
 impl Inner {
-    fn stats(&self) -> ServerStats {
+    pub(crate) fn stats(&self) -> ServerStats {
         ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
             admitted: self.admitted.load(Ordering::Relaxed),
@@ -249,12 +329,17 @@ impl Inner {
             restored_entries: self.restored_entries.load(Ordering::Relaxed),
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
             snapshot_errors: self.snapshot_errors.load(Ordering::Relaxed),
+            outstanding: self.outstanding.load(Ordering::Relaxed) as u64,
+            pipeline_peak: self.pipeline_peak.load(Ordering::Relaxed),
+            connection_panics: self.connection_panics.load(Ordering::Relaxed),
+            export_rollbacks: self.export_rollbacks.load(Ordering::Relaxed),
+            export_rollback_errors: self.export_rollback_errors.load(Ordering::Relaxed),
             cache: self.cache.stats(),
             tiered: self.tiered.as_ref().map(TieredPlanner::tiered_stats),
         }
     }
 
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         let mut requested = self.shutdown_requested.lock().expect("signal lock");
         *requested = true;
         self.signal.notify_all();
@@ -288,7 +373,7 @@ pub struct Server {
     /// Master sender keeping the admission queue open; dropped during
     /// shutdown so the workers drain and exit.
     job_tx: Option<channel::Sender<Job>>,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     snapshot_handle: Option<JoinHandle<()>>,
 }
@@ -301,25 +386,33 @@ impl fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr`, restores the snapshot file if one exists (warm
-    /// restart), and spawns the accept loop, worker pool, and snapshot
+    /// restart), and spawns the reactor, worker pool, and snapshot
     /// writer.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding; `AddrInUse` when another live process
-    /// holds the snapshot path's `.lock` file (two writers would
-    /// last-writer-wins each other's snapshots); or a snapshot file that
-    /// exists but fails to parse/restore (reported as `InvalidData` — a
-    /// corrupt snapshot is refused loudly rather than silently served
-    /// cold).
+    /// I/O errors from binding or from creating the epoll poller;
+    /// `AddrInUse` when another live process holds the snapshot path's
+    /// `.lock` file (two writers would last-writer-wins each other's
+    /// snapshots); or a snapshot file that exists but fails to
+    /// parse/restore (reported as `InvalidData` — a corrupt snapshot is
+    /// refused loudly rather than silently served cold).
     pub fn start(addr: &ListenAddr, config: &ServerConfig) -> io::Result<Server> {
         assert!(config.queue_capacity > 0, "the admission queue needs at least one slot");
+        assert!(config.max_pipeline > 0, "the pipeline needs at least one slot");
         let listener = Listener::bind(addr)?;
         let listen_addr = listener.local_addr()?;
         let snapshot_lock = match &config.snapshot_path {
             Some(path) => Some(SnapshotLock::acquire(path)?),
             None => None,
         };
+
+        // The reactor's poller: the listener is registered up front so
+        // registration failures surface here, not on a detached thread;
+        // the waker is how workers (and shutdown) interrupt the poll.
+        let poll = reactor::Poll::new()?;
+        poll.register(listener.raw_fd(), event_loop::TOKEN_LISTENER, reactor::Interest::READABLE)?;
+        let waker = reactor::Waker::new(&poll, TOKEN_WAKER)?;
 
         let cache = Arc::new(PlanCache::new(config.cache.clone()));
         let tiered =
@@ -330,9 +423,14 @@ impl Server {
             bnb: config.bnb.clone(),
             retry_after_ms: config.retry_after_ms,
             queue_capacity: config.queue_capacity,
+            max_pipeline: config.max_pipeline,
+            max_import_bytes: config.max_import_bytes,
+            debug_panic_verb: config.debug_panic_verb.clone(),
             outstanding: AtomicUsize::new(0),
             poll_interval: config.poll_interval,
             chaos: config.chaos,
+            completions: Mutex::new(Vec::new()),
+            waker,
             shutdown: AtomicBool::new(false),
             shutdown_requested: Mutex::new(false),
             signal: Condvar::new(),
@@ -343,6 +441,10 @@ impl Server {
             restored_entries: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
+            pipeline_peak: AtomicU64::new(0),
+            connection_panics: AtomicU64::new(0),
+            export_rollbacks: AtomicU64::new(0),
+            export_rollback_errors: AtomicU64::new(0),
         });
 
         if let Some(path) = &config.snapshot_path {
@@ -375,10 +477,10 @@ impl Server {
             })
             .collect();
 
-        let accept_handle = {
+        let reactor_handle = {
             let inner = Arc::clone(&inner);
             let job_tx = job_tx.clone();
-            std::thread::spawn(move || accept_loop(listener, &inner, &job_tx))
+            std::thread::spawn(move || event_loop::run(listener, poll, &inner, &job_tx))
         };
 
         let snapshot_handle = config.snapshot_path.as_ref().map(|path| {
@@ -394,7 +496,7 @@ impl Server {
             snapshot_path: config.snapshot_path.clone(),
             _snapshot_lock: snapshot_lock,
             job_tx: Some(job_tx),
-            accept_handle: Some(accept_handle),
+            reactor_handle: Some(reactor_handle),
             worker_handles,
             snapshot_handle,
         })
@@ -439,15 +541,17 @@ impl Server {
         }
     }
 
-    /// Graceful drain: stop accepting, let every connection finish its
-    /// in-flight request, run the queue dry, write a final snapshot, and
-    /// return the final counters.
+    /// Graceful drain: stop accepting, answer and flush every admitted
+    /// request, run the queue dry, write a final snapshot, and return
+    /// the final counters.
     pub fn shutdown(mut self) -> ServerStats {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.request_shutdown();
-        // The accept loop joins every connection thread before exiting,
-        // so after this join no new jobs can be submitted…
-        if let Some(handle) = self.accept_handle.take() {
+        // The reactor observes the flag at the wakeup, drains every
+        // connection (admitted requests answered, buffers flushed), and
+        // exits — after this join no new jobs can be submitted…
+        self.inner.waker.wake();
+        if let Some(handle) = self.reactor_handle.take() {
             let _ = handle.join();
         }
         // …dropping the master sender lets the workers drain what is
@@ -492,35 +596,6 @@ impl ShutdownHandle {
     }
 }
 
-fn accept_loop(listener: Listener, inner: &Arc<Inner>, job_tx: &channel::Sender<Job>) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        match listener.try_accept() {
-            Ok(Some(stream)) => {
-                let index = inner.connections.fetch_add(1, Ordering::Relaxed);
-                // Each connection rolls its own deterministic chaos dice
-                // (sub-seeded by accept index), so a chaos run replays
-                // identically regardless of thread interleaving.
-                let stream =
-                    FaultyStream::new(stream, inner.chaos.map(|p| p.for_connection(index)));
-                let inner = Arc::clone(inner);
-                let job_tx = job_tx.clone();
-                connections
-                    .push(std::thread::spawn(move || handle_connection(stream, &inner, &job_tx)));
-            }
-            Ok(None) => std::thread::sleep(inner.poll_interval),
-            // Accept errors (e.g. a client that vanished between the
-            // kernel queue and us) are per-connection, not fatal.
-            Err(_) => std::thread::sleep(inner.poll_interval),
-        }
-        connections.retain(|handle| !handle.is_finished());
-    }
-    // Drain: every connection finishes its in-flight request and closes.
-    for handle in connections {
-        let _ = handle.join();
-    }
-}
-
 fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
     // Every worker fronts the shared cache through the same Planner
     // seam batch serving and the CLI use; the daemon adds admission and
@@ -534,13 +609,21 @@ fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders gone: drained, exit
         };
-        let served = match &inner.tiered {
+        // A panicking planner must not wedge the job's connection (the
+        // reactor waits for a completion that would otherwise never
+        // come) — and must not kill the worker.
+        let result = catch_unwind(AssertUnwindSafe(|| match &inner.tiered {
             Some(tiered) => tiered.plan(&job.instance),
             None => planner.plan(&job.instance),
-        };
+        }))
+        .unwrap_or_else(|_| Err(PlanError::Backend("planner worker panicked".into())));
         inner.outstanding.fetch_sub(1, Ordering::Relaxed);
-        // A connection that died while waiting just drops the reply.
-        let _ = job.reply.send(served);
+        inner.completions.lock().expect("completion lock").push(Completion {
+            conn: job.conn,
+            seq: job.seq,
+            result,
+        });
+        inner.waker.wake();
     }
 }
 
@@ -555,308 +638,6 @@ fn snapshot_loop(inner: &Inner, path: &std::path::Path, interval: Duration) {
             return;
         }
         inner.write_snapshot(path);
-    }
-}
-
-/// Reads one `\n`-terminated line (with timeout-based shutdown polling)
-/// into `line`, which must arrive cleared. Raw bytes, not `read_line`:
-/// a read timeout can land in the middle of a multi-byte UTF-8
-/// character, and `read_line`'s validity guard would discard the
-/// already-consumed partial bytes on retry — `read_until` keeps them.
-/// Returns `false` when the connection should close (EOF, hard error,
-/// or drain).
-fn read_line_polling(
-    reader: &mut BufReader<FaultyStream>,
-    line: &mut Vec<u8>,
-    inner: &Inner,
-) -> bool {
-    loop {
-        match reader.read_until(b'\n', line) {
-            // Delimiter found, or EOF terminating a final unterminated
-            // line (the next call reports the EOF as `Ok(0)`).
-            Ok(n) if n > 0 || !line.is_empty() => return true,
-            Ok(_) => return false, // clean client EOF
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) =>
-            {
-                // Partial bytes stay appended to `line`; retrying
-                // continues the same line.
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    return false;
-                }
-            }
-            Err(_) => return false,
-        }
-    }
-}
-
-fn write_response(reader: &mut BufReader<FaultyStream>, response: &Response) -> bool {
-    let mut line = response.to_line();
-    line.push('\n');
-    reader.get_mut().write_all(line.as_bytes()).is_ok()
-}
-
-fn handle_connection(stream: FaultyStream, inner: &Inner, job_tx: &channel::Sender<Job>) {
-    if stream.set_read_timeout(Some(inner.poll_interval)).is_err()
-        || stream.set_write_timeout(Some(Duration::from_secs(1))).is_err()
-    {
-        return;
-    }
-    let mut reader = BufReader::new(stream);
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        line.clear();
-        if !read_line_polling(&mut reader, &mut line, inner) {
-            return;
-        }
-        let text = String::from_utf8_lossy(&line);
-        let verb = text.trim();
-        let ok = match verb {
-            "" => true, // blank keep-alive line
-            "ping" => write_response(&mut reader, &Response::Pong),
-            "stats" => write_response(&mut reader, &Response::Stats(inner.stats().stats_line())),
-            "shutdown" => {
-                inner.request_shutdown();
-                write_response(&mut reader, &Response::Draining)
-            }
-            _ if verb.starts_with("export-partition") => {
-                match serve_export(&mut reader, verb, inner) {
-                    Some(ok) => ok,
-                    None => return,
-                }
-            }
-            _ if verb == IMPORT_PARTITION_VERB => {
-                match serve_import(&mut reader, &mut line, inner) {
-                    Some(ok) => ok,
-                    None => return,
-                }
-            }
-            _ if verb.starts_with("dsq-instance") => {
-                let header = line.clone();
-                match read_document(&mut reader, header, &mut line, inner) {
-                    DocumentRead::Complete(document) => {
-                        if !serve_document(&mut reader, &document, inner, job_tx) {
-                            return;
-                        }
-                        true
-                    }
-                    DocumentRead::TooLarge => {
-                        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        write_response(
-                            &mut reader,
-                            &Response::Error {
-                                message: format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
-                            },
-                        );
-                        return; // stream position unknown: close
-                    }
-                    DocumentRead::Closed => return,
-                }
-            }
-            other => {
-                inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                write_response(
-                    &mut reader,
-                    &Response::Error { message: format!("unknown request `{other}`") },
-                )
-            }
-        };
-        if !ok || inner.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-    }
-}
-
-enum DocumentRead {
-    Complete(Vec<u8>),
-    TooLarge,
-    Closed,
-}
-
-/// Accumulates an instance document (starting from its already-read
-/// `header` line) up to its `end` marker, reusing `line` as the
-/// per-line scratch buffer.
-fn read_document(
-    reader: &mut BufReader<FaultyStream>,
-    header: Vec<u8>,
-    line: &mut Vec<u8>,
-    inner: &Inner,
-) -> DocumentRead {
-    let mut document = header;
-    loop {
-        line.clear();
-        if !read_line_polling(reader, line, inner) {
-            return DocumentRead::Closed;
-        }
-        if String::from_utf8_lossy(line).trim() == REQUEST_END {
-            return DocumentRead::Complete(document);
-        }
-        document.extend_from_slice(line);
-        if document.len() > MAX_REQUEST_BYTES {
-            return DocumentRead::TooLarge;
-        }
-    }
-}
-
-/// Parses and serves one instance document: admission (`busy` when the
-/// queue is full), then a blocking wait for the worker's reply — the
-/// per-connection backpressure. Returns `false` when the connection
-/// should close.
-fn serve_document(
-    reader: &mut BufReader<FaultyStream>,
-    document: &[u8],
-    inner: &Inner,
-    job_tx: &channel::Sender<Job>,
-) -> bool {
-    let protocol_error = |reader: &mut BufReader<FaultyStream>, inner: &Inner, message: String| {
-        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        write_response(reader, &Response::Error { message })
-    };
-    let text = match std::str::from_utf8(document) {
-        Ok(text) => text,
-        Err(_) => {
-            return protocol_error(reader, inner, "instance text is not valid UTF-8".into());
-        }
-    };
-    let instance = match parse_instance(text) {
-        Ok(instance) => instance,
-        Err(e) => {
-            return protocol_error(reader, inner, format!("cannot parse instance: {e}"));
-        }
-    };
-    let (reply_tx, reply_rx) = channel::bounded::<Result<ServedPlan, PlanError>>(1);
-    match job_tx.try_send(Job { instance, reply: reply_tx }) {
-        Ok(()) => {
-            inner.admitted.fetch_add(1, Ordering::Relaxed);
-            inner.outstanding.fetch_add(1, Ordering::Relaxed);
-            match reply_rx.recv() {
-                Ok(Ok(served)) => write_response(
-                    reader,
-                    &Response::Served {
-                        source: served.source,
-                        cost: served.cost,
-                        fingerprint: served.fingerprint,
-                        plan: served.plan.indices(),
-                        tier: served.tier,
-                    },
-                ),
-                // A planner failure (unreachable for the local cached
-                // planner) degrades to a protocol error.
-                Ok(Err(e)) => {
-                    inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    write_response(reader, &Response::Error { message: e.to_string() })
-                }
-                // Worker vanished mid-request (only possible on teardown
-                // races): report and close.
-                Err(_) => {
-                    write_response(
-                        reader,
-                        &Response::Error { message: "server is shutting down".into() },
-                    );
-                    false
-                }
-            }
-        }
-        Err(TrySendError::Full(_)) => {
-            inner.busy_rejections.fetch_add(1, Ordering::Relaxed);
-            let retry_after_ms = load_aware_retry_ms(
-                inner.retry_after_ms,
-                inner.outstanding.load(Ordering::Relaxed),
-                inner.queue_capacity,
-            );
-            write_response(reader, &Response::Busy { retry_after_ms })
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            write_response(reader, &Response::Error { message: "server is shutting down".into() });
-            false
-        }
-    }
-}
-
-/// Serves one `export-partition` line: validates the requested fleet
-/// layout, removes the moved partition from the cache, and streams it
-/// as a snapshot document after the `ok partition N` header. Returns
-/// `Some(ok)` like a single-line verb; `None` closes the connection —
-/// and puts the already-exported entries back, so a handoff that dies
-/// on the wire does not lose the partition (the mover retries).
-fn serve_export(reader: &mut BufReader<FaultyStream>, verb: &str, inner: &Inner) -> Option<bool> {
-    let request = match ExportRequest::parse(verb) {
-        Ok(request) => request,
-        Err(e) => {
-            inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            return Some(write_response(reader, &Response::Error { message: e.to_string() }));
-        }
-    };
-    // Reuse the fleet-config validator: a duplicate backend address
-    // would fold two ring slots onto one label and silently
-    // mis-partition the keyspace.
-    if let Err(e) = FleetConfig::new(0, request.backends.iter().cloned()) {
-        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        return Some(write_response(reader, &Response::Error { message: e.to_string() }));
-    }
-    let ring = HashRing::with_vnodes(&request.backends, request.vnodes);
-    let keep = request.keep;
-    let snapshot = inner.cache.export_partition(|fingerprint| ring.route(fingerprint) != keep);
-    let entries = snapshot.entries.len() as u64;
-    let sent = write_response(reader, &Response::Partition { entries })
-        && reader.get_mut().write_all(snapshot.to_text().as_bytes()).is_ok();
-    if !sent {
-        let _ = inner.cache.restore(&snapshot);
-        return None;
-    }
-    Some(true)
-}
-
-/// Serves one `import-partition` exchange: reads the snapshot document
-/// that follows (terminated by the snapshot's own `end-snapshot`
-/// trailer), restores it into the cache, and reports the restored
-/// entry count. Returns `Some(ok)` like a single-line verb, `None`
-/// when the connection must close.
-fn serve_import(
-    reader: &mut BufReader<FaultyStream>,
-    line: &mut Vec<u8>,
-    inner: &Inner,
-) -> Option<bool> {
-    let mut document: Vec<u8> = Vec::new();
-    loop {
-        line.clear();
-        if !read_line_polling(reader, line, inner) {
-            return None;
-        }
-        let done = String::from_utf8_lossy(line).trim() == "end-snapshot";
-        document.extend_from_slice(line);
-        if done {
-            break;
-        }
-        if document.len() > MAX_IMPORT_BYTES {
-            inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-            write_response(
-                reader,
-                &Response::Error { message: format!("partition exceeds {MAX_IMPORT_BYTES} bytes") },
-            );
-            return None; // stream position unknown: close
-        }
-    }
-    let malformed = |reader: &mut BufReader<FaultyStream>, inner: &Inner, message: String| {
-        inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
-        Some(write_response(reader, &Response::Error { message }))
-    };
-    let text = match std::str::from_utf8(&document) {
-        Ok(text) => text,
-        Err(_) => {
-            return malformed(reader, inner, "partition text is not valid UTF-8".into());
-        }
-    };
-    match inner.cache.restore_from_text(text) {
-        Ok(restored) => {
-            Some(write_response(reader, &Response::PartitionRestored { entries: restored as u64 }))
-        }
-        Err(e) => malformed(reader, inner, format!("cannot restore partition: {e}")),
     }
 }
 

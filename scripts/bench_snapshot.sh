@@ -5,7 +5,7 @@
 #
 # Usage: scripts/bench_snapshot.sh [OUTPUT.json]
 #
-#   OUTPUT.json             snapshot destination (default BENCH_PR7.json)
+#   OUTPUT.json             snapshot destination (default BENCH_PR8.json)
 #   DSQ_SNAPSHOT_BENCHES    space-separated bench targets to run
 #                           (default: the optimizer + serving set)
 #
@@ -15,8 +15,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
-benches="${DSQ_SNAPSHOT_BENCHES:-cost_eval bounds_eval pruning_ablation optimizer_scaling service_throughput server_roundtrip fleet_roundtrip fleet_resize tier_latency}"
+out="${1:-BENCH_PR8.json}"
+benches="${DSQ_SNAPSHOT_BENCHES:-cost_eval bounds_eval pruning_ablation optimizer_scaling service_throughput server_roundtrip reactor fleet_roundtrip fleet_resize tier_latency}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT

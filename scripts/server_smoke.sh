@@ -60,10 +60,32 @@ grep -q " hit " "$workdir/served.out"
 grep -q "requests 3 hits 2" "$workdir/stats.out"
 grep -q "hit-rate 66.7%" "$workdir/stats.out"
 
+# ---- pipelined + connection-scale leg --------------------------------
+# Three distinct documents as one coalesced frame: one response line per
+# request, in request order (all cold — fresh seeds).
+for seed in 12 13 14; do
+    "$bin" generate --family clustered -n 7 --seed "$seed" > "$workdir/p$seed.dsq"
+done
+"$bin" client --unix "$sock" optimize \
+    "$workdir/p12.dsq" "$workdir/p13.dsq" "$workdir/p14.dsq" --pipeline \
+    > "$workdir/pipelined.out"
+[ "$(grep -c " cost " "$workdir/pipelined.out")" -eq 3 ] || \
+    { echo "server_smoke: pipelined batch lost responses" >&2; cat "$workdir/pipelined.out" >&2; exit 1; }
+[ "$(grep -c " cold " "$workdir/pipelined.out")" -eq 3 ] || \
+    { echo "server_smoke: pipelined batch was not served fresh" >&2; exit 1; }
+# One reactor thread parks a thousand concurrent idle connections.
+"$bin" client --unix "$sock" hold 1000 | grep -q "held 1000 concurrent connections" || \
+    { echo "server_smoke: could not hold 1000 connections" >&2; exit 1; }
+
 # Close stdin: the daemon must drain and exit 0 on its own.
 exec 3>&-
 wait "$server_pid"
-grep -q "served 3 requests" "$server_log"
+grep -q "served 6 requests" "$server_log"
+# The drain summary counts every accepted connection — the held
+# thousand included.
+conns="$(sed -n 's/.*served 6 requests over \([0-9][0-9]*\) connections.*/\1/p' "$server_log")"
+[ "${conns:-0}" -ge 1001 ] || \
+    { echo "server_smoke: expected >=1001 connections, saw ${conns:-none}" >&2; cat "$server_log" >&2; exit 1; }
 grep -q "hit-rate" "$server_log"
 grep -q "drained cleanly" "$server_log"
 [ -f "$snapshot" ] || { echo "server_smoke: no final snapshot" >&2; exit 1; }
@@ -198,4 +220,4 @@ if grep -q " tier heur" "$workdir/tiered-warm.out"; then
     exit 1
 fi
 
-echo "server_smoke: OK (clean drain, snapshot persisted, fleet sharding + failover, warm rebalance, chaos drain, tiered refinement)" >&2
+echo "server_smoke: OK (clean drain, pipelined batch, 1k connections held, snapshot persisted, fleet sharding + failover, warm rebalance, chaos drain, tiered refinement)" >&2

@@ -1,0 +1,644 @@
+//! Offline stand-in for the slice of [`mio`] this workspace uses: a
+//! Linux `epoll` poller with level-triggered fd readiness events and a
+//! pipe-based cross-thread [`Waker`], plus the two fd utilities an
+//! event loop needs (`fcntl` non-blocking mode, `RLIMIT_NOFILE`
+//! raising). The build environment has no registry access, so the
+//! workspace vendors this minimal API-compatible implementation; swap
+//! it for the real crate by replacing the `path` entry when a registry
+//! is available.
+//!
+//! This is deliberately the **only** crate in the workspace allowed to
+//! contain `unsafe`: every raw syscall lives here, behind a safe
+//! mio-shaped surface —
+//!
+//! * [`Poll`] wraps `epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//! * [`Events`]/[`Event`] carry readiness (readable / writable /
+//!   closed) tagged by the caller's [`Token`],
+//! * [`Waker`] wraps a non-blocking self-pipe so worker threads can
+//!   interrupt a blocked `poll` (completion hand-back in the server's
+//!   reactor),
+//! * [`set_nonblocking`] flips `O_NONBLOCK` via `fcntl`, and
+//! * [`ensure_nofile_limit`] raises the soft `RLIMIT_NOFILE` toward
+//!   the hard cap so one process can actually hold thousands of
+//!   registered sockets.
+//!
+//! Level-triggered semantics (the epoll default) keep the caller's
+//! state machine simple: an fd with unread input or unflushed output
+//! space shows up on every `poll` until the condition clears, so a
+//! handler that processes only part of a readiness cannot lose the
+//! rest.
+//!
+//! [`mio`]: https://crates.io/crates/mio
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+mod sys {
+    //! The raw syscall declarations and Linux ABI constants. x86_64
+    //! (and every other 64-bit Linux ABI this workspace targets)
+    //! passes these straight through libc, which is always linked by
+    //! std.
+
+    #[allow(non_camel_case_types)]
+    pub type c_int = i32;
+
+    /// `struct epoll_event`. Packed on x86_64 (the kernel ABI there
+    /// has no padding between `events` and `data`); other 64-bit
+    /// targets use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// `struct rlimit` on 64-bit Linux.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct RLimit {
+        pub cur: u64,
+        pub max: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+    pub const F_GETFL: c_int = 3;
+    pub const F_SETFL: c_int = 4;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+}
+
+/// Checks a `-1`-on-error syscall return, converting failures to the
+/// calling thread's `errno` as an [`io::Error`].
+fn cvt(result: sys::c_int) -> io::Result<sys::c_int> {
+    if result == -1 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(result)
+    }
+}
+
+/// An opaque caller-chosen tag identifying one registered fd; `poll`
+/// hands it back on every readiness event for that fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness kinds a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Readable readiness (`EPOLLIN`, plus peer half-close via
+    /// `EPOLLRDHUP` so an event loop sees EOF without a read).
+    pub const READABLE: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP);
+    /// Writable readiness (`EPOLLOUT`).
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+    /// No maskable readiness: the registration stays alive but delivers
+    /// nothing (except the unmaskable `EPOLLERR`/`EPOLLHUP`) — how an
+    /// event loop parks a connection it is backpressuring without
+    /// level-triggered re-delivery spinning the poll.
+    pub const NONE: Interest = Interest(0);
+
+    /// Both kinds at once. Named for parity with `mio::Interest::add`
+    /// (the real crate this stands in for); `|` works too.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this interest includes readable readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & sys::EPOLLIN != 0
+    }
+
+    /// Whether this interest includes writable readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & sys::EPOLLOUT != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event: the registered [`Token`] plus what became
+/// ready.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    flags: u32,
+}
+
+impl Event {
+    /// The token the fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Input is available (or the peer half-closed: a read will
+    /// observe EOF rather than block).
+    pub fn is_readable(&self) -> bool {
+        self.flags & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+
+    /// Output space is available.
+    pub fn is_writable(&self) -> bool {
+        self.flags & sys::EPOLLOUT != 0
+    }
+
+    /// The connection errored or hung up; the fd should be torn down
+    /// after draining whatever a read still yields.
+    pub fn is_closed(&self) -> bool {
+        self.flags & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// A reusable buffer of readiness events filled by [`Poll::poll`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events").field("capacity", &self.buf.len()).field("len", &self.len).finish()
+    }
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)], len: 0 }
+    }
+
+    /// The events delivered by the last [`Poll::poll`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            // Copy the packed fields out by value (a reference into a
+            // packed struct would be unaligned).
+            let (events, data) = (raw.events, raw.data);
+            Event { token: Token(data as usize), flags: events }
+        })
+    }
+
+    /// Number of events delivered by the last [`Poll::poll`].
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last [`Poll::poll`] delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// The epoll instance: registered fds with interests, and a blocking
+/// `poll` that reports which became ready.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// A fresh epoll instance (`EPOLL_CLOEXEC`).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` failure, as an [`io::Error`].
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall, no pointers involved.
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: sys::c_int, fd: RawFd, events: u32, token: Token) -> io::Result<()> {
+        let mut event = sys::EpollEvent { events, data: token.0 as u64 };
+        // SAFETY: `event` outlives the call; the kernel copies it.
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` for `interest`. The fd should be in
+    /// non-blocking mode (see [`set_nonblocking`]); events are
+    /// level-triggered.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure (e.g. `EEXIST` for a double
+    /// registration).
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, interest.0, token)
+    }
+
+    /// Changes an existing registration's interest (and/or token).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure (e.g. `ENOENT` for an unregistered fd).
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, interest.0, token)
+    }
+
+    /// Removes `fd`'s registration. Dropping the last duplicate of an
+    /// fd deregisters it implicitly, so this is only needed when the
+    /// fd stays open.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, Token(0))
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// expires (`None` blocks indefinitely), filling `events`. Returns
+    /// the number of events delivered; `0` means the timeout elapsed.
+    /// `EINTR` is retried internally with the timeout re-armed.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_wait` failure.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let millis: sys::c_int = match timeout {
+            None => -1,
+            // Round a sub-millisecond timeout up so a caller's short
+            // poll interval does not degenerate into a busy spin.
+            Some(d) => {
+                let ms = d.as_millis();
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms.min(sys::c_int::MAX as u128) as sys::c_int
+                }
+            }
+        };
+        events.len = 0;
+        loop {
+            // SAFETY: the buffer is a live allocation of EpollEvents at
+            // least `maxevents` long, exclusively borrowed here.
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as sys::c_int,
+                    millis,
+                )
+            };
+            match cvt(n) {
+                Ok(n) => {
+                    events.len = n as usize;
+                    return Ok(events.len);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this struct and closed exactly
+        // once.
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// A cross-thread wakeup handle: a non-blocking self-pipe whose read
+/// end is registered with a [`Poll`]. Any thread may call
+/// [`wake`](Self::wake); the poller observes a readable event on the
+/// waker's token and calls [`drain`](Self::drain) to reset it.
+/// Multiple wakes between polls coalesce (the pipe holds at most a few
+/// bytes; a full pipe already means a wakeup is pending).
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+// SAFETY: both fds are plain integers used with thread-safe syscalls;
+// `write` on a pipe is atomic for single bytes and `read` is only
+// issued by the polling thread.
+#[allow(unsafe_code)]
+unsafe impl Send for Waker {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Creates the pipe and registers its read end with `poll` under
+    /// `token`.
+    ///
+    /// # Errors
+    ///
+    /// The `pipe2` or registration failure.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let mut fds = [0 as RawFd; 2];
+        // SAFETY: `fds` is a live 2-element array for pipe2 to fill.
+        cvt(unsafe { sys::pipe2(fds.as_mut_ptr(), sys::O_NONBLOCK | sys::O_CLOEXEC) })?;
+        let waker = Waker { read_fd: fds[0], write_fd: fds[1] };
+        poll.register(waker.read_fd, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// Interrupts the poller. Never blocks: a full pipe (`EAGAIN`)
+    /// means a wakeup is already pending, which is success.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        // SAFETY: one live byte; short or failed writes are fine (see
+        // above).
+        unsafe { sys::write(self.write_fd, &byte, 1) };
+    }
+
+    /// Drains pending wakeup bytes after the poller observed this
+    /// waker's token. Returns whether any wakeup was pending.
+    pub fn drain(&self) -> bool {
+        let mut sink = [0u8; 64];
+        let mut any = false;
+        loop {
+            // SAFETY: reads into a live stack buffer of the given size.
+            let n = unsafe { sys::read(self.read_fd, sink.as_mut_ptr(), sink.len()) };
+            if n > 0 {
+                any = true;
+                if (n as usize) == sink.len() {
+                    continue;
+                }
+            }
+            return any;
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: both fds are owned by this struct and closed exactly
+        // once.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+/// Switches `fd` in or out of non-blocking mode (`fcntl` +
+/// `O_NONBLOCK`).
+///
+/// # Errors
+///
+/// The `fcntl` failure.
+pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
+    // SAFETY: plain fcntl calls on a caller-provided fd.
+    let flags = cvt(unsafe { sys::fcntl(fd, sys::F_GETFL, 0) })?;
+    let flags = if nonblocking { flags | sys::O_NONBLOCK } else { flags & !sys::O_NONBLOCK };
+    cvt(unsafe { sys::fcntl(fd, sys::F_SETFL, flags) })?;
+    Ok(())
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward the hard cap until at least
+/// `min` fds are available (no-op when it already is). Returns the
+/// resulting soft limit — which can be below `min` when the hard cap
+/// is: callers asserting thousand-connection behavior should check.
+///
+/// # Errors
+///
+/// The `getrlimit`/`setrlimit` failure.
+pub fn ensure_nofile_limit(min: u64) -> io::Result<u64> {
+    let mut limit = sys::RLimit { cur: 0, max: 0 };
+    // SAFETY: `limit` is a live struct for the kernel to fill / read.
+    cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut limit) })?;
+    if limit.cur >= min {
+        return Ok(limit.cur);
+    }
+    limit.cur = min.min(limit.max);
+    cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &limit) })?;
+    Ok(limit.cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let poll = Poll::new().expect("epoll");
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        let n = poll.poll(&mut events, Some(Duration::from_millis(20))).expect("poll");
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(15), "timeout must actually wait");
+    }
+
+    #[test]
+    fn readable_event_carries_the_token_and_level_triggers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let poll = Poll::new().expect("epoll");
+        poll.register(server.as_raw_fd(), Token(7), Interest::READABLE).expect("register");
+        let mut events = Events::with_capacity(8);
+
+        client.write_all(b"hello").expect("write");
+        let n = poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(n, 1);
+        let event = events.iter().next().expect("one event");
+        assert_eq!(event.token(), Token(7));
+        assert!(event.is_readable());
+        assert!(!event.is_closed());
+
+        // Level-triggered: unread input re-reports on the next poll.
+        poll.poll(&mut events, Some(Duration::from_secs(5))).expect("re-poll");
+        assert_eq!(events.len(), 1, "unconsumed input must re-trigger");
+
+        let mut buf = [0u8; 16];
+        assert_eq!(server.read(&mut buf).expect("read"), 5);
+        let n = poll.poll(&mut events, Some(Duration::from_millis(20))).expect("drained poll");
+        assert_eq!(n, 0, "consumed input must stop triggering");
+    }
+
+    #[test]
+    fn peer_close_reports_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let poll = Poll::new().expect("epoll");
+        poll.register(server.as_raw_fd(), Token(1), Interest::READABLE).expect("register");
+        drop(client);
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+        let event = events.iter().next().expect("close event");
+        assert!(event.is_closed());
+        assert!(event.is_readable(), "a close is observable as an EOF read");
+        drop(server);
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let poll = Poll::new().expect("epoll");
+        // Readable-only on an idle socket: no events.
+        poll.register(server.as_raw_fd(), Token(2), Interest::READABLE).expect("register");
+        let mut events = Events::with_capacity(8);
+        assert_eq!(poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll"), 0);
+        // Adding writable interest on an empty send buffer triggers.
+        poll.reregister(server.as_raw_fd(), Token(3), Interest::READABLE | Interest::WRITABLE)
+            .expect("reregister");
+        poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+        let event = events.iter().next().expect("writable event");
+        assert_eq!(event.token(), Token(3), "reregister must retag");
+        assert!(event.is_writable());
+        // Deregister: silence again.
+        poll.deregister(server.as_raw_fd()).expect("deregister");
+        assert_eq!(poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll"), 0);
+        drop(client);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll_from_another_thread() {
+        let poll = Poll::new().expect("epoll");
+        let waker = std::sync::Arc::new(Waker::new(&poll, Token(99)).expect("waker"));
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake();
+            remote.wake(); // coalesces
+        });
+        let mut events = Events::with_capacity(8);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(10))).expect("poll");
+        assert!(start.elapsed() < Duration::from_secs(5), "woken, not timed out");
+        let event = events.iter().next().expect("waker event");
+        assert_eq!(event.token(), Token(99));
+        // Join before draining: the second wake() may land after the
+        // first one already unblocked the poll, and a drain that runs
+        // between the two writes would leave a byte behind.
+        handle.join().expect("waker thread");
+        assert!(waker.drain(), "a wakeup was pending");
+        // Drained: the next poll times out quietly.
+        assert_eq!(poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll"), 0);
+        assert!(!waker.drain(), "nothing pending after the drain");
+    }
+
+    #[test]
+    fn a_thousand_registrations_fit_one_poll() {
+        ensure_nofile_limit(4096).expect("rlimit");
+        let poll = Poll::new().expect("epoll");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let mut pairs = Vec::new();
+        for i in 0..1000 {
+            let client = TcpStream::connect(addr).expect("connect");
+            let server = loop {
+                match listener.accept() {
+                    Ok((s, _)) => break s,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+                    Err(e) => panic!("accept: {e}"),
+                }
+            };
+            poll.register(server.as_raw_fd(), Token(i), Interest::READABLE).expect("register");
+            pairs.push((client, server));
+        }
+        // All idle: no events.
+        let mut events = Events::with_capacity(32);
+        assert_eq!(poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll"), 0);
+        // One write anywhere surfaces exactly that token.
+        pairs[617].0.write_all(b"x").expect("write");
+        poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+        let tokens: Vec<Token> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(tokens, vec![Token(617)]);
+    }
+
+    #[test]
+    fn none_interest_parks_a_ready_fd() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let poll = Poll::new().expect("epoll");
+        poll.register(server.as_raw_fd(), Token(4), Interest::READABLE).expect("register");
+        client.write_all(b"pending").expect("write");
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(events.len(), 1);
+        // Parking with NONE silences the (still unread) input...
+        poll.reregister(server.as_raw_fd(), Token(4), Interest::NONE).expect("park");
+        assert_eq!(poll.poll(&mut events, Some(Duration::from_millis(20))).expect("poll"), 0);
+        // ...and unparking re-delivers it, level-triggered.
+        poll.reregister(server.as_raw_fd(), Token(4), Interest::READABLE).expect("unpark");
+        poll.poll(&mut events, Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(events.len(), 1);
+        drop(client);
+    }
+
+    #[test]
+    fn set_nonblocking_round_trips() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (mut server, _) = listener.accept().expect("accept");
+        set_nonblocking(server.as_raw_fd(), true).expect("nonblocking on");
+        let mut buf = [0u8; 4];
+        let err = server.read(&mut buf).expect_err("no data: WouldBlock");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        set_nonblocking(server.as_raw_fd(), false).expect("nonblocking off");
+        drop(client);
+        // Blocking mode on a closed peer: clean EOF, not WouldBlock.
+        assert_eq!(server.read(&mut buf).expect("EOF"), 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_monotone() {
+        let current = ensure_nofile_limit(0).expect("query");
+        assert!(current > 0);
+        let raised = ensure_nofile_limit(current).expect("no-op raise");
+        assert!(raised >= current);
+    }
+}
