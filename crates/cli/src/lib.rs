@@ -31,8 +31,8 @@ use dsq_core::{
     Quantization, QueryInstance,
 };
 use dsq_server::{
-    Client, ExportRequest, FaultProfile, ListenAddr, PipelineRequest, RemotePlanner, Response,
-    Server, ServerConfig, SnapshotLock,
+    hold_connections, Client, ExportRequest, FaultProfile, ListenAddr, LoadgenConfig,
+    PipelineRequest, RemotePlanner, RequestClass, Response, Server, ServerConfig, SnapshotLock,
 };
 use dsq_service::{
     plan_batch, CacheConfig, CachedPlanner, ColdPlanner, FleetConfig, FleetMembership,
@@ -72,6 +72,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         Some("serve-batch") => serve_batch_cmd(&mut args, out),
         Some("serve") => serve_cmd(&mut args, out),
         Some("client") => client_cmd(&mut args, out),
+        Some("loadgen") => loadgen_cmd(&mut args, out),
         Some("fleet") => fleet_cmd(&mut args, out),
         Some("--help") | Some("-h") | None => {
             writeln!(out, "{USAGE}").map_err(io_err)?;
@@ -100,7 +101,11 @@ const USAGE: &str = "usage:
   dsq client --unix PATH | --tcp ADDR | --fleet ADDRS | --fleet-config FILE
              [--resolution R]  COMMAND
              COMMAND = optimize FILE... [--repeat N] [--pipeline]
-                     | stats | ping | shutdown | hold N
+                     | stats | metrics | ping | shutdown | hold N
+  dsq loadgen --unix PATH | --tcp ADDR               open-loop load generator
+              [--rate R] [--requests N] [-n SERVICES] [--seed S]
+              [--classes drift,boundary,pipelined] [--pipeline-depth D]
+              [--json]
   dsq fleet rebalance --from ADDRS --to ADDRS [--vnodes V]
 families: uniform-random euclidean clustered hub-spoke correlated proliferative btsp-hard
 configs:  paper incumbent-only no-epsilon-bar no-backjump extended
@@ -119,7 +124,14 @@ backends; --chaos injects deterministic response-path faults (drop, delay,
 truncate) for resilience testing; client optimize --pipeline sends every
 document as one coalesced frame and reads the responses back in request
 order (the server admits up to its --max-pipeline per connection); client
-hold N parks N concurrent idle connections on the server's reactor; --tiered
+hold N parks N concurrent idle connections on the server's reactor and
+prints a held/dropped accounting line on drain; client metrics dumps the
+server's telemetry registry in the `# dsq-metrics v1` exposition format;
+loadgen drives open-loop (Poisson-arrival) traffic per request class —
+latency is measured from each request's *scheduled* send time, so a slow
+server cannot hide tail latency by slowing the generator down — and prints
+per-class p50/p99/p999 with a hit/warm/cold/busy breakdown (--json emits
+the dsq-loadgen/v1 document bench_snapshot.sh folds into BENCH); --tiered
 answers cache misses immediately with a greedy plan (`tier heur` on output)
 and refines them to exact in the background, upgrading the cache in place";
 
@@ -923,10 +935,11 @@ fn client_cmd<'a>(
     if addr.is_none() && fleet_spec.is_none() && fleet_config_path.is_none() {
         return Err("client requires --unix PATH or --tcp ADDR".into());
     }
-    let command = command.ok_or("client requires a command (optimize|stats|ping|shutdown|hold)")?;
+    let command =
+        command.ok_or("client requires a command (optimize|stats|metrics|ping|shutdown|hold)")?;
     // Validate the request before dialing, so usage errors do not depend
     // on a live server.
-    if !matches!(command, "optimize" | "stats" | "ping" | "shutdown" | "hold") {
+    if !matches!(command, "optimize" | "stats" | "metrics" | "ping" | "shutdown" | "hold") {
         return Err(format!("unknown client command `{command}`"));
     }
     if command == "optimize" && files.is_empty() {
@@ -1078,18 +1091,13 @@ fn client_cmd<'a>(
         "hold" => {
             let count = hold_count;
             let _ = reactor::ensure_nofile_limit((count as u64).saturating_add(64));
-            let mut held = Vec::with_capacity(count);
-            for i in 0..count {
-                let mut extra = Client::connect(&addr)
-                    .map_err(|e| format!("connection {i} failed to dial: {e}"))?;
-                // The ping proves the server's reactor registered the
-                // socket, not just that the kernel queued the connect.
-                match extra.ping().map_err(|e| format!("connection {i} failed to ping: {e}"))? {
-                    Response::Pong => held.push(extra),
-                    other => return Err(format!("unexpected response: {other:?}")),
-                }
-            }
-            writeln!(out, "held {} concurrent connections on {addr}", held.len()).map_err(io_err)
+            // Every connection is pinged at connect time and re-verified
+            // at drain time; the second line is the held/dropped
+            // accounting tests assert instead of scraping procfs.
+            let report = hold_connections(&addr, count).map_err(|e| e.to_string())?;
+            writeln!(out, "held {} concurrent connections on {addr}", report.requested)
+                .map_err(io_err)?;
+            writeln!(out, "{}", report.summary_line()).map_err(io_err)
         }
         "stats" => match client.stats().map_err(transport)? {
             Response::Stats(s) => writeln!(
@@ -1107,6 +1115,10 @@ fn client_cmd<'a>(
             .map_err(io_err),
             other => Err(format!("unexpected response: {other:?}")),
         },
+        "metrics" => {
+            let text = client.metrics().map_err(transport)?;
+            out.write_all(text.as_bytes()).map_err(io_err)
+        }
         "ping" => match client.ping().map_err(transport)? {
             Response::Pong => writeln!(out, "pong").map_err(io_err),
             other => Err(format!("unexpected response: {other:?}")),
@@ -1116,6 +1128,83 @@ fn client_cmd<'a>(
             other => Err(format!("unexpected response: {other:?}")),
         },
         _ => unreachable!("command validated above"),
+    }
+}
+
+/// `dsq loadgen`: the open-loop soak generator. One thread, connection,
+/// and Poisson arrival schedule per request class; latency is measured
+/// from each request's scheduled send time, so server slowdowns surface
+/// as tail latency instead of silently throttling the generator
+/// (coordinated omission).
+fn loadgen_cmd<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), CliError> {
+    let mut addr: Option<ListenAddr> = None;
+    let mut config = LoadgenConfig::default();
+    let mut json = false;
+    while let Some(arg) = args.next() {
+        if let Some(parsed) = parse_addr_flag(arg, args)? {
+            addr = Some(parsed);
+            continue;
+        }
+        match arg {
+            "--json" => json = true,
+            "--rate" => {
+                config.rate = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .ok_or("--rate needs a positive requests-per-second number")?
+            }
+            "--requests" => {
+                config.requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--requests needs a positive integer")?
+            }
+            "-n" => {
+                config.n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 2)
+                    .ok_or("-n needs an integer >= 2")?
+            }
+            "--seed" => {
+                config.seed =
+                    args.next().and_then(|v| v.parse().ok()).ok_or("--seed needs an integer")?
+            }
+            "--pipeline-depth" => {
+                config.pipeline_depth = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .ok_or("--pipeline-depth needs a positive integer")?
+            }
+            "--classes" => {
+                let spec = args.next().ok_or("--classes needs a comma-separated class list")?;
+                config.classes = spec
+                    .split(',')
+                    .map(|token| {
+                        RequestClass::parse(token.trim()).ok_or_else(|| {
+                            format!("unknown request class `{token}` (drift|boundary|pipelined)")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if config.classes.is_empty() {
+                    return Err("--classes needs at least one class".into());
+                }
+            }
+            other => return Err(format!("unknown loadgen flag `{other}`\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or("loadgen requires --unix PATH or --tcp ADDR")?;
+    let report = config.run(&addr).map_err(|e| format!("loadgen failed: {e}"))?;
+    if json {
+        writeln!(out, "{}", report.to_json()).map_err(io_err)
+    } else {
+        writeln!(out, "{}", report.summary()).map_err(io_err)
     }
 }
 
@@ -1364,7 +1453,7 @@ mod tests {
         assert_eq!(run_err(&["client", "stats"]), "client requires --unix PATH or --tcp ADDR");
         assert_eq!(
             run_err(&["client", "--unix", "/tmp/x.sock"]),
-            "client requires a command (optimize|stats|ping|shutdown|hold)"
+            "client requires a command (optimize|stats|metrics|ping|shutdown|hold)"
         );
         assert_eq!(
             run_err(&["client", "--unix", "/tmp/x.sock", "reboot"]),
@@ -1381,6 +1470,24 @@ mod tests {
         assert_eq!(
             run_err(&["client", "--unix", "/tmp/x.sock", "hold", "zero"]),
             "client hold needs a positive connection count"
+        );
+        // loadgen argument errors.
+        assert_eq!(run_err(&["loadgen"]), "loadgen requires --unix PATH or --tcp ADDR");
+        assert_eq!(
+            run_err(&["loadgen", "--tcp", "x", "--rate", "0"]),
+            "--rate needs a positive requests-per-second number"
+        );
+        assert_eq!(
+            run_err(&["loadgen", "--tcp", "x", "--requests", "0"]),
+            "--requests needs a positive integer"
+        );
+        assert_eq!(
+            run_err(&["loadgen", "--tcp", "x", "--classes", "drift,warp"]),
+            "unknown request class `warp` (drift|boundary|pipelined)"
+        );
+        assert_eq!(
+            run_err(&["loadgen", "--tcp", "x", "--pipeline-depth", "0"]),
+            "--pipeline-depth needs a positive integer"
         );
         assert_eq!(
             run_err(&["serve", "--tcp", "x", "--max-pipeline", "0"]),
@@ -1618,7 +1725,7 @@ mod tests {
         );
         assert_eq!(
             run_err(&["client", "--fleet", "tcp://x"]),
-            "client requires a command (optimize|stats|ping|shutdown|hold)"
+            "client requires a command (optimize|stats|metrics|ping|shutdown|hold)"
         );
         assert_eq!(
             run_err(&["client", "--fleet", "tcp://x", "--resolution", "7", "optimize", "f"]),
@@ -1938,6 +2045,69 @@ mod tests {
         assert!(message.contains("locked by live process"), "{message}");
         drop(_held);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The observability verbs against a live daemon: `client metrics`
+    /// streams the exposition document, `client hold` prints the
+    /// held/dropped drain accounting, and `loadgen` reports per-class
+    /// tails with zero protocol errors.
+    #[test]
+    fn client_metrics_hold_and_loadgen_against_a_live_daemon() {
+        use dsq_server::{Server, ServerConfig};
+        let quick = ServerConfig {
+            poll_interval: std::time::Duration::from_millis(2),
+            ..ServerConfig::default()
+        };
+        let server = Server::start(&ListenAddr::Tcp("127.0.0.1:0".into()), &quick).expect("starts");
+        let addr = server.listen_addr().to_string();
+
+        let held = run_ok(&["client", "--tcp", trim_tcp(&addr), "hold", "8"]);
+        assert!(held.contains("held 8 concurrent connections"), "{held}");
+        assert!(held.contains("drained 8 held connections: 8 live, 0 dropped"), "{held}");
+
+        let loadgen = run_ok(&[
+            "loadgen",
+            "--tcp",
+            trim_tcp(&addr),
+            "--rate",
+            "2000",
+            "--requests",
+            "25",
+            "-n",
+            "6",
+            "--classes",
+            "drift,pipelined",
+        ]);
+        assert!(loadgen.contains("drift: 25 sent"), "{loadgen}");
+        assert!(loadgen.contains("pipelined: 25 sent"), "{loadgen}");
+        assert!(loadgen.contains("total: 50 requests"), "{loadgen}");
+        assert!(loadgen.contains("(0 protocol errors)"), "{loadgen}");
+        let json = run_ok(&[
+            "loadgen",
+            "--tcp",
+            trim_tcp(&addr),
+            "--rate",
+            "2000",
+            "--requests",
+            "10",
+            "--classes",
+            "boundary",
+            "--json",
+        ]);
+        assert!(json.contains("\"schema\": \"dsq-loadgen/v1\""), "{json}");
+        assert!(json.contains("\"class\": \"boundary\""), "{json}");
+
+        let metrics = run_ok(&["client", "--tcp", trim_tcp(&addr), "metrics"]);
+        assert!(metrics.starts_with("# dsq-metrics v1\n"), "{metrics}");
+        assert!(metrics.contains("histogram server.stage.plan_ns "), "{metrics}");
+        assert!(metrics.contains("counter server.serve.requests "), "{metrics}");
+        server.shutdown();
+    }
+
+    /// `ListenAddr::Tcp` displays as `tcp://HOST:PORT`; the CLI's --tcp
+    /// flag takes the bare `HOST:PORT`.
+    fn trim_tcp(display: &str) -> &str {
+        display.strip_prefix("tcp://").unwrap_or(display)
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod e14_server;
 pub mod e15_fleet;
 pub mod e16_tiered;
 pub mod e17_resilience;
+pub mod e18_telemetry;
 pub mod e1_optimality;
 pub mod e2_scaling;
 pub mod e3_pruning;

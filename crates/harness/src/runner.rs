@@ -69,6 +69,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         crate::experiments::e15_fleet::experiment(),
         crate::experiments::e16_tiered::experiment(),
         crate::experiments::e17_resilience::experiment(),
+        crate::experiments::e18_telemetry::experiment(),
     ]
 }
 
@@ -113,7 +114,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered() {
         let experiments = all_experiments();
-        assert_eq!(experiments.len(), 17);
+        assert_eq!(experiments.len(), 18);
         for (i, e) in experiments.iter().enumerate() {
             assert_eq!(e.id, format!("e{}", i + 1), "registry order");
             assert!(!e.title.is_empty());

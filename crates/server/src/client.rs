@@ -2,7 +2,10 @@
 //! wraps, and what tests and the harness drive the socket path with.
 
 use crate::net::{ListenAddr, Stream};
-use crate::protocol::{ExportRequest, ProtocolError, Response, IMPORT_PARTITION_VERB, REQUEST_END};
+use crate::protocol::{
+    ExportRequest, ProtocolError, Response, IMPORT_PARTITION_VERB, METRICS_END, METRICS_VERB,
+    REQUEST_END,
+};
 use dsq_core::{format_instance, PlanSnapshot, QueryInstance};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::time::Duration;
@@ -253,7 +256,20 @@ impl Client {
                     std::thread::sleep(policy.backoff(retry_after_ms, busy_replies));
                     busy_replies += 1;
                 }
-                other => return Ok((other, busy_replies)),
+                other => {
+                    // Published only off the happy path: a first-attempt
+                    // success never touches the global registry.
+                    if busy_replies > 0 {
+                        let registry = dsq_telemetry::global();
+                        registry.counter("client.retry.busy-replies").add(u64::from(busy_replies));
+                        if matches!(other, Response::Busy { .. }) {
+                            registry.counter("client.retry.exhausted").inc();
+                        } else {
+                            registry.counter("client.retry.recovered").inc();
+                        }
+                    }
+                    return Ok((other, busy_replies));
+                }
             }
         }
     }
@@ -289,6 +305,52 @@ impl Client {
     /// See [`optimize_text`](Self::optimize_text).
     pub fn ping(&mut self) -> io::Result<Response> {
         self.round_trip("ping\n")
+    }
+
+    /// Requests the telemetry exposition (the `metrics` verb): the
+    /// `ok metrics N` header followed by exactly `N` exposition lines
+    /// and the `end-metrics` trailer. Returns the exposition text (the
+    /// `# dsq-metrics v1` document, trailer excluded).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors; `InvalidData` when the header is not a metrics
+    /// response or the body contradicts its declared line count.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let lines = match self.round_trip(&format!("{METRICS_VERB}\n"))? {
+            Response::Metrics { lines } => lines,
+            Response::Error { message } => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, message));
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected a metrics response, got `{}`", other.to_line()),
+                ));
+            }
+        };
+        let mut text = String::new();
+        for _ in 0..lines {
+            let mut doc_line = String::new();
+            if self.reader.read_line(&mut doc_line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "metrics document truncated",
+                ));
+            }
+            text.push_str(&doc_line);
+        }
+        let mut trailer = String::new();
+        if self.reader.read_line(&mut trailer)? == 0 || trailer.trim_end() != METRICS_END {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "metrics document declared {lines} lines but the trailer line is `{}`",
+                    trailer.trim_end()
+                ),
+            ));
+        }
+        Ok(text)
     }
 
     /// Asks the server to drain and exit (the embedder decides when; see
@@ -383,6 +445,73 @@ impl Client {
             )),
         }
     }
+}
+
+/// Outcome of a [`hold_connections`] run. Passive struct; fields are
+/// public.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HoldReport {
+    /// Connections requested.
+    pub requested: usize,
+    /// Connections still answering `ping` at drain time.
+    pub held: usize,
+    /// Connections the server dropped while they were parked (anything
+    /// above zero means idle connections are being evicted).
+    pub dropped: usize,
+}
+
+impl HoldReport {
+    /// The one-line drain summary (`drained N held connections: X live,
+    /// Y dropped`) the CLI prints and the connection-scale tests assert.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "drained {} held connections: {} live, {} dropped",
+            self.requested, self.held, self.dropped
+        )
+    }
+}
+
+/// Parks `count` concurrent idle connections on the server at `addr`,
+/// then drains them with a verification pass: every connection is
+/// pinged once at connect time (proving the reactor registered the
+/// socket, not just that the kernel queued the connect) and once again
+/// before being dropped (proving the server kept it alive the whole
+/// time). The [`HoldReport`] carries the held/dropped accounting — the
+/// observable scale contract, with no procfs scraping involved.
+///
+/// # Errors
+///
+/// Connection-level I/O errors while *establishing* the hold; a
+/// connection lost between the two pings is counted as dropped, not an
+/// error.
+pub fn hold_connections(addr: &ListenAddr, count: usize) -> io::Result<HoldReport> {
+    let mut held = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut client = Client::connect(addr)
+            .map_err(|e| io::Error::new(e.kind(), format!("connection {i} failed to dial: {e}")))?;
+        match client.ping() {
+            Ok(Response::Pong) => held.push(client),
+            Ok(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("connection {i}: unexpected ping response `{}`", other.to_line()),
+                ));
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("connection {i} failed to ping: {e}"),
+                ));
+            }
+        }
+    }
+    let mut live = 0usize;
+    for client in &mut held {
+        if matches!(client.ping(), Ok(Response::Pong)) {
+            live += 1;
+        }
+    }
+    Ok(HoldReport { requested: count, held: live, dropped: count - live })
 }
 
 #[cfg(test)]

@@ -35,11 +35,14 @@
 //! each — a poisoned connection is torn down, the server keeps serving.
 
 use crate::net::{FaultyStream, Listener};
-use crate::protocol::{ExportRequest, Response, IMPORT_PARTITION_VERB, REQUEST_END};
+use crate::protocol::{
+    ExportRequest, Response, IMPORT_PARTITION_VERB, METRICS_END, METRICS_VERB, REQUEST_END,
+};
 use crate::server::{load_aware_retry_ms, Completion, Inner, Job, MAX_REQUEST_BYTES};
 use crossbeam::channel::{self, TrySendError};
 use dsq_core::{parse_instance, PlanSnapshot};
 use dsq_service::{FleetConfig, HashRing};
+use dsq_telemetry::{log::Level, log_event, Stopwatch};
 use reactor::{Events, Interest, Poll, Token};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -77,6 +80,10 @@ struct Slot {
     seq: u64,
     payload: Option<Vec<u8>>,
     rollback: Option<PlanSnapshot>,
+    /// Started when the payload lands (inline verb or worker
+    /// completion); retired into the flush-stage histogram once the
+    /// response's last byte reaches the socket.
+    ready_at: Option<Stopwatch>,
 }
 
 /// What the connection's framing layer is in the middle of reading.
@@ -113,6 +120,10 @@ struct Conn {
     flushed_bytes: u64,
     /// Undelivered exports: `(watermark, removed entries)`.
     exports: Vec<(u64, PlanSnapshot)>,
+    /// Flush-stage timers awaiting delivery: `(watermark, started when
+    /// the response became ready)` — retired like `exports`, by the
+    /// flushed-bytes watermark passing them.
+    pending_flush: Vec<(u64, Stopwatch)>,
     read_closed: bool,
     close_after_flush: bool,
     /// Framing is lost (oversized document mid-stream): stop parsing,
@@ -148,6 +159,7 @@ impl Conn {
             enqueued_bytes: 0,
             flushed_bytes: 0,
             exports: Vec::new(),
+            pending_flush: Vec::new(),
             read_closed: false,
             close_after_flush: false,
             poisoned: false,
@@ -159,7 +171,8 @@ impl Conn {
     fn push_slot(&mut self, payload: Option<Vec<u8>>, rollback: Option<PlanSnapshot>) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending.push_back(Slot { seq, payload, rollback });
+        let ready_at = payload.is_some().then(Stopwatch::start);
+        self.pending.push_back(Slot { seq, payload, rollback, ready_at });
         seq
     }
 
@@ -226,6 +239,7 @@ impl Conn {
                     "" => {} // blank keep-alive line
                     "ping" => self.push_ready(&Response::Pong),
                     "stats" => self.push_ready(&Response::Stats(inner.stats().stats_line())),
+                    METRICS_VERB => self.serve_metrics(inner),
                     "shutdown" => {
                         inner.request_shutdown();
                         self.push_ready(&Response::Draining);
@@ -297,21 +311,25 @@ impl Conn {
         let Ok(text) = std::str::from_utf8(document) else {
             return protocol_error(self, "instance text is not valid UTF-8".into());
         };
+        let parse_timer = Stopwatch::start();
         let instance = match parse_instance(text) {
             Ok(instance) => instance,
             Err(e) => return protocol_error(self, format!("cannot parse instance: {e}")),
         };
+        parse_timer.observe(&inner.metrics.parse_ns);
         // Increment *before* `try_send`: a worker that finishes the job
         // fast always observes the increment first, so the gauge cannot
         // underflow; the `Full`/`Disconnected` paths roll it back.
         inner.outstanding.fetch_add(1, Ordering::Relaxed);
         let seq = self.next_seq;
-        match job_tx.try_send(Job { instance, conn: self.token as u64, seq }) {
+        let job = Job { instance, conn: self.token as u64, seq, admitted_at: Stopwatch::start() };
+        match job_tx.try_send(job) {
             Ok(()) => {
                 inner.admitted.fetch_add(1, Ordering::Relaxed);
                 self.jobs_in_flight += 1;
                 self.push_slot(None, None);
                 inner.pipeline_peak.fetch_max(self.pending.len() as u64, Ordering::Relaxed);
+                inner.metrics.pipeline_depth.record(self.pending.len() as u64);
             }
             Err(TrySendError::Full(_)) => {
                 inner.outstanding.fetch_sub(1, Ordering::Relaxed);
@@ -359,6 +377,19 @@ impl Conn {
         self.push_slot(Some(payload), Some(snapshot));
     }
 
+    /// Serves one `metrics` scrape: header + the registry's exposition
+    /// document (serving counters folded in) + the `end-metrics`
+    /// trailer, as one response slot.
+    fn serve_metrics(&mut self, inner: &Inner) {
+        let text = inner.metrics.exposition(&inner.stats());
+        let lines = text.lines().count() as u64;
+        let mut payload = render(&Response::Metrics { lines });
+        payload.extend_from_slice(text.as_bytes());
+        payload.extend_from_slice(METRICS_END.as_bytes());
+        payload.push(b'\n');
+        self.push_slot(Some(payload), None);
+    }
+
     fn finish_import(&mut self, document: &[u8], inner: &Inner) {
         let malformed = |conn: &mut Conn, message: String| {
             inner.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -396,13 +427,15 @@ impl Conn {
         };
         if let Some(slot) = self.pending.iter_mut().find(|s| s.seq == completion.seq) {
             slot.payload = Some(render(&response));
+            slot.ready_at = Some(Stopwatch::start());
         }
     }
 
     /// Moves the contiguous answered prefix of the pipeline into the
     /// write buffer — response order per connection is request order,
     /// always.
-    fn promote(&mut self) {
+    fn promote(&mut self, inner: &Inner) {
+        let mut promoted = 0u64;
         while self.pending.front().is_some_and(|slot| slot.payload.is_some()) {
             let slot = self.pending.pop_front().expect("front checked");
             let payload = slot.payload.expect("payload checked");
@@ -411,13 +444,20 @@ impl Conn {
             if let Some(snapshot) = slot.rollback {
                 self.exports.push((self.enqueued_bytes, snapshot));
             }
+            if let Some(ready_at) = slot.ready_at {
+                self.pending_flush.push((self.enqueued_bytes, ready_at));
+            }
+            promoted += 1;
+        }
+        if promoted > 0 {
+            inner.metrics.coalesced.record(promoted);
         }
     }
 
     /// Writes as much of the buffered responses as the socket accepts.
     /// Responses promoted together leave in one `write` call — the
     /// syscall coalescing pipelined exchanges are measured by.
-    fn flush(&mut self) {
+    fn flush(&mut self, inner: &Inner) {
         while self.write_pos < self.write_buf.len() && !self.dead {
             match self.stream.write(&self.write_buf[self.write_pos..]) {
                 Ok(0) => self.dead = true,
@@ -435,9 +475,17 @@ impl Conn {
             self.write_pos = 0;
         }
         let _ = self.stream.flush();
-        // Exports fully on the wire no longer need their rollback.
+        // Exports fully on the wire no longer need their rollback, and
+        // responses fully on the wire retire their flush-stage timers.
         let flushed = self.flushed_bytes;
         self.exports.retain(|(watermark, _)| *watermark > flushed);
+        self.pending_flush.retain(|(watermark, ready_at)| {
+            if *watermark > flushed {
+                return true;
+            }
+            ready_at.observe(&inner.metrics.flush_ns);
+            false
+        });
     }
 
     /// Whether the connection is finished and should be torn down.
@@ -494,8 +542,10 @@ fn teardown(conn: Conn, inner: &Inner, poll: &Poll) {
                 // The rollback itself failing loses the partition: say
                 // so instead of silently dropping the entries.
                 inner.export_rollback_errors.fetch_add(1, Ordering::Relaxed);
-                eprintln!(
-                    "dsq-server: failed to restore {} undelivered exported entries: {e}",
+                log_event!(
+                    Level::Error,
+                    "reactor",
+                    "failed to restore {} undelivered exported entries: {e}",
                     snapshot.entries.len()
                 );
             }
@@ -607,12 +657,16 @@ pub(crate) fn run(listener: Listener, poll: Poll, inner: &Inner, job_tx: &channe
                     conn.fill();
                 }
                 conn.parse(inner, job_tx);
-                conn.promote();
-                conn.flush();
+                conn.promote(inner);
+                conn.flush(inner);
             }));
             if outcome.is_err() {
                 inner.connection_panics.fetch_add(1, Ordering::Relaxed);
-                eprintln!("dsq-server: connection handler panicked; closing the connection");
+                log_event!(
+                    Level::Error,
+                    "reactor",
+                    "connection handler panicked; closing the connection"
+                );
                 teardown(conn, inner, &poll);
                 continue;
             }

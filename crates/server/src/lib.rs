@@ -74,13 +74,16 @@
 
 mod client;
 mod event_loop;
+mod loadgen;
 mod lock;
+mod metrics;
 mod net;
 pub mod protocol;
 mod remote;
 mod server;
 
-pub use client::{Client, PipelineRequest, RetryPolicy};
+pub use client::{hold_connections, Client, HoldReport, PipelineRequest, RetryPolicy};
+pub use loadgen::{ClassReport, LoadgenConfig, LoadgenReport, RequestClass};
 pub use lock::{lock_path, SnapshotLock};
 pub use net::{FaultProfile, ListenAddr};
 pub use protocol::{ExportRequest, ProtocolError, Response, StatsLine};

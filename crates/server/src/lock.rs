@@ -4,6 +4,8 @@
 //! other's atomic renames, so whoever persists to a snapshot path first
 //! takes `<path>.lock` and everyone else refuses to start.
 
+use dsq_telemetry::log::Level;
+use dsq_telemetry::log_event;
 use std::fmt;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -20,9 +22,9 @@ pub fn lock_path(snapshot: &Path) -> PathBuf {
 /// The lock is **advisory** (nothing stops a process that does not
 /// check it) and PID-based: the file holds the owner's PID, and a lock
 /// whose owner is no longer alive (`/proc/<pid>` gone — a crashed
-/// server) is stale and taken over (with a stderr note naming the dead
-/// holder's pid), so an unclean shutdown never wedges the snapshot
-/// path.
+/// server) is stale and taken over (with a `DSQ_LOG`-gated warning
+/// naming the dead holder's pid), so an unclean shutdown never wedges
+/// the snapshot path.
 pub struct SnapshotLock {
     path: PathBuf,
 }
@@ -117,12 +119,16 @@ impl SnapshotLock {
         // happened), and the stale pid is the breadcrumb for finding
         // which process died.
         match holder {
-            Some(pid) => eprintln!(
-                "dsq-server: stealing stale snapshot lock {} (holder pid {pid} is dead)",
+            Some(pid) => log_event!(
+                Level::Warn,
+                "snapshot",
+                "stealing stale snapshot lock {} (holder pid {pid} is dead)",
                 path.display()
             ),
-            None => eprintln!(
-                "dsq-server: stealing stale snapshot lock {} (unreadable holder pid)",
+            None => log_event!(
+                Level::Warn,
+                "snapshot",
+                "stealing stale snapshot lock {} (unreadable holder pid)",
                 path.display()
             ),
         }

@@ -4,7 +4,7 @@
 //! an instance document terminated by `end`:
 //!
 //! ```text
-//! request   = instance-doc | "stats" | "ping" | "shutdown"
+//! request   = instance-doc | "stats" | "ping" | "metrics" | "shutdown"
 //!           | export-line | import-doc
 //! instance-doc = "dsq-instance v1" LF …instance lines… "end" LF
 //! export-line  = "export-partition vnodes " N " keep " N " backends " ADDR ("," ADDR)* LF
@@ -19,6 +19,7 @@
 //!           | "ok stats requests " N " hits " N " probe2 " N " warm " N " cold " N
 //!                 " busy " N " hit-rate " F64 " entries " N
 //!           | "ok pong"
+//!           | "ok metrics " N            ; N exposition lines stream after this line
 //!           | "ok draining"
 //!           | "ok partition " N           ; N snapshot entries stream after this line
 //!           | "ok partition-restored " N
@@ -27,6 +28,15 @@
 //! SRC       = "hit" | "warm" | "cold"
 //! TIER      = "exact" | "heur"
 //! ```
+//!
+//! The `metrics` verb scrapes the server's telemetry registry. The
+//! `ok metrics N` header is followed by exactly `N` lines of
+//! `dsq-metrics v1` exposition text (the `# dsq-metrics v1` header line
+//! included in the count) and then the literal trailer `end-metrics`.
+//! The exposition itself is byte-stable — lines sorted by metric name —
+//! so two scrapes of the same state are identical bytes; see
+//! `dsq_telemetry::registry` for the line grammar
+//! (`counter`/`gauge`/`histogram` records).
 //!
 //! The two partition verbs carry the warm-handoff path of a fleet
 //! resize. `export-partition` asks the server to **remove and return**
@@ -69,6 +79,20 @@ pub const REQUEST_END: &str = "end";
 /// on the next lines, terminated by the snapshot's own `end-snapshot`
 /// trailer).
 pub const IMPORT_PARTITION_VERB: &str = "import-partition";
+
+/// The `metrics` request verb: scrape the server's telemetry registry.
+pub const METRICS_VERB: &str = "metrics";
+
+/// Trailer closing the exposition document after an `ok metrics N`
+/// response.
+pub const METRICS_END: &str = "end-metrics";
+
+/// The `stats` wire tokens, in wire order — the **single source** for
+/// both [`Response::to_line`] and [`Response::parse`]. PRs 6–8 grew the
+/// render and parse sides as separate hand-written lists; this table is
+/// what keeps a future counter from silently breaking one of them.
+pub const STATS_TOKENS: [&str; 8] =
+    ["requests", "hits", "probe2", "warm", "cold", "busy", "hit-rate", "entries"];
 
 /// A parsed `export-partition` request line: the new fleet layout the
 /// receiving server should keep slot [`keep`](Self::keep) of, handing
@@ -167,6 +191,22 @@ pub struct StatsLine {
     pub entries: u64,
 }
 
+impl StatsLine {
+    /// The rendered value for each of [`STATS_TOKENS`], in table order.
+    fn wire_values(&self) -> [String; STATS_TOKENS.len()] {
+        [
+            self.requests.to_string(),
+            self.hits.to_string(),
+            self.probe2_hits.to_string(),
+            self.warm_starts.to_string(),
+            self.cold.to_string(),
+            self.busy_rejections.to_string(),
+            self.hit_rate.to_string(),
+            self.entries.to_string(),
+        ]
+    }
+}
+
 /// One parsed server response. See the [module docs](self) for the
 /// grammar.
 #[derive(Debug, Clone, PartialEq)]
@@ -200,6 +240,13 @@ pub enum Response {
     Pong,
     /// Reply to `stats`.
     Stats(StatsLine),
+    /// Reply to `metrics`: this many exposition lines stream after this
+    /// line (the `# dsq-metrics v1` header included), followed by the
+    /// [`METRICS_END`] trailer.
+    Metrics {
+        /// Exposition lines in the document that follows.
+        lines: u64,
+    },
     /// Reply to `shutdown`: the server is draining.
     Draining,
     /// Reply to `export-partition`: this many exported snapshot entries
@@ -238,8 +285,7 @@ impl Response {
     pub fn to_line(&self) -> String {
         match self {
             Response::Served { source, cost, fingerprint, plan, tier } => {
-                let plan =
-                    plan.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+                let plan = plan.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
                 // Exact plans keep the pre-tier wire format byte for
                 // byte (see the module docs): only tier-1 answers — a
                 // `--tiered`-only phenomenon — carry the token.
@@ -259,17 +305,16 @@ impl Response {
                 format!("error {}", message.replace('\n', "; "))
             }
             Response::Pong => "ok pong".into(),
-            Response::Stats(s) => format!(
-                "ok stats requests {} hits {} probe2 {} warm {} cold {} busy {} hit-rate {} entries {}",
-                s.requests,
-                s.hits,
-                s.probe2_hits,
-                s.warm_starts,
-                s.cold,
-                s.busy_rejections,
-                s.hit_rate,
-                s.entries,
-            ),
+            Response::Stats(s) => {
+                let values = s.wire_values();
+                let body: Vec<String> = STATS_TOKENS
+                    .iter()
+                    .zip(values.iter())
+                    .map(|(token, value)| format!("{token} {value}"))
+                    .collect();
+                format!("ok stats {}", body.join(" "))
+            }
+            Response::Metrics { lines } => format!("ok metrics {lines}"),
             Response::Draining => "ok draining".into(),
             Response::Partition { entries } => format!("ok partition {entries}"),
             Response::PartitionRestored { entries } => {
@@ -307,6 +352,10 @@ impl Response {
             let entries = rest.trim().parse().map_err(|_| err())?;
             return Ok(Response::Partition { entries });
         }
+        if let Some(rest) = line.strip_prefix("ok metrics ") {
+            let lines = rest.trim().parse().map_err(|_| err())?;
+            return Ok(Response::Metrics { lines });
+        }
         if let Some(rest) = line.strip_prefix("ok source ") {
             let mut fields = rest.split_whitespace();
             let source = fields.next().and_then(parse_source).ok_or_else(err)?;
@@ -338,14 +387,12 @@ impl Response {
         }
         if let Some(rest) = line.strip_prefix("ok stats ") {
             let fields: Vec<&str> = rest.split_whitespace().collect();
-            let labels =
-                ["requests", "hits", "probe2", "warm", "cold", "busy", "hit-rate", "entries"];
-            if fields.len() != 2 * labels.len() {
+            if fields.len() != 2 * STATS_TOKENS.len() {
                 return Err(err());
             }
-            let mut values = [0f64; 8];
-            for (k, label) in labels.iter().enumerate() {
-                if fields[2 * k] != *label {
+            let mut values = [0f64; STATS_TOKENS.len()];
+            for (k, token) in STATS_TOKENS.iter().enumerate() {
+                if fields[2 * k] != *token {
                     return Err(err());
                 }
                 values[k] = fields[2 * k + 1].parse().map_err(|_| err())?;
@@ -407,6 +454,8 @@ mod tests {
             Response::Partition { entries: 0 },
             Response::Partition { entries: 17 },
             Response::PartitionRestored { entries: 17 },
+            Response::Metrics { lines: 0 },
+            Response::Metrics { lines: 42 },
             Response::Stats(StatsLine {
                 requests: 240,
                 hits: 232,
@@ -492,6 +541,45 @@ mod tests {
         );
         assert!(!line.contains("NaN"), "zero requests must not divide to NaN");
         assert_eq!(Response::parse(&line).expect("parses"), Response::Stats(StatsLine::default()));
+    }
+
+    /// The exact wire line for a fully populated stats payload is
+    /// pinned byte for byte: both the render and the parse side come
+    /// from [`STATS_TOKENS`], so this test is the tripwire for anyone
+    /// appending a counter to one side only (the drift that accumulated
+    /// over PRs 6–8).
+    #[test]
+    fn populated_stats_line_is_pinned_to_the_token_table() {
+        let stats = StatsLine {
+            requests: 240,
+            hits: 120,
+            probe2_hits: 4,
+            warm_starts: 3,
+            cold: 5,
+            busy_rejections: 2,
+            hit_rate: 0.5,
+            entries: 16,
+        };
+        let line = Response::Stats(stats).to_line();
+        assert_eq!(
+            line,
+            "ok stats requests 240 hits 120 probe2 4 warm 3 cold 5 busy 2 hit-rate 0.5 entries 16"
+        );
+        // Wire order is table order, every token present exactly once.
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let labels: Vec<&str> = fields[2..].iter().step_by(2).copied().collect();
+        assert_eq!(labels, STATS_TOKENS.to_vec());
+        assert_eq!(Response::parse(&line).expect("parses"), Response::Stats(stats));
+    }
+
+    #[test]
+    fn metrics_header_round_trips_and_rejects_malformed_counts() {
+        let header = Response::Metrics { lines: 12 };
+        assert_eq!(header.to_line(), "ok metrics 12");
+        assert_eq!(Response::parse("ok metrics 12").expect("parses"), header);
+        for line in ["ok metrics", "ok metrics x", "ok metrics -1", "ok metrics 1 2"] {
+            assert!(Response::parse(line).is_err(), "{line:?} should not parse");
+        }
     }
 
     #[test]

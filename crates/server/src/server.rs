@@ -4,6 +4,7 @@
 
 use crate::event_loop::{self, TOKEN_WAKER};
 use crate::lock::SnapshotLock;
+use crate::metrics::ServerMetrics;
 use crate::net::{FaultProfile, ListenAddr, Listener};
 use crate::protocol::StatsLine;
 use crossbeam::channel;
@@ -12,6 +13,7 @@ use dsq_service::{
     CacheConfig, CacheStats, CachedPlanner, PlanCache, PlanError, Planner, ServedPlan,
     TieredPlanner, TieredStats,
 };
+use dsq_telemetry::Stopwatch;
 use std::fmt;
 use std::io;
 use std::num::NonZeroUsize;
@@ -167,6 +169,52 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Every counter as a stable `(group, token, value)` table — the
+    /// **single source** for the human [`Display`](fmt::Display) form
+    /// and for the counters folded into the `metrics` exposition
+    /// (`server.<group>.<token>`). Tokens are appended here once and
+    /// flow to both renderings; PRs 6–8 grew them ad hoc in each.
+    ///
+    /// Rates are carried as integer basis points (`*-bp`, 1/100 of a
+    /// percent) so the table stays `u64` end to end.
+    pub fn token_table(&self) -> Vec<(&'static str, &'static str, u64)> {
+        let mut table = vec![
+            ("serve", "requests", self.cache.requests()),
+            ("serve", "connections", self.connections),
+            ("serve", "hits", self.cache.hits),
+            ("serve", "probe2-hits", self.cache.probe2_hits),
+            ("serve", "warm-starts", self.cache.warm_starts),
+            ("serve", "cold", self.cache.misses),
+            ("serve", "hit-rate-bp", (self.cache.hit_rate() * 10_000.0).round() as u64),
+            ("admission", "admitted", self.admitted),
+            ("admission", "busy-rejections", self.busy_rejections),
+            ("admission", "protocol-errors", self.protocol_errors),
+            ("cache", "entries", self.cache.entries as u64),
+            ("cache", "evictions", self.cache.evictions),
+            ("cache", "insertions", self.cache.insertions),
+            ("cache", "heuristic-entries", self.cache.heuristic_entries as u64),
+            ("snapshots", "restored", self.restored_entries),
+            ("snapshots", "written", self.snapshots_written),
+            ("snapshots", "errors", self.snapshot_errors),
+            ("reactor", "pipeline-peak", self.pipeline_peak),
+            ("reactor", "outstanding", self.outstanding),
+            ("reactor", "connection-panics", self.connection_panics),
+            ("reactor", "export-rollbacks", self.export_rollbacks),
+            ("reactor", "export-rollback-errors", self.export_rollback_errors),
+        ];
+        if let Some(tiered) = &self.tiered {
+            table.extend([
+                ("tiered", "heuristic-served", tiered.heuristic_served),
+                ("tiered", "refined", tiered.refined),
+                ("tiered", "refine-skipped", tiered.refine_skipped),
+                ("tiered", "refine-dropped", tiered.refine_dropped),
+                ("tiered", "refine-nodes", tiered.refine_nodes),
+                ("tiered", "max-gap-bp", (tiered.max_gap * 10_000.0).round() as u64),
+            ]);
+        }
+        table
+    }
+
     /// The wire-format stats payload (see
     /// [`protocol`](crate::protocol)).
     pub fn stats_line(&self) -> StatsLine {
@@ -184,49 +232,30 @@ impl ServerStats {
 }
 
 impl fmt::Display for ServerStats {
+    /// A prose head line (kept grep-stable for operators and the smoke
+    /// scripts) followed by one `group: token value …` line per group
+    /// of [`token_table`](Self::token_table) — the table IS the format,
+    /// so a counter added there shows up here without hand-editing.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "served {} requests over {} connections: {} hits ({} via probe 2), {} warm starts, {} cold ({:.1}% hit-rate)",
-            self.cache.requests(),
-            self.connections,
-            self.cache.hits,
-            self.cache.probe2_hits,
-            self.cache.warm_starts,
-            self.cache.misses,
-            self.cache.hit_rate() * 100.0,
-        )?;
-        writeln!(
-            f,
-            "admission: {} admitted, {} busy rejections, {} protocol errors; cache: {} entries, {} evictions; snapshots: {} restored, {} written, {} errors",
-            self.admitted,
-            self.busy_rejections,
-            self.protocol_errors,
-            self.cache.entries,
-            self.cache.evictions,
-            self.restored_entries,
-            self.snapshots_written,
-            self.snapshot_errors,
-        )?;
         write!(
             f,
-            "reactor: peak pipeline {}, {} outstanding, {} connection panics, {} export rollbacks ({} failed)",
-            self.pipeline_peak,
-            self.outstanding,
-            self.connection_panics,
-            self.export_rollbacks,
-            self.export_rollback_errors,
+            "served {} requests over {} connections ({:.1}% hit-rate)",
+            self.cache.requests(),
+            self.connections,
+            self.cache.hit_rate() * 100.0,
         )?;
-        if let Some(tiered) = &self.tiered {
-            write!(
-                f,
-                "\ntiered: {} tier-1 answers, {} refined ({} skipped, {} dropped), max gap {:.2}%",
-                tiered.heuristic_served,
-                tiered.refined,
-                tiered.refine_skipped,
-                tiered.refine_dropped,
-                tiered.max_gap * 100.0,
-            )?;
+        // Tokens the head line already carries in prose.
+        let in_head = [("serve", "requests"), ("serve", "connections"), ("serve", "hit-rate-bp")];
+        let mut current_group = "";
+        for (group, token, value) in self.token_table() {
+            if in_head.contains(&(group, token)) {
+                continue;
+            }
+            if group != current_group {
+                write!(f, "\n{group}:")?;
+                current_group = group;
+            }
+            write!(f, " {token} {value}")?;
         }
         Ok(())
     }
@@ -256,6 +285,9 @@ pub(crate) struct Job {
     pub(crate) instance: QueryInstance,
     pub(crate) conn: u64,
     pub(crate) seq: u64,
+    /// Started at admission; read at worker dequeue — the queue-wait
+    /// stage of the request's latency decomposition.
+    pub(crate) admitted_at: Stopwatch,
 }
 
 /// A finished job on its way back from a worker to the reactor (over
@@ -282,6 +314,10 @@ pub(crate) struct Inner {
     pub(crate) max_pipeline: usize,
     pub(crate) max_import_bytes: usize,
     pub(crate) debug_panic_verb: Option<String>,
+    /// This server's private telemetry: stage histograms recorded by
+    /// the reactor and workers, scraped by the `metrics` verb. Private
+    /// per server so co-located daemons never mix latency streams.
+    pub(crate) metrics: ServerMetrics,
     /// Admitted jobs not yet completed (queued + executing) — what the
     /// load-aware `busy` hint scales with. The reactor increments
     /// *before* admission `try_send` (rolling back on the
@@ -426,6 +462,7 @@ impl Server {
             max_pipeline: config.max_pipeline,
             max_import_bytes: config.max_import_bytes,
             debug_panic_verb: config.debug_panic_verb.clone(),
+            metrics: ServerMetrics::new(),
             outstanding: AtomicUsize::new(0),
             poll_interval: config.poll_interval,
             chaos: config.chaos,
@@ -609,6 +646,8 @@ fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
             Ok(job) => job,
             Err(_) => return, // all senders gone: drained, exit
         };
+        job.admitted_at.observe(&inner.metrics.queue_wait_ns);
+        let plan_timer = Stopwatch::start();
         // A panicking planner must not wedge the job's connection (the
         // reactor waits for a completion that would otherwise never
         // come) — and must not kill the worker.
@@ -617,6 +656,7 @@ fn worker_loop(inner: &Inner, job_rx: &Mutex<channel::Receiver<Job>>) {
             None => planner.plan(&job.instance),
         }))
         .unwrap_or_else(|_| Err(PlanError::Backend("planner worker panicked".into())));
+        plan_timer.observe(&inner.metrics.plan_ns);
         inner.outstanding.fetch_sub(1, Ordering::Relaxed);
         inner.completions.lock().expect("completion lock").push(Completion {
             conn: job.conn,
@@ -643,7 +683,75 @@ fn snapshot_loop(inner: &Inner, path: &std::path::Path, interval: Duration) {
 
 #[cfg(test)]
 mod tests {
-    use super::load_aware_retry_ms;
+    use super::{load_aware_retry_ms, ServerStats};
+    use dsq_service::{CacheStats, TieredStats};
+
+    /// The Display form is generated from the token table and pinned
+    /// byte for byte — the companion tripwire to the pinned wire line
+    /// in the protocol tests.
+    #[test]
+    fn display_is_generated_from_the_token_table_and_pinned() {
+        let stats = ServerStats {
+            connections: 3,
+            admitted: 6,
+            busy_rejections: 1,
+            snapshots_written: 2,
+            pipeline_peak: 4,
+            cache: CacheStats {
+                hits: 4,
+                probe2_hits: 1,
+                warm_starts: 1,
+                misses: 1,
+                insertions: 2,
+                entries: 2,
+                ..CacheStats::default()
+            },
+            ..ServerStats::default()
+        };
+        assert_eq!(
+            stats.to_string(),
+            "served 6 requests over 3 connections (66.7% hit-rate)\n\
+             serve: hits 4 probe2-hits 1 warm-starts 1 cold 1\n\
+             admission: admitted 6 busy-rejections 1 protocol-errors 0\n\
+             cache: entries 2 evictions 0 insertions 2 heuristic-entries 0\n\
+             snapshots: restored 0 written 2 errors 0\n\
+             reactor: pipeline-peak 4 outstanding 0 connection-panics 0 \
+             export-rollbacks 0 export-rollback-errors 0"
+        );
+        // The tiered group appears exactly when the server ran tiered.
+        let tiered = ServerStats { tiered: Some(TieredStats::default()), ..stats };
+        let text = tiered.to_string();
+        assert!(
+            text.ends_with(
+                "tiered: heuristic-served 0 refined 0 refine-skipped 0 refine-dropped 0 \
+                 refine-nodes 0 max-gap-bp 0"
+            ),
+            "{text}"
+        );
+        assert!(!stats.to_string().contains("tiered:"));
+    }
+
+    /// Every table token is display-safe (no spaces, lowercase) and
+    /// unique within its group — what keeps `group.token` exposition
+    /// names collision-free.
+    #[test]
+    fn token_table_tokens_are_wire_safe_and_unique() {
+        let stats = ServerStats { tiered: Some(TieredStats::default()), ..ServerStats::default() };
+        let table = stats.token_table();
+        for (group, token, _) in &table {
+            for part in [*group, *token] {
+                assert!(
+                    part.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-'),
+                    "token {part:?} must be lowercase-dashed"
+                );
+            }
+        }
+        let mut names: Vec<String> = table.iter().map(|(g, t, _)| format!("{g}.{t}")).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate token in the table");
+    }
 
     #[test]
     fn retry_hint_is_monotone_in_outstanding_work() {

@@ -111,6 +111,39 @@ fn stats_verb_reports_the_counters() {
     server.shutdown();
 }
 
+/// The `metrics` verb streams the telemetry exposition: stage
+/// histograms carrying one sample per served request and the serving
+/// counters folded in, all through the framed header/trailer grammar
+/// (which [`Client::metrics`] validates line by line).
+#[test]
+fn metrics_verb_streams_stage_histograms_and_counters() {
+    let server = Server::start(&tcp(), &quick_config()).expect("start");
+    let mut client = Client::connect(server.listen_addr()).expect("connect");
+    let instance = generate(Family::Correlated, 6, 9);
+    client.optimize(&instance).expect("cold");
+    client.optimize(&instance).expect("hit");
+    let text = client.metrics().expect("metrics");
+    assert!(text.starts_with("# dsq-metrics v1\n"), "{text}");
+    // Every measured stage saw both requests by scrape time (the
+    // responses were flushed before the scrape could be admitted).
+    for stage in ["parse_ns", "queue_wait_ns", "plan_ns", "flush_ns"] {
+        assert!(
+            text.contains(&format!("histogram server.stage.{stage} count 2 ")),
+            "{stage} missing both samples:\n{text}"
+        );
+    }
+    assert!(text.contains("histogram server.pipeline.depth count 2 "), "{text}");
+    assert!(text.contains("counter server.serve.requests 2\n"), "{text}");
+    assert!(text.contains("counter server.serve.hits 1\n"), "{text}");
+    assert!(text.contains("counter server.cache.insertions "), "{text}");
+    assert!(text.contains("gauge server.outstanding 0\n"), "{text}");
+    // The stage stopwatches measure real time: each histogram's sum is
+    // positive, and the connection stays usable after the stream.
+    assert!(text.lines().all(|l| !l.is_empty()), "no blank exposition lines:\n{text}");
+    assert_eq!(client.ping().expect("still usable"), Response::Pong);
+    server.shutdown();
+}
+
 /// A full admission queue answers `busy` instead of blocking the accept
 /// loop: with one worker and a one-slot queue, a burst of concurrent
 /// requests can have at most one executing and one queued at any

@@ -18,6 +18,7 @@
 //! deterministic trip/readmit schedules; under steady traffic the two
 //! are proportional anyway.
 
+use crate::telemetry::handles;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -122,6 +123,7 @@ impl CircuitBreaker {
                 if *remaining_cooldown > 1 {
                     *remaining_cooldown -= 1;
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    handles().breaker_rejections.inc();
                     false
                 } else {
                     // Cooldown elapsed: this caller is the probe.
@@ -133,6 +135,7 @@ impl CircuitBreaker {
             Circuit::HalfOpen => {
                 // One probe outstanding already; everyone else waits.
                 self.rejected.fetch_add(1, Ordering::Relaxed);
+                handles().breaker_rejections.inc();
                 false
             }
         }
@@ -155,16 +158,19 @@ impl CircuitBreaker {
                     *circuit =
                         Circuit::Open { remaining_cooldown: self.config.cooldown_requests.max(1) };
                     self.trips.fetch_add(1, Ordering::Relaxed);
+                    handles().breaker_trips.inc();
                 }
             }
             (Circuit::HalfOpen, true) => {
                 *circuit = Circuit::Closed { consecutive_failures: 0 };
                 self.readmissions.fetch_add(1, Ordering::Relaxed);
+                handles().breaker_readmissions.inc();
             }
             (Circuit::HalfOpen, false) => {
                 *circuit =
                     Circuit::Open { remaining_cooldown: self.config.cooldown_requests.max(1) };
                 self.trips.fetch_add(1, Ordering::Relaxed);
+                handles().breaker_trips.inc();
             }
             // A late result for a request admitted before the circuit
             // opened: the open/cooldown schedule is already in motion.

@@ -77,6 +77,7 @@ mod cache;
 pub mod membership;
 mod planner;
 pub mod ring;
+mod telemetry;
 mod tiered;
 
 pub use batch::{optimize_batch, BatchOptions};

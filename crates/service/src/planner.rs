@@ -13,9 +13,11 @@
 use crate::breaker::{BreakerConfig, BreakerState, BreakerStats, CircuitBreaker};
 use crate::cache::{PlanCache, PlanTier, ServeSource, ServedPlan};
 use crate::ring::HashRing;
+use crate::telemetry::handles;
 use dsq_core::{
     optimize_parallel, optimize_with, BnbConfig, CanonicalKey, Quantization, QueryInstance,
 };
+use dsq_telemetry::Stopwatch;
 use parking_lot::Mutex;
 use std::error::Error;
 use std::fmt;
@@ -229,11 +231,13 @@ impl Planner for ColdPlanner {
     }
 
     fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
+        let timer = Stopwatch::start();
         let result = if self.threads.get() > 1 {
             optimize_parallel(instance, &self.config, self.threads)
         } else {
             optimize_with(instance, &self.config)
         };
+        timer.observe(&handles().cold_plan_ns);
         self.served.fetch_add(1, Ordering::Relaxed);
         Ok(ServedPlan {
             plan: result.plan().clone(),
@@ -286,7 +290,10 @@ impl Planner for CachedPlanner<'_> {
     }
 
     fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
-        Ok(self.cache.serve(instance, &self.config))
+        let timer = Stopwatch::start();
+        let served = self.cache.serve(instance, &self.config);
+        timer.observe(&handles().cached_plan_ns);
+        Ok(served)
     }
 
     fn stats(&self) -> PlannerStats {
@@ -489,6 +496,7 @@ impl Planner for FleetPlanner<'_> {
     }
 
     fn plan(&self, instance: &QueryInstance) -> Result<ServedPlan, PlanError> {
+        let timer = Stopwatch::start();
         let fingerprint = CanonicalKey::new(instance, &self.quantization).fingerprint();
         let home = self.ring.route(fingerprint);
         let mut last_error: Option<PlanError> = None;
@@ -503,11 +511,17 @@ impl Planner for FleetPlanner<'_> {
             match self.backends[backend].plan(instance) {
                 Ok(served) => {
                     self.breakers[backend].record(true);
-                    let mut counters = self.counters.lock();
-                    counters.planner.record(&served);
-                    counters.planner.failovers += u64::from(backend != home);
-                    counters.fleet.per_backend[backend] += 1;
-                    counters.fleet.failovers += u64::from(backend != home);
+                    {
+                        let mut counters = self.counters.lock();
+                        counters.planner.record(&served);
+                        counters.planner.failovers += u64::from(backend != home);
+                        counters.fleet.per_backend[backend] += 1;
+                        counters.fleet.failovers += u64::from(backend != home);
+                    }
+                    if backend != home {
+                        handles().fleet_failovers.inc();
+                    }
+                    timer.observe(&handles().fleet_plan_ns);
                     return Ok(served);
                 }
                 Err(error) => {
@@ -519,18 +533,25 @@ impl Planner for FleetPlanner<'_> {
         if let Some(fallback) = &self.fallback {
             match fallback.plan(instance) {
                 Ok(served) => {
-                    let mut counters = self.counters.lock();
-                    counters.planner.record(&served);
-                    counters.planner.fallbacks += 1;
-                    counters.fleet.fallbacks += 1;
+                    {
+                        let mut counters = self.counters.lock();
+                        counters.planner.record(&served);
+                        counters.planner.fallbacks += 1;
+                        counters.fleet.fallbacks += 1;
+                    }
+                    handles().fleet_fallbacks.inc();
+                    timer.observe(&handles().fleet_plan_ns);
                     return Ok(served);
                 }
                 Err(error) => last_error = Some(error),
             }
         }
-        let mut counters = self.counters.lock();
-        counters.planner.errors += 1;
-        counters.fleet.errors += 1;
+        {
+            let mut counters = self.counters.lock();
+            counters.planner.errors += 1;
+            counters.fleet.errors += 1;
+        }
+        handles().fleet_errors.inc();
         // With every circuit open and no fallback, no backend was even
         // tried — still a typed error, never a panic.
         Err(last_error.unwrap_or_else(|| {

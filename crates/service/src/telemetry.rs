@@ -1,0 +1,87 @@
+//! The service layer's handles into the process-wide
+//! [`dsq_telemetry::global`] registry.
+//!
+//! Planners are constructed freely — per worker, per request batch, per
+//! test — so they must not pay a registry lookup (a mutex and a
+//! `BTreeMap` walk) each time one is built or used. All handles are
+//! resolved **once** per process through a `OnceLock` and shared; the
+//! hot path's cost is one atomic load plus the histogram/counter record
+//! itself.
+//!
+//! Server-side serving stages live in the per-server registry inside
+//! `dsq-server` (test isolation: co-located servers must not mix
+//! streams); what lands here is the *embedder-side* view — planner
+//! latencies, fleet routing outcomes, breaker transitions, and tiered
+//! refinement — which the `dsq loadgen` / batch / harness paths read
+//! via [`dsq_telemetry::global`].
+
+use dsq_telemetry::{global, Counter, Histogram};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Pre-resolved global-registry handles for the service layer.
+pub(crate) struct Handles {
+    /// Cold (from-scratch) optimization latency.
+    pub cold_plan_ns: Arc<Histogram>,
+    /// Cache-fronted serve latency (hit, warm, or cold+insert).
+    pub cached_plan_ns: Arc<Histogram>,
+    /// Whole fleet dispatch latency (routing + backend + failover).
+    pub fleet_plan_ns: Arc<Histogram>,
+    /// Requests served by a non-home backend.
+    pub fleet_failovers: Arc<Counter>,
+    /// Requests served by the local fallback.
+    pub fleet_fallbacks: Arc<Counter>,
+    /// Requests that failed everywhere.
+    pub fleet_errors: Arc<Counter>,
+    /// Circuit-breaker openings (ejections from routing).
+    pub breaker_trips: Arc<Counter>,
+    /// Successful half-open probes (readmissions to routing).
+    pub breaker_readmissions: Arc<Counter>,
+    /// Eligibility checks rejected by an open circuit.
+    pub breaker_rejections: Arc<Counter>,
+    /// Requests answered at the heuristic tier.
+    pub tiered_heuristic_served: Arc<Counter>,
+    /// Background refinements that landed.
+    pub tiered_refined: Arc<Counter>,
+}
+
+/// The process-wide handles, resolved on first use.
+pub(crate) fn handles() -> &'static Handles {
+    static HANDLES: OnceLock<Handles> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let registry = global();
+        Handles {
+            cold_plan_ns: registry.histogram("planner.cold.plan_ns"),
+            cached_plan_ns: registry.histogram("planner.cached.plan_ns"),
+            fleet_plan_ns: registry.histogram("planner.fleet.plan_ns"),
+            fleet_failovers: registry.counter("fleet.failovers"),
+            fleet_fallbacks: registry.counter("fleet.fallbacks"),
+            fleet_errors: registry.counter("fleet.errors"),
+            breaker_trips: registry.counter("breaker.trips"),
+            breaker_readmissions: registry.counter("breaker.readmissions"),
+            breaker_rejections: registry.counter("breaker.rejections"),
+            tiered_heuristic_served: registry.counter("tiered.heuristic-served"),
+            tiered_refined: registry.counter("tiered.refined"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global registry is process-wide, so tests assert *growth*,
+    /// never absolute values.
+    #[test]
+    fn handles_resolve_once_and_publish_into_the_global_registry() {
+        let first = handles();
+        let again = handles();
+        assert!(std::ptr::eq(first, again), "one resolution per process");
+        let before = first.breaker_trips.get();
+        first.breaker_trips.inc();
+        assert_eq!(first.breaker_trips.get(), before + 1);
+        let text = global().render();
+        assert!(text.contains("counter breaker.trips "), "{text}");
+        assert!(text.contains("histogram planner.cold.plan_ns "), "{text}");
+    }
+}

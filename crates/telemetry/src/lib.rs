@@ -1,0 +1,30 @@
+//! Zero-dependency telemetry for the serving stack: mergeable
+//! log-linear [`Histogram`]s with a pinned relative-error bound,
+//! sharded [`Counter`]s and [`Gauge`]s, a [`MetricsRegistry`] with a
+//! byte-stable text exposition (`dsq-metrics v1`), monotonic-clock
+//! stage timers ([`Stopwatch`], [`Span`]), and a leveled, env-filtered
+//! [`log`] shim.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot paths never block.** Recording into a histogram or counter
+//!    is a few relaxed atomic RMWs; registry locks are touched only at
+//!    registration and scrape time (handles are `Arc`s captured once).
+//! 2. **Distributions are first-class.** Quantiles come with a
+//!    documented relative-error bound ([`Histogram::relative_error_bound`]),
+//!    and histograms merge losslessly so per-shard or per-class streams
+//!    can be combined.
+//! 3. **Exposition is byte-stable.** Two renders of the same state are
+//!    identical bytes, so protocol tests can pin lines and diffs stay
+//!    readable.
+//! 4. **Monotonic clock only.** No `SystemTime` anywhere near a
+//!    latency measurement.
+
+pub mod hist;
+pub mod log;
+pub mod registry;
+pub mod timer;
+
+pub use hist::{Histogram, DEFAULT_GRID_BITS};
+pub use registry::{global, Counter, Gauge, MetricsRegistry, EXPOSITION_HEADER};
+pub use timer::{Span, Stopwatch};

@@ -1,0 +1,93 @@
+//! Stage timing against the monotonic clock only — never `SystemTime`,
+//! which can jump backwards under NTP and poison latency histograms.
+
+use crate::hist::Histogram;
+use std::time::Instant;
+
+/// A started stopwatch. Cheap to create (one `Instant::now()`), `Copy`
+/// so it can ride inside queued jobs across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`] (saturating).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed time into `hist` and returns the reading.
+    pub fn observe(&self, hist: &Histogram) -> u64 {
+        let nanos = self.elapsed_nanos();
+        hist.record(nanos);
+        nanos
+    }
+}
+
+/// A scope guard that records its lifetime into a histogram on drop.
+///
+/// ```
+/// use dsq_telemetry::{Histogram, Span};
+/// let stage = Histogram::new();
+/// {
+///     let _timed = Span::enter(&stage);
+///     // ... the work being measured ...
+/// }
+/// assert_eq!(stage.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    watch: Stopwatch,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span that records into `hist` when it drops.
+    pub fn enter(hist: &'a Histogram) -> Self {
+        Self { hist, watch: Stopwatch::start() }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.watch.observe(self.hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_observes_into_histogram() {
+        let h = Histogram::new();
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let nanos = w.observe(&h);
+        assert!(nanos >= 1_000_000, "slept a millisecond, read {nanos}ns");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_records_on_drop_even_through_panics() {
+        let h = Histogram::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = Span::enter(&h);
+            panic!("stage blew up");
+        }));
+        assert!(result.is_err());
+        assert_eq!(h.count(), 1, "unwinding must still record the stage");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based coverage of the histogram's documented contract: for
+//! arbitrary value streams, `merge(a, b).quantile(p)` stays within the
+//! relative-error bound of recording the concatenated stream directly,
+//! and within the bound of the exact rank statistic — plus the
+//! empty/saturating edge cases the unit suite pins pointwise.
+
+use dsq_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// The exact rank-`ceil(p * len)` order statistic of `values`.
+fn exact_quantile(values: &mut [u64], p: f64) -> u64 {
+    values.sort_unstable();
+    let rank = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+fn within_bound(approx: u64, exact: u64, bound: f64) -> bool {
+    // +1 absorbs the integer midpoint rounding of width-1 buckets.
+    (approx as f64 - exact as f64).abs() <= exact as f64 * bound + 1.0
+}
+
+/// Streams mixing magnitudes from single digits to tens of billions,
+/// so buckets from the exact region through wide octaves all engage.
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u32..32, 1u64..1024), 1usize..200)
+        .prop_map(|pairs| pairs.into_iter().map(|(shift, v)| v << (shift % 33)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Merging two independently recorded histograms answers quantiles
+    /// exactly as if one histogram had seen the concatenated stream,
+    /// and both stay within the documented bound of the true statistic.
+    #[test]
+    fn merge_preserves_quantiles(a in stream(), b in stream(), p in 0.0f64..=1.0) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let concat = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            concat.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            concat.record(v);
+        }
+        ha.merge(&hb);
+
+        prop_assert_eq!(ha.count(), concat.count());
+        prop_assert_eq!(ha.sum(), concat.sum());
+        prop_assert_eq!(ha.min(), concat.min());
+        prop_assert_eq!(ha.max(), concat.max());
+        // Bucket-wise addition is lossless: the merged histogram is
+        // indistinguishable from the concatenated recording.
+        prop_assert_eq!(ha.quantile(p), concat.quantile(p));
+
+        let mut all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let exact = exact_quantile(&mut all, p);
+        prop_assert!(
+            within_bound(ha.quantile(p), exact, ha.relative_error_bound()),
+            "p={} merged={} exact={}", p, ha.quantile(p), exact
+        );
+    }
+
+    /// Every quantile of a single recorded stream respects the bound.
+    #[test]
+    fn quantiles_track_exact_rank_statistics(mut values in stream()) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&mut values, p);
+            prop_assert!(
+                within_bound(h.quantile(p), exact, h.relative_error_bound()),
+                "p={} got={} exact={}", p, h.quantile(p), exact
+            );
+        }
+    }
+
+    /// Merging an empty histogram in either direction changes nothing.
+    #[test]
+    fn empty_merge_is_identity(values in stream(), p in 0.0f64..=1.0) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let before = (h.count(), h.sum(), h.min(), h.max(), h.quantile(p));
+        let empty = Histogram::new();
+        h.merge(&empty);
+        prop_assert_eq!(before, (h.count(), h.sum(), h.min(), h.max(), h.quantile(p)));
+
+        let other = Histogram::new();
+        other.merge(&h);
+        prop_assert_eq!(other.quantile(p), h.quantile(p));
+    }
+
+    /// Saturated bucket tallies survive a merge without wrapping: the
+    /// saturated bucket stays dominant and quantiles stay sane.
+    #[test]
+    fn saturating_buckets_survive_merge(v in 1u64..u64::MAX, extra in 1u64..1000) {
+        let a = Histogram::new();
+        a.record_n(v, u64::MAX);
+        let b = Histogram::new();
+        b.record_n(v, extra);
+        b.record(1);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), u64::MAX);
+        prop_assert_eq!(a.min(), 1);
+        // The saturated value owns every interior quantile.
+        prop_assert!(within_bound(a.quantile(0.5), v, a.relative_error_bound()));
+        prop_assert!(within_bound(a.quantile(0.999), v, a.relative_error_bound()));
+    }
+}

@@ -5,9 +5,13 @@
 #
 # Usage: scripts/bench_snapshot.sh [OUTPUT.json]
 #
-#   OUTPUT.json             snapshot destination (default BENCH_PR8.json)
+#   OUTPUT.json             snapshot destination (default BENCH_PR9.json)
 #   DSQ_SNAPSHOT_BENCHES    space-separated bench targets to run
 #                           (default: the optimizer + serving set)
+#   DSQ_SNAPSHOT_LOADGEN    "off" skips the loadgen soak; otherwise the
+#                           script starts a daemon from target/release/dsq
+#                           (or DSQ_BINARY) and folds a `dsq loadgen
+#                           --json` run into the snapshot's "loadgen" key
 #
 # The vendored criterion writes one JSON object per benchmark to the file
 # named by DSQ_BENCH_JSON (see vendor/criterion); this script wraps those
@@ -15,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 benches="${DSQ_SNAPSHOT_BENCHES:-cost_eval bounds_eval pruning_ablation optimizer_scaling service_throughput server_roundtrip reactor fleet_roundtrip fleet_resize tier_latency}"
 
 raw="$(mktemp)"
@@ -29,6 +33,37 @@ done
 if ! [ -s "$raw" ]; then
     echo "bench_snapshot: no benchmark results were recorded" >&2
     exit 1
+fi
+
+# Open-loop latency soak: start a daemon, drive the three loadgen
+# request classes, and capture the per-class p50/p99/p999 JSON so the
+# trajectory tracks serving tails alongside the bench medians.
+loadgen_json=""
+dsq_bin="${DSQ_BINARY:-target/release/dsq}"
+if [ "${DSQ_SNAPSHOT_LOADGEN:-on}" = "off" ]; then
+    echo "bench_snapshot: loadgen soak disabled" >&2
+elif ! [ -x "$dsq_bin" ]; then
+    echo "bench_snapshot: $dsq_bin not built; skipping the loadgen soak" >&2
+else
+    lg_dir="$(mktemp -d)"
+    lg_sock="$lg_dir/dsq.sock"
+    "$dsq_bin" serve --unix "$lg_sock" --workers 1 < /dev/null > "$lg_dir/server.log" &
+    lg_pid=$!
+    for _ in $(seq 1 300); do
+        [ -S "$lg_sock" ] && break
+        sleep 0.1
+    done
+    if [ -S "$lg_sock" ] && \
+        "$dsq_bin" loadgen --unix "$lg_sock" --rate 1000 --requests 500 -n 6 --json \
+            > "$lg_dir/loadgen.json"; then
+        loadgen_json="$(cat "$lg_dir/loadgen.json")"
+        echo "bench_snapshot: captured the loadgen soak" >&2
+    else
+        echo "bench_snapshot: loadgen soak failed; snapshot continues without it" >&2
+    fi
+    kill "$lg_pid" 2>/dev/null || true
+    wait "$lg_pid" 2>/dev/null || true
+    rm -rf "$lg_dir"
 fi
 
 {
@@ -45,6 +80,10 @@ fi
         rev="${rev}-dirty"
     fi
     echo "  \"git_rev\": \"$rev\","
+    if [ -n "$loadgen_json" ]; then
+        echo '  "loadgen":'
+        printf '%s' "$loadgen_json" | sed -e 's/^/    /' -e '$s/$/,/'
+    fi
     echo "  \"benches\": ["
     sed -e 's/^/    /' -e '$!s/$/,/' "$raw"
     echo '  ]'

@@ -73,9 +73,13 @@ done
     { echo "server_smoke: pipelined batch lost responses" >&2; cat "$workdir/pipelined.out" >&2; exit 1; }
 [ "$(grep -c " cold " "$workdir/pipelined.out")" -eq 3 ] || \
     { echo "server_smoke: pipelined batch was not served fresh" >&2; exit 1; }
-# One reactor thread parks a thousand concurrent idle connections.
-"$bin" client --unix "$sock" hold 1000 | grep -q "held 1000 concurrent connections" || \
-    { echo "server_smoke: could not hold 1000 connections" >&2; exit 1; }
+# One reactor thread parks a thousand concurrent idle connections; the
+# drain summary proves every one of them stayed live until teardown.
+"$bin" client --unix "$sock" hold 1000 > "$workdir/hold.out"
+grep -q "held 1000 concurrent connections" "$workdir/hold.out" || \
+    { echo "server_smoke: could not hold 1000 connections" >&2; cat "$workdir/hold.out" >&2; exit 1; }
+grep -q "drained 1000 held connections: 1000 live, 0 dropped" "$workdir/hold.out" || \
+    { echo "server_smoke: held connections were dropped before drain" >&2; cat "$workdir/hold.out" >&2; exit 1; }
 
 # Close stdin: the daemon must drain and exit 0 on its own.
 exec 3>&-
@@ -194,6 +198,46 @@ wait "$chaos_pid"
 grep -q ", chaos)" "$workdir/chaos.log"
 grep -q "drained cleanly" "$workdir/chaos.log"
 
+# ---- open-loop loadgen smoke -----------------------------------------
+# A ~2k-request Poisson burst (667 requests x 3 classes) against a fresh
+# daemon: every class must report a non-zero p99 and zero protocol
+# errors. Latency is measured from each request's scheduled send time,
+# so a stalling server cannot hide in generator back-pressure.
+lg_sock="$workdir/loadgen.sock"
+"$bin" serve --unix "$lg_sock" --workers 1 < /dev/null > "$workdir/loadgen-server.log" &
+lg_pid=$!
+daemon_pids+=("$lg_pid")
+for _ in $(seq 1 300); do
+    [ -S "$lg_sock" ] && break
+    sleep 0.1
+done
+[ -S "$lg_sock" ] || { echo "server_smoke: loadgen socket never appeared" >&2; exit 1; }
+"$bin" loadgen --unix "$lg_sock" --rate 1500 --requests 667 -n 6 --json \
+    > "$workdir/loadgen.json"
+grep -q '"schema": "dsq-loadgen/v1"' "$workdir/loadgen.json"
+for class in drift boundary pipelined; do
+    grep -q "\"class\": \"$class\"" "$workdir/loadgen.json" || \
+        { echo "server_smoke: loadgen dropped class $class" >&2; cat "$workdir/loadgen.json" >&2; exit 1; }
+done
+grep -q '"sent": 667' "$workdir/loadgen.json" || \
+    { echo "server_smoke: loadgen lost requests" >&2; cat "$workdir/loadgen.json" >&2; exit 1; }
+if grep -Eq '"p99_ns": 0[,}]' "$workdir/loadgen.json"; then
+    echo "server_smoke: loadgen reported a zero p99" >&2
+    cat "$workdir/loadgen.json" >&2
+    exit 1
+fi
+if grep -Eq '"protocol_errors": [1-9]' "$workdir/loadgen.json"; then
+    echo "server_smoke: loadgen saw protocol errors" >&2
+    cat "$workdir/loadgen.json" >&2
+    exit 1
+fi
+# The daemon's own stage histograms were live for the whole burst.
+"$bin" client --unix "$lg_sock" metrics > "$workdir/loadgen-metrics.out"
+head -1 "$workdir/loadgen-metrics.out" | grep -qx "# dsq-metrics v1"
+grep -q "histogram server.stage.plan_ns count " "$workdir/loadgen-metrics.out"
+"$bin" client --unix "$lg_sock" shutdown | grep -qx "server draining"
+wait "$lg_pid"
+
 # ---- tiered serve-batch smoke ----------------------------------------
 # First run: every miss is answered at the greedy tier (`tier heur` on
 # the output line) and refined to exact before the snapshot is written
@@ -220,4 +264,4 @@ if grep -q " tier heur" "$workdir/tiered-warm.out"; then
     exit 1
 fi
 
-echo "server_smoke: OK (clean drain, pipelined batch, 1k connections held, snapshot persisted, fleet sharding + failover, warm rebalance, chaos drain, tiered refinement)" >&2
+echo "server_smoke: OK (clean drain, pipelined batch, 1k connections held and drained live, snapshot persisted, fleet sharding + failover, warm rebalance, chaos drain, 2k-request open-loop burst, metrics verb, tiered refinement)" >&2

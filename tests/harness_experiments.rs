@@ -21,7 +21,7 @@ fn registry_is_complete() {
         ids,
         [
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17"
+            "e14", "e15", "e16", "e17", "e18"
         ]
     );
 }
@@ -194,6 +194,28 @@ fn e17_resilience_keeps_keys_warm_across_a_grow() {
     assert!(post_grow_rate >= 0.5, "at least half the keys stay warm, got {post_grow_rate}");
     let moved: f64 = rows[2][5].parse().expect("numeric moved-keys count");
     assert!(moved >= 1.0, "the resize must actually move part of the keyspace");
+}
+
+#[test]
+fn e18_telemetry_accounts_for_the_rtt_and_soaks_clean() {
+    // e18 bakes its own asserts in (quantile estimates within the
+    // documented relative-error bound, merge bit-equivalence, stage
+    // means summing to the client RTT within the wire-and-wakeup slack,
+    // zero protocol errors under the open-loop soak); running it at
+    // quick sizes is the regression guard. Check the headline shapes on
+    // top.
+    let tables = run_by_id("e18");
+    assert_eq!(tables.len(), 3);
+    // Accuracy table: every probed quantile's error stayed under its
+    // bound (columns: shape, quantile, exact, histogram, error, bound).
+    for line in tables[0].to_csv().lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        let error: f64 = fields[4].parse().expect("numeric error");
+        let bound: f64 = fields[5].parse().expect("numeric bound");
+        assert!(error <= bound, "quantile error past the bound in row: {line}");
+    }
+    // Soak table: one row per request class, all three classes driven.
+    assert_eq!(tables[2].row_count(), 3);
 }
 
 #[test]
